@@ -1,0 +1,39 @@
+// E1 (Claim B.1): Basic-LEAD falls to a single adversary.
+// Rows: n, target w, honest Pr[w], attacked Pr[w], FAIL rate.
+
+#include <cstdio>
+
+#include "analysis/experiment.h"
+#include "attacks/basic_single.h"
+#include "bench_util.h"
+#include "protocols/basic_lead.h"
+
+int main() {
+  using namespace fle;
+  bench::title("E1 / Claim B.1", "Basic-LEAD: one adversary forces any outcome");
+  bench::note("paper: Pr[outcome = w] = 1 for every target w (honest: 1/n)");
+  bench::row_header("     n   target   honest Pr[w]   attacked Pr[w]   FAIL");
+
+  BasicLeadProtocol protocol;
+  for (const int n : {8, 32, 128, 256}) {
+    ExperimentConfig honest_cfg;
+    honest_cfg.n = n;
+    honest_cfg.trials = 2000;
+    honest_cfg.seed = 42;
+    const auto honest = run_trials(protocol, nullptr, honest_cfg);
+
+    for (const Value w : {Value{0}, static_cast<Value>(n / 2)}) {
+      BasicSingleDeviation deviation(n, /*adversary=*/n / 3 + 1, w);
+      ExperimentConfig cfg;
+      cfg.n = n;
+      cfg.trials = 200;
+      cfg.seed = 7 * n + w;
+      const auto attacked = run_trials(protocol, &deviation, cfg);
+      std::printf("%6d   %6llu   %12.4f   %14.4f   %4.2f\n", n,
+                  static_cast<unsigned long long>(w), honest.outcomes.leader_rate(w),
+                  attacked.outcomes.leader_rate(w), attacked.outcomes.fail_rate());
+    }
+  }
+  bench::note("expected shape: attacked Pr[w] = 1.0000 in every row");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E13 (Section 1.1 related work, reproduced): resilience thresholds across
+// network topologies.  The asynchronous fully-connected network supports
+// k = n/2 - 1 via Shamir sharing; the ring only Theta(sqrt(n)).  Both
+// boundaries are exhibited by live attacks.
+
+#include <cstdio>
+
+#include "attacks/shamir_attacks.h"
+#include "bench_util.h"
+#include "protocols/shamir_lead.h"
+
+int main() {
+  using namespace fle;
+  bench::title("E13 / related-work baseline (Abraham et al. via Shamir)",
+               "Fully-connected async FLE: resilient to n/2-1, broken at n/2");
+  bench::row_header(
+      "     n    k         attack        possible   Pr[w]   FAIL   (w = n-1)");
+
+  const auto run_attack = [](const ShamirLeadProtocol& protocol, const GraphDeviation& dev,
+                             int n, Value w, double* rate, double* fail) {
+    int hits = 0, fails = 0;
+    const int trials = 20;
+    for (std::uint64_t seed = 0; seed < trials; ++seed) {
+      GraphEngine engine(n, seed * 11 + 1);
+      const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
+      if (o.failed()) {
+        ++fails;
+      } else if (o.leader() == w) {
+        ++hits;
+      }
+    }
+    *rate = static_cast<double>(hits) / trials;
+    *fail = static_cast<double>(fails) / trials;
+  };
+
+  for (const int n : {8, 12, 16, 24}) {
+    ShamirLeadProtocol protocol(n);
+    const Value w = static_cast<Value>(n - 1);
+    const int t = protocol.params().t;
+    struct Row {
+      int k;
+      const char* name;
+      bool forge;
+    };
+    const Row rows[] = {
+        {(n + 1) / 2 - 1, "forge (k=n/2-1)", true},   // resilient regime
+        {(n + 1) / 2, "forge (k=n/2)", true},          // impossibility boundary
+        {t, "rushing (k=t)", false},                   // reconstruction regime
+    };
+    for (const auto& row : rows) {
+      double rate = 0, fail = 0;
+      bool possible;
+      if (row.forge) {
+        ShamirForgeDeviation dev(Coalition::consecutive(n, row.k, 0), w, protocol);
+        possible = dev.forging_possible();
+        run_attack(protocol, dev, n, w, &rate, &fail);
+      } else {
+        ShamirRushingDeviation dev(Coalition::consecutive(n, row.k, 1), w, protocol);
+        possible = dev.reconstruction_possible();
+        run_attack(protocol, dev, n, w, &rate, &fail);
+      }
+      std::printf("%6d  %3d   %18s   %8s   %5.2f   %4.2f\n", n, row.k, row.name,
+                  possible ? "yes" : "no", rate, fail);
+    }
+  }
+  bench::note("expected shape: Pr[w] jumps 0 -> 1 exactly at k = ceil(n/2) (forge)");
+  bench::note("and k = floor(n/2)+1 (rushing); below, attacks fail or give no gain.");
+  bench::note("Contrast: the ring tops out at Theta(sqrt(n)) (E7) — topology buys");
+  bench::note("resilience: fully-connected n/2 >> ring sqrt(n) >> tree k (Thm 7.2)");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark): engine throughput, PRF evaluation,
+// and full-protocol execution latency.  These are sanity-of-substrate
+// numbers, not paper claims.
+
+#include <benchmark/benchmark.h>
+
+#include "core/random_function.h"
+#include "core/rng.h"
+#include "protocols/alead_uni.h"
+#include "protocols/basic_lead.h"
+#include "protocols/phase_async_lead.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace fle;
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_XoshiroBelow(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000));
+  }
+}
+BENCHMARK(BM_XoshiroBelow);
+
+void BM_RandomFunctionEvaluate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int l = RandomFunction::default_l(n);
+  RandomFunction f(1, n, RandomFunction::default_m(n), l);
+  Xoshiro256 rng(3);
+  std::vector<Value> d(static_cast<std::size_t>(n));
+  std::vector<Value> v(static_cast<std::size_t>(n - l));
+  for (auto& x : d) x = rng.below(static_cast<std::uint64_t>(n));
+  for (auto& x : v) x = rng.below(RandomFunction::default_m(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.evaluate(d, v));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d.size() + v.size()));
+}
+BENCHMARK(BM_RandomFunctionEvaluate)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineBasicLead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BasicLeadProtocol protocol;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const Outcome o = run_honest(protocol, n, ++seed);
+    benchmark::DoNotOptimize(o);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_EngineBasicLead)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EngineALeadUni(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ALeadUniProtocol protocol;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_honest(protocol, n, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_EngineALeadUni)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EnginePhaseAsyncLead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PhaseAsyncLeadProtocol protocol(n, 0x5eedull);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_honest(protocol, n, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n);
+}
+BENCHMARK(BM_EnginePhaseAsyncLead)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+#pragma once
+// Shared table formatting for the experiment benches.  Every bench binary
+// regenerates one table/figure from EXPERIMENTS.md: it prints the paper's
+// predicted behaviour next to the measured rows so the comparison is
+// visible in raw bench output.
+
+#include <cstdio>
+#include <string>
+
+namespace fle::bench {
+
+inline void title(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("-- %s\n", text.c_str()); }
+
+inline void row_header(const std::string& cols) {
+  std::printf("%s\n", cols.c_str());
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace fle::bench

@@ -1,0 +1,63 @@
+// X2 (Lemmas D.3/D.5, Section 6): synchronization gaps.  Honest A-LEADuni
+// runs in lock-step (gap 1); the cubic attack desynchronizes by Theta(k^2)
+// — exactly the slack Theorem 5.1's proof bounds; PhaseAsyncLead's phase
+// validation pins everyone to O(k) even under attack.
+
+#include <cstdio>
+
+#include "analysis/experiment.h"
+#include "attacks/coalition.h"
+#include "attacks/cubic.h"
+#include "attacks/phase_rushing.h"
+#include "attacks/phase_sum_attack.h"
+#include "bench_util.h"
+#include "protocols/alead_uni.h"
+#include "protocols/phase_async_lead.h"
+#include "protocols/phase_sum_lead.h"
+#include "sim/trace.h"
+
+int main() {
+  using namespace fle;
+  bench::title("X2 / synchronization gaps",
+               "max_t (max_i Sent_i - min_i Sent_i): who stays synchronized?");
+  bench::row_header("      scenario                  n     k    max gap    k^2    2k");
+
+  const auto run_gap = [](const RingProtocol& proto, const Deviation* dev, int n,
+                          std::uint64_t seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.trials = 5;
+    cfg.seed = seed;
+    return run_trials(proto, dev, cfg).max_sync_gap;
+  };
+
+  for (const int n : {216, 512, 1000}) {
+    ALeadUniProtocol alead;
+    const int kc = Coalition::cubic_min_k(n);
+    std::printf("%-28s %5d  %4s   %8llu   %5s  %4s\n", "A-LEADuni honest", n, "-",
+                static_cast<unsigned long long>(run_gap(alead, nullptr, n, 1)), "-", "-");
+
+    CubicDeviation cubic(Coalition::cubic_staircase(n, kc), 0);
+    std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", "A-LEADuni + cubic attack", n, kc,
+                static_cast<unsigned long long>(run_gap(alead, &cubic, n, 2)), kc * kc,
+                2 * kc);
+
+    PhaseAsyncLeadProtocol phase(n, 0x6a6aull + n);
+    std::printf("%-28s %5d  %4s   %8llu   %5s  %4s\n", "PhaseAsyncLead honest", n, "-",
+                static_cast<unsigned long long>(run_gap(phase, nullptr, n, 3)), "-", "-");
+
+    PhaseRushingDeviation rush(Coalition::equally_spaced(n, kc), 0, phase);
+    std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", "PhaseAsyncLead + rushing", n, kc,
+                static_cast<unsigned long long>(run_gap(phase, &rush, n, 4)), kc * kc,
+                2 * kc);
+
+    PhaseSumLeadProtocol psum(n);
+    PhaseSumDeviation e4(PhaseSumDeviation::placement(n), 0, psum);
+    std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", "PhaseSumLead + E.4 attack", n, 4,
+                static_cast<unsigned long long>(run_gap(psum, &e4, n, 5)), 16, 8);
+  }
+  bench::note("expected shape: cubic attack gap grows ~k^2 (the desync it exploits);");
+  bench::note("phase-validated protocols stay at O(k) even under deviation — the");
+  bench::note("k-synchronization PhaseAsyncLead's resilience proof rests on");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Beyond the ring: the fully-connected network and the full-information
+// model (paper Section 1.1's related-work landscape, implemented).
+//
+//   $ ./full_network [n]
+//
+// 1. Shamir-LEAD on a fully-connected asynchronous network: resilient to
+//    k = n/2 - 1, broken at k = n/2 (polynomial forging) and k = n/2 + 1
+//    (early reconstruction).
+// 2. Saks' pass-the-baton and the majority coin in the full-information
+//    model, the classical comparators.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attacks/shamir_attacks.h"
+#include "fullinfo/baton.h"
+#include "fullinfo/majority.h"
+#include "protocols/shamir_lead.h"
+
+int main(int argc, char** argv) {
+  using namespace fle;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+
+  ShamirLeadProtocol protocol(n);
+  std::printf("[1] Shamir-LEAD on a fully-connected async network, n=%d (t=%d)\n", n,
+              protocol.params().t);
+  const Outcome honest = run_honest_graph(protocol, n, 42);
+  std::printf("    honest election: leader %llu\n",
+              static_cast<unsigned long long>(honest.leader()));
+
+  const Value w = static_cast<Value>(n - 1);
+  {
+    const int k = (n + 1) / 2 - 1;
+    ShamirForgeDeviation dev(Coalition::consecutive(n, k, 0), w, protocol);
+    GraphEngine engine(n, 7);
+    const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
+    std::printf("    forge with k=%d (= n/2-1): %s  <- resilient regime\n", k,
+                o.failed() ? "FAIL (detected)" : "valid");
+  }
+  {
+    const int k = (n + 1) / 2;
+    ShamirForgeDeviation dev(Coalition::consecutive(n, k, 0), w, protocol);
+    GraphEngine engine(n, 7);
+    const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
+    std::printf("    forge with k=%d (= n/2):   leader %llu  <- impossibility boundary\n",
+                k, o.valid() ? static_cast<unsigned long long>(o.leader()) : 0ull);
+  }
+  {
+    const int k = protocol.params().t;
+    ShamirRushingDeviation dev(Coalition::consecutive(n, k, 1), w, protocol);
+    GraphEngine engine(n, 7);
+    const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
+    std::printf("    rushing with k=%d (= t):   leader %llu  <- reconstruct-early regime\n",
+                k, o.valid() ? static_cast<unsigned long long>(o.leader()) : 0ull);
+  }
+
+  std::printf("\n[2] full-information model comparators\n");
+  {
+    BatonGame game(n);
+    Xoshiro256 rng(3);
+    const ProcessorId target = n - 1;
+    std::vector<ProcessorId> coalition;
+    for (int i = 1; i <= n / 4; ++i) coalition.push_back(i);
+    BatonGreedyAdversary adv(coalition, target);
+    int hits = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+      hits += play_turn_game(game, coalition, &adv, rng) == static_cast<Value>(target);
+    }
+    std::printf("    pass-the-baton, k=n/4 coalition: Pr[target] = %.3f (honest %.3f)\n",
+                static_cast<double>(hits) / trials, 1.0 / (n - 1));
+  }
+  {
+    MajorityCoinGame game(2 * n + 1);
+    Xoshiro256 rng(5);
+    std::vector<ProcessorId> coalition{0, 1, 2};
+    MajorityTargetAdversary adv(1);
+    int ones = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+      ones += play_turn_game(game, coalition, &adv, rng) == 1;
+    }
+    std::printf("    majority coin, k=3 of %d: Pr[1] = %.3f (predicted %.3f)\n", 2 * n + 1,
+                static_cast<double>(ones) / trials,
+                0.5 + majority_bias_estimate(2 * n + 1, 3));
+  }
+  std::printf("\n    resilience ladder: tree k (Thm 7.2)  <  ring sqrt(n) (Thm 6.1)\n");
+  std::printf("                       <  fully-connected n/2  <  broadcast n/log n\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Placement gallery (Figure 1): every coalition layout the attacks use,
+// with its honest-segment profile and which attacks it enables.
+//
+//   $ ./placement_gallery [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attacks/coalition.h"
+#include "attacks/random_location.h"
+
+int main(int argc, char** argv) {
+  using namespace fle;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 48;
+
+  const auto show = [&](const char* name, const Coalition& c, const char* enables) {
+    std::printf("%s\n  %s\n  segments:", name, c.render().c_str());
+    for (const int l : c.segment_lengths()) std::printf(" %d", l);
+    std::printf("\n  rushing precondition (all l_j <= k-1): %s\n  enables: %s\n\n",
+                c.rushing_precondition_holds() ? "yes" : "no", enables);
+  };
+
+  show("[consecutive] (the case Abraham et al. analyzed, Claim D.1)",
+       Coalition::consecutive(n, 5, 2), "nothing: one huge segment blocks rushing");
+
+  int k_sqrt = 1;
+  while (k_sqrt * k_sqrt < n) ++k_sqrt;
+  show("[equally spaced, k = ceil(sqrt(n))] (Lemma 4.1 / Theorem 4.2)",
+       Coalition::equally_spaced(n, k_sqrt), "RushingDeviation: full control of A-LEADuni");
+
+  show("[cubic staircase, k = cubic_min_k(n)] (Theorem 4.3)",
+       Coalition::cubic_staircase(n, Coalition::cubic_min_k(n)),
+       "CubicDeviation: full control of A-LEADuni with only Theta(n^(1/3)) members");
+
+  const double p = RandomLocationDeviation::recommended_density(n);
+  show("[Bernoulli(p), p = sqrt(8 ln n / n)] (Theorem C.1)",
+       Coalition::bernoulli(n, p, 123),
+       "RandomLocationDeviation: control w.h.p. without knowing k or distances");
+  return 0;
+}

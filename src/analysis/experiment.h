@@ -1,0 +1,50 @@
+#pragma once
+// Experiment runner: repeated executions of (protocol, deviation) pairs with
+// per-trial seeds, aggregating outcome statistics, message counts and
+// synchronization gaps.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "analysis/stats.h"
+#include "attacks/deviation.h"
+#include "sim/engine.h"
+
+namespace fle {
+
+enum class SchedulerKind { kRoundRobin, kRandom, kPriority };
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int n, std::uint64_t seed);
+
+struct ExperimentConfig {
+  int n = 0;
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  /// 0 = derive from the protocol's honest message bound.
+  std::uint64_t step_limit = 0;
+};
+
+struct ExperimentResult {
+  OutcomeCounter outcomes;
+  double mean_messages = 0.0;       ///< mean total sends per execution
+  std::uint64_t max_messages = 0;
+  std::uint64_t max_sync_gap = 0;   ///< max over trials of ExecutionStats gap
+  double mean_sync_gap = 0.0;
+
+  explicit ExperimentResult(int n) : outcomes(n) {}
+};
+
+/// Runs `config.trials` executions.  Deviation may be null (honest profile).
+ExperimentResult run_trials(const RingProtocol& protocol, const Deviation* deviation,
+                            const ExperimentConfig& config);
+
+/// Variant with a per-trial protocol factory (for protocols that randomize
+/// per trial, e.g. Chang-Roberts logical id permutations).
+ExperimentResult run_trials_factory(
+    const std::function<std::unique_ptr<RingProtocol>(std::uint64_t trial_seed)>& factory,
+    const std::function<std::unique_ptr<Deviation>(const RingProtocol&)>& deviation_factory,
+    const ExperimentConfig& config);
+
+}  // namespace fle

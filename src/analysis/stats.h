@@ -1,0 +1,61 @@
+#pragma once
+// Statistics for election experiments: empirical outcome distributions,
+// bias estimates with confidence intervals, and uniformity tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "core/utility.h"
+
+namespace fle {
+
+/// Accumulates outcomes of repeated executions.
+class OutcomeCounter {
+ public:
+  explicit OutcomeCounter(int n);
+
+  void record(const Outcome& o);
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+  [[nodiscard]] std::size_t fails() const { return fails_; }
+  [[nodiscard]] std::size_t count(Value leader) const {
+    return counts_[static_cast<std::size_t>(leader)];
+  }
+  [[nodiscard]] double fail_rate() const;
+  [[nodiscard]] double leader_rate(Value leader) const;
+
+  [[nodiscard]] OutcomeDistribution distribution() const;
+  /// max_j Pr-hat[outcome = j] - 1/n.
+  [[nodiscard]] double max_bias() const;
+
+  /// Chi-square statistic of the valid-outcome counts against the uniform
+  /// distribution over [0, n) conditioned on success (n-1 degrees of
+  /// freedom).  Meaningful only when fails() is small.
+  [[nodiscard]] double chi_square_uniform() const;
+
+ private:
+  int n_;
+  std::size_t trials_ = 0;
+  std::size_t fails_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+/// Two-sided Hoeffding deviation bound: with probability >= 1 - alpha, an
+/// empirical mean of `trials` [0,1]-valued samples is within this distance
+/// of its expectation.
+double hoeffding_radius(std::size_t trials, double alpha);
+
+/// Wilson score interval (95%) for a binomial proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials);
+
+/// Upper-tail critical value of the chi-square distribution with `dof`
+/// degrees of freedom at significance 0.001, via the Wilson-Hilferty
+/// approximation.  Used by uniformity tests.
+double chi_square_critical_999(int dof);
+
+}  // namespace fle

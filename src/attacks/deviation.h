@@ -1,0 +1,47 @@
+#pragma once
+// Adversarial deviations (paper Definition 2.2).
+//
+// A deviation binds a coalition C to adversarial strategies for its members;
+// everyone outside C runs the protocol's honest strategy.  Coalition members
+// share only *pre-agreed static configuration* (the coalition layout, the
+// target leader w, constants); at run time they may communicate exclusively
+// through ring messages, exactly as the model prescribes.
+
+#include <memory>
+#include <vector>
+
+#include "attacks/coalition.h"
+#include "sim/strategy.h"
+
+namespace fle {
+
+class Deviation {
+ public:
+  virtual ~Deviation() = default;
+
+  [[nodiscard]] virtual const Coalition& coalition() const = 0;
+  /// Strategy for coalition member `id`.  Only called for members.
+  [[nodiscard]] virtual std::unique_ptr<RingStrategy> make_adversary(ProcessorId id,
+                                                                     int n) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Builds the strategy vector of the deviated protocol (P_{V-C}, P'_C):
+/// honest strategies from `protocol` everywhere except coalition members,
+/// which get `deviation`'s strategies.  Pass deviation == nullptr for the
+/// honest profile.
+inline std::vector<std::unique_ptr<RingStrategy>> compose_strategies(
+    const RingProtocol& protocol, const Deviation* deviation, int n) {
+  std::vector<std::unique_ptr<RingStrategy>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (deviation != nullptr && deviation->coalition().contains(p)) {
+      out.push_back(deviation->make_adversary(p, n));
+    } else {
+      out.push_back(protocol.make_strategy(p, n));
+    }
+  }
+  return out;
+}
+
+}  // namespace fle

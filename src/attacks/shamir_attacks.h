@@ -1,0 +1,96 @@
+#pragma once
+// The two coalition attacks that pin the fully-connected protocol's n/2
+// resilience boundary (paper Section 1.1 / Theorem 7.2's special case).
+//
+// ShamirRushingDeviation (needs k >= t = floor(n/2)+1): adversaries withhold
+// their phase-1 distribution — asynchrony makes the delay invisible — while
+// forwarding every received share to a coalition leader.  With >= t shares
+// of each honest secret the leader reconstructs them all, picks coalition
+// secrets summing to the target, and the coalition then plays the protocol
+// honestly.  Every validation passes; the outcome is w.
+//
+// ShamirForgeDeviation (needs only k >= ceil(n/2), i.e. honest < t): phases
+// 1-2 are honest, so coalition secrets are committed — but at reveal time
+// the honest evaluation points no longer pin degree-(t-1) polynomials.  The
+// coalition rushes the honest reveals, reconstructs the running sum, and
+// shifts one adversary-owned secret along the pencil P + c*Z, where
+// Z = prod over honest points (x - x_h) has degree n-k <= t-1 and vanishes
+// on every honest share: all n revealed points stay consistent, no owner
+// check fires (the owner colludes), and the sum lands on w.  This closes
+// the gap to the paper's k >= n/2 impossibility exactly.
+
+#include <optional>
+
+#include "attacks/coalition.h"
+#include "protocols/shamir_lead.h"
+
+namespace fle {
+
+/// Deviation interface for graph protocols (Definition 2.2 on networks).
+class GraphDeviation {
+ public:
+  virtual ~GraphDeviation() = default;
+  [[nodiscard]] virtual const Coalition& coalition() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id,
+                                                                      int n) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+inline std::vector<std::unique_ptr<GraphStrategy>> compose_graph_strategies(
+    const GraphProtocol& protocol, const GraphDeviation* deviation, int n) {
+  std::vector<std::unique_ptr<GraphStrategy>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (deviation != nullptr && deviation->coalition().contains(p)) {
+      out.push_back(deviation->make_adversary(p, n));
+    } else {
+      out.push_back(protocol.make_strategy(p, n));
+    }
+  }
+  return out;
+}
+
+/// Early-reconstruction attack; controls the outcome iff k >= t.
+class ShamirRushingDeviation final : public GraphDeviation {
+ public:
+  ShamirRushingDeviation(Coalition coalition, Value target,
+                         const ShamirLeadProtocol& protocol);
+
+  const Coalition& coalition() const override { return coalition_; }
+  std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id, int n) const override;
+  const char* name() const override { return "shamir-rushing (k >= n/2+1)"; }
+
+  /// True iff the coalition holds enough shares to reconstruct early.
+  [[nodiscard]] bool reconstruction_possible() const {
+    return coalition_.k() >= params_.t;
+  }
+
+ private:
+  Coalition coalition_;
+  Value target_;
+  ShamirParams params_;
+};
+
+/// Reveal-forging attack; controls the outcome iff honest count < t
+/// (k >= ceil(n/2) with the default threshold).
+class ShamirForgeDeviation final : public GraphDeviation {
+ public:
+  ShamirForgeDeviation(Coalition coalition, Value target,
+                       const ShamirLeadProtocol& protocol);
+
+  const Coalition& coalition() const override { return coalition_; }
+  std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id, int n) const override;
+  const char* name() const override { return "shamir-forge (k >= n/2)"; }
+
+  /// True iff the honest points no longer pin the polynomials.
+  [[nodiscard]] bool forging_possible() const {
+    return coalition_.n() - coalition_.k() <= params_.t - 1;
+  }
+
+ private:
+  Coalition coalition_;
+  Value target_;
+  ShamirParams params_;
+};
+
+}  // namespace fle

@@ -1,0 +1,16 @@
+#include "core/field.h"
+
+namespace fle {
+
+Fp Fp::pow(std::uint64_t e) const {
+  Fp base = *this;
+  Fp acc(1);
+  while (e != 0) {
+    if (e & 1) acc = acc * base;
+    base = base * base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace fle

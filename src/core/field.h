@@ -1,0 +1,64 @@
+#pragma once
+// Prime-field arithmetic GF(p) with p = 2^61 - 1 (a Mersenne prime), the
+// algebra under Shamir secret sharing (src/core/shamir.h).
+//
+// The paper's related work (Section 1.1) uses Shamir's scheme for the
+// asynchronous fully-connected baseline (optimal k = n/2 - 1 resilience);
+// we implement that substrate from scratch.  2^61 - 1 comfortably exceeds
+// every ring size and value domain we use, and Mersenne reduction keeps
+// multiplication cheap.
+
+#include <cstdint>
+
+#include "core/rng.h"
+
+namespace fle {
+
+/// An element of GF(2^61 - 1).  Value-semantic, always reduced.
+class Fp {
+ public:
+  static constexpr std::uint64_t kP = (1ull << 61) - 1;
+
+  constexpr Fp() = default;
+  constexpr explicit Fp(std::uint64_t v) : v_(v % kP) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + b.v_;
+    if (s >= kP) s -= kP;
+    return from_raw(s);
+  }
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    return from_raw(a.v_ >= b.v_ ? a.v_ - b.v_ : a.v_ + kP - b.v_);
+  }
+  friend Fp operator*(Fp a, Fp b) {
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a.v_) * static_cast<unsigned __int128>(b.v_);
+    // Mersenne reduction: x mod (2^61 - 1) = (x >> 61) + (x & (2^61 - 1)).
+    std::uint64_t lo = static_cast<std::uint64_t>(wide) & kP;
+    std::uint64_t hi = static_cast<std::uint64_t>(wide >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kP) s -= kP;
+    return from_raw(s);
+  }
+  friend constexpr bool operator==(Fp a, Fp b) = default;
+
+  /// Modular exponentiation.
+  [[nodiscard]] Fp pow(std::uint64_t e) const;
+  /// Multiplicative inverse (Fermat); undefined for zero.
+  [[nodiscard]] Fp inverse() const { return pow(kP - 2); }
+
+  /// Uniform field element.
+  static Fp random(Xoshiro256& rng) { return Fp(rng.below(kP)); }
+
+ private:
+  static constexpr Fp from_raw(std::uint64_t v) {
+    Fp f;
+    f.v_ = v;
+    return f;
+  }
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace fle

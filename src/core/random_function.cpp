@@ -1,0 +1,49 @@
+#include "core/random_function.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace fle {
+
+RandomFunction::RandomFunction(std::uint64_t key, int n, Value m, int l)
+    : key_(key), n_(n), m_(m), l_(l) {
+  assert(n_ >= 2);
+  assert(l_ >= 0 && l_ < n_);
+  assert(m_ >= 1);
+}
+
+Value RandomFunction::evaluate(std::span<const Value> data,
+                               std::span<const Value> validation) const {
+  assert(static_cast<int>(data.size()) == n_);
+  assert(static_cast<int>(validation.size()) == n_ - l_);
+  // Chained mixing: every input position is bound to its index so that
+  // permuted inputs hash differently; the key separates function instances.
+  std::uint64_t h = mix64(key_ ^ 0xa076'1d64'78bd'642full);
+  std::uint64_t index_tag = 1;
+  for (const Value d : data) {
+    h = mix64(h ^ mix64(d + 0x517c'c1b7'2722'0a95ull * index_tag));
+    ++index_tag;
+  }
+  for (const Value v : validation) {
+    h = mix64(h ^ mix64(v + 0x2545'f491'4f6c'dd1dull * index_tag));
+    ++index_tag;
+  }
+  // Final draw in [0, n).  A plain mod keeps evaluation cheap; the bias is
+  // 2^-64 * n, far below anything our statistics can see.
+  return h % static_cast<std::uint64_t>(n_);
+}
+
+int RandomFunction::default_l(int n) {
+  const int l = static_cast<int>(std::ceil(10.0 * std::sqrt(static_cast<double>(n))));
+  if (l >= n) return n - 1;  // small-ring clamp (DESIGN.md §2)
+  if (l < 1) return 1;
+  return l;
+}
+
+Value RandomFunction::default_m(int n) {
+  return 2ull * static_cast<Value>(n) * static_cast<Value>(n);
+}
+
+}  // namespace fle

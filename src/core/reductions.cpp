@@ -1,0 +1,50 @@
+#include "core/reductions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fle {
+
+namespace {
+[[maybe_unused]] bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+CoinResult coin_from_leader(const Outcome& election) {
+  if (election.failed()) return CoinResult::kFail;
+  return (election.leader() % 2 == 0) ? CoinResult::kZero : CoinResult::kOne;
+}
+
+int tosses_needed(int n) {
+  assert(is_power_of_two(n));
+  int bits = 0;
+  for (int v = n; v > 1; v >>= 1) ++bits;
+  return bits;
+}
+
+Outcome leader_from_coins(std::span<const CoinResult> coins, int n) {
+  assert(is_power_of_two(n));
+  assert(static_cast<int>(coins.size()) == tosses_needed(n));
+  Value leader = 0;
+  for (std::size_t i = 0; i < coins.size(); ++i) {
+    switch (coins[i]) {
+      case CoinResult::kFail:
+        return Outcome::fail();
+      case CoinResult::kOne:
+        leader |= (Value{1} << i);
+        break;
+      case CoinResult::kZero:
+        break;
+    }
+  }
+  return Outcome::elected(leader);
+}
+
+double coin_bias_bound_from_election(double eps, int n) {
+  return 0.5 + 0.5 * n * eps;
+}
+
+double election_probability_bound_from_coins(double eps, int n) {
+  return std::pow(0.5 + eps, tosses_needed(n));
+}
+
+}  // namespace fle

@@ -1,0 +1,46 @@
+#pragma once
+// Fair Leader Election <-> Fair Coin Toss reductions (paper Section 8).
+//
+// Theorem 8.1:
+//  * From an eps-k-unbiased FLE protocol one gets a (n*eps/2)-k-unbiased coin
+//    toss by electing a leader and outputting the parity of its id.
+//  * From an eps-k-unbiased coin-toss protocol one gets a
+//    ((1/2+eps)^log2(n))-k-unbiased FLE protocol by running log2(n)
+//    independent tosses and concatenating the bits.
+//
+// The reductions are outcome-level adapters: they transform results of runs
+// of a base protocol.  The independence assumption the paper flags (ability
+// to run log2(n) independent instances) is made explicit by taking the coin
+// results as inputs.
+
+#include <span>
+
+#include "core/types.h"
+
+namespace fle {
+
+/// Result of one fair coin toss.  FAIL mirrors the FLE FAIL outcome.
+enum class CoinResult { kZero, kOne, kFail };
+
+/// "Leader Election to Coin-Toss": output leader id mod 2 (paper Section 8).
+CoinResult coin_from_leader(const Outcome& election);
+
+/// "Coin-Toss to Leader Election": concatenate log2(n) coin results into a
+/// leader index (bit i of the index = result of toss i, least-significant
+/// first).  Any failed toss fails the election.  `n` must be a power of two
+/// and `coins.size()` must be log2(n) (the paper assumes n is a power of two
+/// in this section).
+Outcome leader_from_coins(std::span<const CoinResult> coins, int n);
+
+/// Number of independent tosses the reduction needs; n must be a power of 2.
+int tosses_needed(int n);
+
+/// Theorem 8.1 bias bounds.
+/// Coin bias guaranteed by electing with an eps-unbiased FLE on n processors:
+/// Pr[coin = b] <= 1/2 + n*eps/2.
+double coin_bias_bound_from_election(double eps, int n);
+/// Election probability bound from log2(n) independent eps-unbiased coins:
+/// Pr[leader = j] <= (1/2 + eps)^log2(n).
+double election_probability_bound_from_coins(double eps, int n);
+
+}  // namespace fle

@@ -1,0 +1,61 @@
+#include "core/shamir.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fle {
+
+std::vector<Share> shamir_share(Fp secret, int t, int n, Xoshiro256& rng) {
+  if (t < 1 || t > n) throw std::invalid_argument("need 1 <= t <= n");
+  // P(x) = secret + c1 x + ... + c_{t-1} x^{t-1}, coefficients uniform.
+  std::vector<Fp> coeffs(static_cast<std::size_t>(t));
+  coeffs[0] = secret;
+  for (int i = 1; i < t; ++i) coeffs[static_cast<std::size_t>(i)] = Fp::random(rng);
+
+  std::vector<Share> shares;
+  shares.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const Fp x(static_cast<std::uint64_t>(j) + 1);
+    Fp y(0);
+    // Horner evaluation.
+    for (int i = t - 1; i >= 0; --i) y = y * x + coeffs[static_cast<std::size_t>(i)];
+    shares.push_back(Share{x, y});
+  }
+  return shares;
+}
+
+Fp interpolate_at(std::span<const Share> shares, Fp x) {
+  // Lagrange: sum_i y_i * prod_{j != i} (x - x_j) / (x_i - x_j).
+  Fp acc(0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    Fp num(1);
+    Fp den(1);
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      num = num * (x - shares[j].x);
+      den = den * (shares[i].x - shares[j].x);
+    }
+    acc = acc + shares[i].y * num * den.inverse();
+  }
+  return acc;
+}
+
+Fp shamir_reconstruct(std::span<const Share> shares) {
+  return interpolate_at(shares, Fp(0));
+}
+
+bool shamir_consistent(std::span<const Share> shares, int t) {
+  if (static_cast<int>(shares.size()) < t) return false;
+  const auto basis = shares.first(static_cast<std::size_t>(t));
+  for (std::size_t i = static_cast<std::size_t>(t); i < shares.size(); ++i) {
+    if (interpolate_at(basis, shares[i].x) != shares[i].y) return false;
+  }
+  return true;
+}
+
+std::optional<Fp> shamir_reconstruct_checked(std::span<const Share> shares, int t) {
+  if (!shamir_consistent(shares, t)) return std::nullopt;
+  return shamir_reconstruct(shares.first(static_cast<std::size_t>(t)));
+}
+
+}  // namespace fle

@@ -1,0 +1,42 @@
+#pragma once
+// Shamir secret sharing over GF(2^61 - 1).
+//
+// (t, n) threshold scheme: a secret s is embedded as P(0) of a uniformly
+// random polynomial P of degree t-1; share j is P(x_j) with x_j = j+1.
+// Any t shares determine s (Lagrange interpolation at 0); any t-1 reveal
+// nothing.  `consistent` checks that n points lie on one degree-(t-1)
+// polynomial — the error-detection step the fully-connected election uses
+// to catch lying revealers (honest points >= t pin the polynomial; a
+// corrupted point falls off it).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/field.h"
+
+namespace fle {
+
+struct Share {
+  Fp x;  ///< evaluation point (j+1 for holder j)
+  Fp y;  ///< P(x)
+};
+
+/// Split `secret` into n shares with threshold t (1 <= t <= n): any t
+/// reconstruct, any t-1 are independent of the secret.
+std::vector<Share> shamir_share(Fp secret, int t, int n, Xoshiro256& rng);
+
+/// Lagrange interpolation of P(0) from exactly t shares with distinct x.
+Fp shamir_reconstruct(std::span<const Share> shares);
+
+/// Evaluate the unique degree-(|shares|-1) interpolating polynomial at x.
+Fp interpolate_at(std::span<const Share> shares, Fp x);
+
+/// Do all points lie on a single polynomial of degree <= t-1?  (Uses the
+/// first t points to fix the polynomial and verifies the rest.)
+bool shamir_consistent(std::span<const Share> shares, int t);
+
+/// Reconstruct with verification: nullopt if the points are inconsistent.
+std::optional<Fp> shamir_reconstruct_checked(std::span<const Share> shares, int t);
+
+}  // namespace fle

@@ -1,0 +1,43 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fle {
+
+RationalUtility::RationalUtility(std::vector<double> per_leader)
+    : per_leader_(std::move(per_leader)) {
+  for (double& v : per_leader_) v = std::clamp(v, 0.0, 1.0);
+}
+
+RationalUtility RationalUtility::indicator(int n, ProcessorId j) {
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);
+  u[static_cast<std::size_t>(j)] = 1.0;
+  return RationalUtility(std::move(u));
+}
+
+double RationalUtility::value(const Outcome& o) const {
+  if (o.failed()) return 0.0;  // solution preference: u(FAIL) = 0
+  assert(o.leader() < per_leader_.size());
+  return per_leader_[static_cast<std::size_t>(o.leader())];
+}
+
+double expected_utility(const RationalUtility& u, const OutcomeDistribution& dist) {
+  assert(u.n() == dist.n());
+  double e = 0.0;
+  for (int j = 0; j < dist.n(); ++j) {
+    e += dist.leader_probability[static_cast<std::size_t>(j)] *
+         u.value(Outcome::elected(static_cast<Value>(j)));
+  }
+  return e;
+}
+
+double max_bias(const OutcomeDistribution& dist) {
+  if (dist.n() == 0) return 0.0;
+  const double uniform = 1.0 / dist.n();
+  double worst = 0.0;
+  for (const double p : dist.leader_probability) worst = std::max(worst, p - uniform);
+  return worst;
+}
+
+}  // namespace fle

@@ -1,0 +1,61 @@
+#pragma once
+// Rational utilities and the resilience/unbias vocabulary (paper Section 2).
+//
+// Definition 2.1: a rational utility is u : [n] u {FAIL} -> [0,1] with
+// u(FAIL) = 0 (the solution-preference assumption).  Definition 2.3 defines
+// eps-k-resilience; the eps-k-unbiased notion bounds every outcome's
+// probability by 1/n + eps; Lemma 2.4 relates the two.  These helpers give
+// the numeric side of those definitions for measured outcome distributions.
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace fle {
+
+/// A rational utility function over outcomes of an n-processor election.
+/// u(FAIL) = 0 by construction (Definition 2.1).
+class RationalUtility {
+ public:
+  /// `per_leader[j]` = utility of "processor j elected"; values are clamped
+  /// to [0, 1].
+  explicit RationalUtility(std::vector<double> per_leader);
+
+  /// Indicator utility 1[leader == j] on an n-processor ring (the utility
+  /// used in the proof of Lemma 2.4).
+  static RationalUtility indicator(int n, ProcessorId j);
+
+  [[nodiscard]] double value(const Outcome& o) const;
+  [[nodiscard]] int n() const { return static_cast<int>(per_leader_.size()); }
+
+ private:
+  std::vector<double> per_leader_;
+};
+
+/// Empirical outcome distribution of an election experiment.
+struct OutcomeDistribution {
+  std::vector<double> leader_probability;  ///< index j -> Pr[outcome = j]
+  double fail_probability = 0.0;
+  std::size_t trials = 0;
+
+  [[nodiscard]] int n() const { return static_cast<int>(leader_probability.size()); }
+};
+
+/// Expected utility E[u] under an outcome distribution (FAIL contributes 0).
+double expected_utility(const RationalUtility& u, const OutcomeDistribution& dist);
+
+/// Empirical bias: max_j Pr[outcome = j] - 1/n.  A protocol run is
+/// eps-k-unbiased in the paper's sense when this is <= eps for every
+/// deviation of size k.
+double max_bias(const OutcomeDistribution& dist);
+
+/// Lemma 2.4, forward direction: an eps-k-resilient FLE protocol is
+/// eps-k-unbiased.  Returns the unbias bound implied by a resilience bound.
+inline double unbias_from_resilience(double eps) { return eps; }
+
+/// Lemma 2.4, reverse direction: an eps-k-unbiased FLE protocol is
+/// (n*eps)-k-resilient.  Returns the resilience bound implied by an unbias
+/// bound.
+inline double resilience_from_unbias(double eps, int n) { return eps * n; }
+
+}  // namespace fle

@@ -1,0 +1,59 @@
+#include "fullinfo/baton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fle {
+
+BatonGame::BatonGame(int n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("need at least 2 players");
+}
+
+BatonGame::State BatonGame::replay(const Transcript& t) const {
+  State s;
+  s.holder = 0;
+  s.unvisited.reserve(static_cast<std::size_t>(n_ - 1));
+  for (ProcessorId p = 1; p < n_; ++p) s.unvisited.push_back(p);
+  for (const Value action : t) {
+    assert(action < s.unvisited.size());
+    const auto it = s.unvisited.begin() + static_cast<std::ptrdiff_t>(action);
+    s.holder = *it;
+    s.unvisited.erase(it);
+  }
+  return s;
+}
+
+ProcessorId BatonGame::mover(const Transcript& t) const { return replay(t).holder; }
+
+Value BatonGame::action_count(const Transcript& t) const {
+  return static_cast<Value>(n_ - 1 - static_cast<int>(t.size()));
+}
+
+Value BatonGame::outcome(const Transcript& t) const {
+  assert(finished(t));
+  return static_cast<Value>(replay(t).holder);
+}
+
+Value BatonGreedyAdversary::choose(const TurnGame& game, const Transcript& t,
+                                   ProcessorId /*mover*/) {
+  const auto& baton = static_cast<const BatonGame&>(game);
+  const auto state = baton.replay(t);
+  const auto& u = state.unvisited;
+  auto is_member = [&](ProcessorId p) {
+    return std::binary_search(coalition_.begin(), coalition_.end(), p);
+  };
+  if (u.size() == 1) return 0;  // forced
+  // 1) burn an unvisited honest competitor (not the target).
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (u[i] != target_ && !is_member(u[i])) return static_cast<Value>(i);
+  }
+  // 2) keep the baton inside the coalition.
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (u[i] != target_ && is_member(u[i])) return static_cast<Value>(i);
+  }
+  // 3) forced: only the target remains reachable.
+  return 0;
+}
+
+}  // namespace fle

@@ -1,0 +1,59 @@
+#pragma once
+// Saks' pass-the-baton leader election (paper Related Work [26]).
+//
+// Player 0 holds the baton; each holder passes it to a uniformly random
+// player who has not yet held it; the *last* player to receive the baton is
+// the leader.  Honest play elects uniformly among the n-1 non-starters.
+// Saks proved resilience to coalitions of size O(n / log n) — much larger
+// than the ring protocols' sqrt(n), at the price of the (strong)
+// full-information broadcast model.  We reproduce the bias curve with a
+// greedy coalition that burns honest non-targets early and keeps control
+// inside the coalition.
+
+#include "fullinfo/turn_game.h"
+
+namespace fle {
+
+/// The game: transcript entry i = index of the chosen recipient within the
+/// sorted not-yet-held set at step i.
+class BatonGame final : public TurnGame {
+ public:
+  explicit BatonGame(int n);
+
+  int players() const override { return n_; }
+  bool finished(const Transcript& t) const override {
+    return static_cast<int>(t.size()) == n_ - 1;
+  }
+  ProcessorId mover(const Transcript& t) const override;
+  Value action_count(const Transcript& t) const override;
+  Value outcome(const Transcript& t) const override;
+
+  /// Replays a transcript: (current holder, sorted unvisited players).
+  struct State {
+    ProcessorId holder = 0;
+    std::vector<ProcessorId> unvisited;
+  };
+  [[nodiscard]] State replay(const Transcript& t) const;
+
+ private:
+  int n_;
+};
+
+/// Greedy coalition: when a member holds the baton it (1) passes to an
+/// unvisited honest non-target — burning competitors while the target's
+/// survival chances stay intact, (2) else to another coalition member to
+/// keep control, (3) else is forced to the target (which then wins unless
+/// an honest pick beats it).  Targets the election of `target`.
+class BatonGreedyAdversary final : public TurnAdversary {
+ public:
+  BatonGreedyAdversary(std::vector<ProcessorId> coalition, ProcessorId target)
+      : coalition_(std::move(coalition)), target_(target) {}
+
+  Value choose(const TurnGame& game, const Transcript& t, ProcessorId mover) override;
+
+ private:
+  std::vector<ProcessorId> coalition_;
+  ProcessorId target_;
+};
+
+}  // namespace fle

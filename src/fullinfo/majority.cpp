@@ -1,0 +1,40 @@
+#include "fullinfo/majority.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fle {
+
+MajorityCoinGame::MajorityCoinGame(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("need at least one player");
+}
+
+Value MajorityCoinGame::outcome(const Transcript& t) const {
+  assert(finished(t));
+  int ones = 0;
+  for (const Value b : t) ones += (b & 1) ? 1 : 0;
+  return ones * 2 > n_ ? 1 : 0;
+}
+
+double majority_bias_estimate(int n, int k) {
+  // k fixed votes for 1; need ones > n/2, i.e. at least max(0, floor(n/2)+1-k)
+  // fair ones among n-k. Sum the binomial tail exactly (n small enough).
+  const int honest = n - k;
+  const int need = n / 2 + 1 - k;
+  // binomial CDF complement via direct summation with doubles
+  std::vector<double> row(static_cast<std::size_t>(honest) + 1, 0.0);
+  row[0] = 1.0;
+  for (int i = 1; i <= honest; ++i) {
+    for (int j = i; j >= 1; --j) row[static_cast<std::size_t>(j)] += row[static_cast<std::size_t>(j - 1)];
+  }
+  const double total = std::pow(2.0, honest);
+  double tail = 0.0;
+  for (int ones = std::max(0, need); ones <= honest; ++ones) {
+    tail += row[static_cast<std::size_t>(ones)];
+  }
+  return tail / total - 0.5;
+}
+
+}  // namespace fle

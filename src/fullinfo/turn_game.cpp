@@ -1,0 +1,29 @@
+#include "fullinfo/turn_game.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fle {
+
+Value play_turn_game(const TurnGame& game, const std::vector<ProcessorId>& coalition,
+                     TurnAdversary* adversary, Xoshiro256& rng) {
+  Transcript t;
+  while (!game.finished(t)) {
+    const ProcessorId p = game.mover(t);
+    const Value bound = game.action_count(t);
+    assert(bound >= 1);
+    Value action;
+    const bool adversarial =
+        adversary != nullptr &&
+        std::binary_search(coalition.begin(), coalition.end(), p);
+    if (adversarial) {
+      action = adversary->choose(game, t, p) % bound;
+    } else {
+      action = rng.below(bound);
+    }
+    t.push_back(action);
+  }
+  return game.outcome(t);
+}
+
+}  // namespace fle

@@ -1,0 +1,51 @@
+#pragma once
+// The full-information model (paper Related Work: Ben-Or & Linial, Saks,
+// Alon & Naor, Boppana & Narayanan).
+//
+// Players broadcast in turns; everyone sees the whole transcript; players
+// are computationally unbounded.  Honest players draw their action uniformly
+// from the legal set; a coalition substitutes arbitrary (full-information)
+// choices for its members.  This is the model against which the paper
+// positions its message-passing results, and the substrate for the
+// related-work comparators: pass-the-baton leader election (Saks [26],
+// resilient to O(n / log n)) and the majority one-round coin (Ben-Or &
+// Linial [10], biasable by Theta(k / sqrt(n))).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace fle {
+
+using Transcript = std::vector<Value>;
+
+/// A sequential broadcast game with perfect information.
+class TurnGame {
+ public:
+  virtual ~TurnGame() = default;
+
+  [[nodiscard]] virtual int players() const = 0;
+  [[nodiscard]] virtual bool finished(const Transcript& t) const = 0;
+  /// Whose turn (only when !finished).
+  [[nodiscard]] virtual ProcessorId mover(const Transcript& t) const = 0;
+  /// Number of legal actions for the mover (actions are 0..count-1).
+  [[nodiscard]] virtual Value action_count(const Transcript& t) const = 0;
+  /// Final outcome (only when finished).
+  [[nodiscard]] virtual Value outcome(const Transcript& t) const = 0;
+};
+
+/// Coalition behaviour: picks the action whenever a member moves.
+class TurnAdversary {
+ public:
+  virtual ~TurnAdversary() = default;
+  virtual Value choose(const TurnGame& game, const Transcript& t, ProcessorId mover) = 0;
+};
+
+/// Plays one execution: honest movers draw uniformly; coalition members (a
+/// sorted id list) defer to `adversary`.  Returns the outcome.
+Value play_turn_game(const TurnGame& game, const std::vector<ProcessorId>& coalition,
+                     TurnAdversary* adversary, Xoshiro256& rng);
+
+}  // namespace fle

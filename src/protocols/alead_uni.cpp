@@ -1,0 +1,56 @@
+#include "protocols/alead_uni.h"
+
+namespace fle {
+
+std::unique_ptr<RingStrategy> ALeadUniProtocol::make_strategy(ProcessorId id,
+                                                              int /*n*/) const {
+  if (id == 0) return std::make_unique<ALeadOriginStrategy>();
+  return std::make_unique<ALeadNormalStrategy>();
+}
+
+void ALeadOriginStrategy::on_init(RingContext& ctx) {
+  const auto n = static_cast<Value>(ctx.ring_size());
+  d_ = ctx.tape().uniform(n);
+  ctx.send(d_);
+}
+
+void ALeadOriginStrategy::on_receive(RingContext& ctx, Value v) {
+  const auto n = static_cast<Value>(ctx.ring_size());
+  v %= n;
+  ++count_;
+  sum_ = (sum_ + v) % n;
+  if (count_ < ctx.ring_size()) {
+    ctx.send(v);  // pipe: receive and send immediately
+    return;
+  }
+  // n-th incoming message must be our own secret coming full circle.
+  if (v == d_) {
+    ctx.terminate(sum_);
+  } else {
+    ctx.abort();
+  }
+}
+
+void ALeadNormalStrategy::on_init(RingContext& ctx) {
+  const auto n = static_cast<Value>(ctx.ring_size());
+  d_ = ctx.tape().uniform(n);
+  buffer_ = d_;  // commit: the secret leaves the buffer before we learn anything
+}
+
+void ALeadNormalStrategy::on_receive(RingContext& ctx, Value v) {
+  const auto n = static_cast<Value>(ctx.ring_size());
+  v %= n;
+  ctx.send(buffer_);  // send the delayed value first (one-round buffering)
+  buffer_ = v;
+  ++count_;
+  sum_ = (sum_ + v) % n;
+  if (count_ == ctx.ring_size()) {
+    if (v == d_) {
+      ctx.terminate(sum_);
+    } else {
+      ctx.abort();  // validation failed (Lemma 3.5)
+    }
+  }
+}
+
+}  // namespace fle

@@ -1,0 +1,33 @@
+#include "protocols/basic_lead.h"
+
+namespace fle {
+
+std::unique_ptr<RingStrategy> BasicLeadProtocol::make_strategy(ProcessorId /*id*/,
+                                                               int /*n*/) const {
+  return std::make_unique<BasicLeadStrategy>();
+}
+
+void BasicLeadStrategy::on_init(RingContext& ctx) {
+  const auto n = static_cast<Value>(ctx.ring_size());
+  d_ = ctx.tape().uniform(n);
+  ctx.send(d_);
+}
+
+void BasicLeadStrategy::on_receive(RingContext& ctx, Value v) {
+  const auto n = static_cast<Value>(ctx.ring_size());
+  v %= n;
+  ++count_;
+  sum_ = (sum_ + v) % n;
+  if (count_ < ctx.ring_size()) {
+    ctx.send(v);
+    return;
+  }
+  // n-th incoming value: one full circulation brought our own value back.
+  if (v == d_) {
+    ctx.terminate(sum_);
+  } else {
+    ctx.abort();  // some processor deviated
+  }
+}
+
+}  // namespace fle

@@ -1,0 +1,62 @@
+#include "protocols/indexing.h"
+
+#include <cassert>
+
+namespace fle {
+
+namespace {
+
+/// Runs the counter phase, then delegates every event to the inner strategy
+/// built with the learned index.
+///
+/// FIFO links guarantee the counter is always the first message on every
+/// link: the origin sends it before any inner-protocol traffic, and every
+/// processor forwards it before initializing its inner strategy.
+class IndexingStrategy final : public RingStrategy {
+ public:
+  IndexingStrategy(const RingProtocol& inner, bool is_origin)
+      : inner_protocol_(inner), is_origin_(is_origin) {}
+
+  void on_init(RingContext& ctx) override {
+    if (is_origin_) {
+      ctx.send(1);  // counter: successor's position is 1
+      start_inner(ctx, /*index=*/0);
+    }
+    // Normal processors stay silent until the counter arrives.
+  }
+
+  void on_receive(RingContext& ctx, Value v) override {
+    if (!counter_done_) {
+      counter_done_ = true;
+      if (is_origin_) {
+        // Counter returned (as n); swallow it.
+        return;
+      }
+      ctx.send(v + 1);
+      start_inner(ctx, static_cast<int>(v));
+      return;
+    }
+    assert(inner_ != nullptr);
+    inner_->on_receive(ctx, v);
+  }
+
+ private:
+  void start_inner(RingContext& ctx, int index) {
+    inner_ = inner_protocol_.make_strategy(index, ctx.ring_size());
+    inner_->on_init(ctx);
+  }
+
+  const RingProtocol& inner_protocol_;
+  bool is_origin_;
+  bool counter_done_ = false;
+  std::unique_ptr<RingStrategy> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<RingStrategy> IndexingProtocol::make_strategy(ProcessorId id,
+                                                              int /*n*/) const {
+  return std::make_unique<IndexingStrategy>(*inner_, id == 0);
+}
+
+}  // namespace fle

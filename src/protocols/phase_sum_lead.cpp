@@ -1,0 +1,23 @@
+#include "protocols/phase_sum_lead.h"
+
+#include <stdexcept>
+
+namespace fle {
+
+PhaseOutputFn PhaseSumLeadProtocol::output_fn() const {
+  const Value n = static_cast<Value>(params_.n);
+  return [n](std::span<const Value> dval, std::span<const Value> /*vval*/) {
+    Value sum = 0;
+    for (const Value d : dval) sum = (sum + d) % n;
+    return sum;
+  };
+}
+
+std::unique_ptr<RingStrategy> PhaseSumLeadProtocol::make_strategy(ProcessorId id,
+                                                                  int n) const {
+  if (n != params_.n) throw std::invalid_argument("ring size mismatch with PhaseParams");
+  if (id == 0) return std::make_unique<PhaseOriginStrategy>(params_, output_fn());
+  return std::make_unique<PhaseNormalStrategy>(id, params_, output_fn());
+}
+
+}  // namespace fle

@@ -1,0 +1,151 @@
+#include "protocols/shamir_lead.h"
+
+#include <cassert>
+
+namespace fle {
+
+std::unique_ptr<GraphStrategy> ShamirLeadProtocol::make_strategy(ProcessorId id,
+                                                                 int n) const {
+  if (n != params_.n) throw std::invalid_argument("network size mismatch");
+  return std::make_unique<ShamirLeadStrategy>(id, params_);
+}
+
+ShamirLeadStrategy::ShamirLeadStrategy(ProcessorId id, ShamirParams params)
+    : id_(id), params_(params) {
+  held_.assign(static_cast<std::size_t>(params_.n), std::nullopt);
+  ready_from_.assign(static_cast<std::size_t>(params_.n), 0);
+  reveals_.assign(static_cast<std::size_t>(params_.n), std::nullopt);
+}
+
+void ShamirLeadStrategy::on_init(GraphContext& ctx) {
+  distribute(ctx, ctx.tape().uniform(static_cast<Value>(params_.n)));
+}
+
+void ShamirLeadStrategy::fail(GraphContext& ctx) {
+  if (dead_) return;
+  dead_ = true;
+  ctx.abort();
+}
+
+void ShamirLeadStrategy::distribute(GraphContext& ctx, Value secret) {
+  assert(!distributed_);
+  distributed_ = true;
+  secret_ = secret;
+  const auto shares = shamir_share(Fp(secret), params_.t, params_.n, ctx.tape().raw());
+  for (ProcessorId j = 0; j < params_.n; ++j) {
+    if (j == id_) {
+      held_[static_cast<std::size_t>(id_)] = shares[static_cast<std::size_t>(j)].y;
+      ++shares_count_;
+    } else {
+      ctx.send(j, {static_cast<Value>(ShamirTag::kShare),
+                   shares[static_cast<std::size_t>(j)].y.value()});
+    }
+  }
+  maybe_advance(ctx);
+}
+
+void ShamirLeadStrategy::maybe_advance(GraphContext& ctx) {
+  if (dead_) return;
+  // Share barrier -> READY broadcast (commitment point).
+  if (shares_count_ == params_.n && ready_from_[static_cast<std::size_t>(id_)] == 0) {
+    ready_from_[static_cast<std::size_t>(id_)] = 1;
+    ++ready_count_;
+    for (ProcessorId j = 0; j < params_.n; ++j) {
+      if (j != id_) ctx.send(j, {static_cast<Value>(ShamirTag::kReady)});
+    }
+  }
+  // Ready barrier -> REVEAL broadcast.
+  if (ready_count_ == params_.n && !revealed_) {
+    revealed_ = true;
+    send_reveal(ctx);
+  }
+  if (reveal_count_ == params_.n) finalize(ctx);
+}
+
+void ShamirLeadStrategy::send_reveal(GraphContext& ctx) {
+  std::vector<Fp> mine;
+  mine.reserve(static_cast<std::size_t>(params_.n));
+  for (const auto& h : held_) mine.push_back(*h);
+  broadcast_reveal(ctx, std::move(mine));
+}
+
+void ShamirLeadStrategy::broadcast_reveal(GraphContext& ctx, std::vector<Fp> values) {
+  GraphMessage m{static_cast<Value>(ShamirTag::kReveal)};
+  for (const Fp v : values) m.push_back(v.value());
+  for (ProcessorId j = 0; j < params_.n; ++j) {
+    if (j != id_) ctx.send(j, m);
+  }
+  reveals_[static_cast<std::size_t>(id_)] = std::move(values);
+  ++reveal_count_;
+  if (reveal_count_ == params_.n) finalize(ctx);
+}
+
+void ShamirLeadStrategy::on_receive(GraphContext& ctx, ProcessorId from,
+                                    const GraphMessage& m) {
+  if (dead_) return;
+  if (m.empty()) return fail(ctx);
+  switch (static_cast<ShamirTag>(m[0])) {
+    case ShamirTag::kShare: {
+      if (m.size() != 2 || held_[static_cast<std::size_t>(from)].has_value()) {
+        return fail(ctx);
+      }
+      held_[static_cast<std::size_t>(from)] = Fp(m[1]);
+      ++shares_count_;
+      break;
+    }
+    case ShamirTag::kReady: {
+      if (m.size() != 1 || ready_from_[static_cast<std::size_t>(from)] != 0) {
+        return fail(ctx);
+      }
+      ready_from_[static_cast<std::size_t>(from)] = 1;
+      ++ready_count_;
+      break;
+    }
+    case ShamirTag::kReveal: {
+      if (m.size() != static_cast<std::size_t>(params_.n) + 1 ||
+          reveals_[static_cast<std::size_t>(from)].has_value()) {
+        return fail(ctx);
+      }
+      std::vector<Fp> v;
+      v.reserve(static_cast<std::size_t>(params_.n));
+      for (std::size_t i = 1; i < m.size(); ++i) v.emplace_back(m[i]);
+      reveals_[static_cast<std::size_t>(from)] = std::move(v);
+      ++reveal_count_;
+      break;
+    }
+    default:
+      return fail(ctx);
+  }
+  maybe_advance(ctx);
+}
+
+std::optional<Fp> ShamirLeadStrategy::reconstruct(ProcessorId owner) const {
+  std::vector<Share> points;
+  points.reserve(static_cast<std::size_t>(params_.n));
+  for (ProcessorId j = 0; j < params_.n; ++j) {
+    const auto& rev = reveals_[static_cast<std::size_t>(j)];
+    if (!rev.has_value()) return std::nullopt;
+    points.push_back(Share{Fp(static_cast<std::uint64_t>(j) + 1),
+                           (*rev)[static_cast<std::size_t>(owner)]});
+  }
+  return shamir_reconstruct_checked(points, params_.t);
+}
+
+void ShamirLeadStrategy::finalize(GraphContext& ctx) {
+  if (dead_) return;
+  Value sum = 0;
+  for (ProcessorId owner = 0; owner < params_.n; ++owner) {
+    const auto secret = reconstruct(owner);
+    if (!secret.has_value()) return fail(ctx);  // inconsistent points: someone lied
+    if (owner == id_ && secret->value() % static_cast<Value>(params_.n) !=
+                            secret_ % static_cast<Value>(params_.n)) {
+      return fail(ctx);  // my own secret did not survive
+    }
+    sum = (sum + secret->value() % static_cast<Value>(params_.n)) %
+          static_cast<Value>(params_.n);
+  }
+  dead_ = true;
+  ctx.terminate(sum);
+}
+
+}  // namespace fle

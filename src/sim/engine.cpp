@@ -1,0 +1,173 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fle {
+
+/// Runtime-facing processor context; forwards into the engine.
+class RingEngine::Context final : public RingContext {
+ public:
+  Context(RingEngine& engine, ProcessorId id, std::uint64_t trial_seed)
+      : engine_(engine), id_(id), tape_(trial_seed, id) {}
+
+  void send(Value v) override {
+    if (engine_.terminated_[static_cast<std::size_t>(id_)]) {
+      throw std::logic_error("strategy sent after terminating");
+    }
+    engine_.enqueue(id_, v);
+  }
+
+  void terminate(Value output) override { finish(LocalOutput{false, output}); }
+  void abort() override { finish(LocalOutput{true, 0}); }
+
+  ProcessorId id() const override { return id_; }
+  int ring_size() const override { return engine_.n_; }
+  RandomTape& tape() override { return tape_; }
+
+ private:
+  void finish(LocalOutput out) {
+    auto& slot = engine_.outputs_[static_cast<std::size_t>(id_)];
+    if (slot.has_value()) throw std::logic_error("strategy terminated twice");
+    slot = out;
+    engine_.terminated_[static_cast<std::size_t>(id_)] = true;
+    engine_.gap_frozen_ = true;
+    engine_.unmark_ready(id_);
+    engine_.inbox_[static_cast<std::size_t>(id_)].clear();
+  }
+
+  RingEngine& engine_;
+  ProcessorId id_;
+  RandomTape tape_;
+};
+
+RingEngine::RingEngine(int n, std::uint64_t trial_seed, EngineOptions options)
+    : n_(n),
+      trial_seed_(trial_seed),
+      step_limit_(options.step_limit != 0
+                      ? options.step_limit
+                      : 8ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) +
+                            1024),
+      scheduler_(options.scheduler ? std::move(options.scheduler)
+                                   : make_round_robin_scheduler()),
+      observer_(std::move(options.observer)) {
+  if (n_ < 2) throw std::invalid_argument("ring needs at least 2 processors");
+}
+
+RingEngine::~RingEngine() = default;
+
+void RingEngine::mark_ready(ProcessorId p) {
+  auto& pos = ready_pos_[static_cast<std::size_t>(p)];
+  if (pos >= 0) return;
+  pos = static_cast<int>(ready_.size());
+  ready_.push_back(p);
+}
+
+void RingEngine::unmark_ready(ProcessorId p) {
+  auto& pos = ready_pos_[static_cast<std::size_t>(p)];
+  if (pos < 0) return;
+  const ProcessorId last = ready_.back();
+  ready_[static_cast<std::size_t>(pos)] = last;
+  ready_pos_[static_cast<std::size_t>(last)] = pos;
+  ready_.pop_back();
+  pos = -1;
+}
+
+void RingEngine::enqueue(ProcessorId from, Value v) {
+  const ProcessorId to = ring_succ(from, n_);
+  ++stats_.total_sent;
+  auto& sent = stats_.sent[static_cast<std::size_t>(from)];
+
+  if (!gap_frozen_) {
+    // Move `from` one level up in the sent-count histogram.
+    assert(sent < sent_freq_.size() && sent_freq_[sent] > 0);
+    --sent_freq_[sent];
+    if (sent + 1 >= sent_freq_.size()) sent_freq_.resize(sent + 2, 0);
+    ++sent_freq_[sent + 1];
+    if (sent + 1 > max_sent_) max_sent_ = sent + 1;
+    while (sent_freq_[min_sent_] == 0) ++min_sent_;
+    const std::uint64_t gap = max_sent_ - min_sent_;
+    if (gap > stats_.max_sync_gap) stats_.max_sync_gap = gap;
+  }
+  ++sent;
+
+  if (!terminated_[static_cast<std::size_t>(to)]) {
+    inbox_[static_cast<std::size_t>(to)].push_back(v);
+    mark_ready(to);
+  }
+  // Messages to terminated processors vanish: the receiver ignores them.
+}
+
+void RingEngine::deliver_to(ProcessorId p) {
+  auto& box = inbox_[static_cast<std::size_t>(p)];
+  assert(!box.empty());
+  const Value v = box.front();
+  box.pop_front();
+  if (box.empty()) unmark_ready(p);
+  ++stats_.received[static_cast<std::size_t>(p)];
+  ++stats_.deliveries;
+  if (observer_) {
+    observer_(stats_.deliveries, p, v, std::span<const std::uint64_t>(stats_.sent));
+  }
+  strategies_[static_cast<std::size_t>(p)]->on_receive(*contexts_[static_cast<std::size_t>(p)],
+                                                       v);
+}
+
+Outcome RingEngine::run(std::vector<std::unique_ptr<RingStrategy>> strategies) {
+  if (static_cast<int>(strategies.size()) != n_) {
+    throw std::invalid_argument("strategy count must equal ring size");
+  }
+  strategies_ = std::move(strategies);
+  contexts_.clear();
+  contexts_.reserve(static_cast<std::size_t>(n_));
+  for (ProcessorId p = 0; p < n_; ++p) {
+    contexts_.push_back(std::make_unique<Context>(*this, p, trial_seed_));
+  }
+  inbox_.assign(static_cast<std::size_t>(n_), {});
+  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
+  terminated_.assign(static_cast<std::size_t>(n_), false);
+  ready_.clear();
+  ready_pos_.assign(static_cast<std::size_t>(n_), -1);
+  stats_ = ExecutionStats{};
+  stats_.sent.assign(static_cast<std::size_t>(n_), 0);
+  stats_.received.assign(static_cast<std::size_t>(n_), 0);
+  sent_freq_.assign(1, static_cast<std::uint64_t>(n_));
+  min_sent_ = 0;
+  max_sent_ = 0;
+  gap_frozen_ = false;
+
+  // Wake-up phase: every processor initializes; only strategies that choose
+  // to send do so (honest protocols: origin only).
+  for (ProcessorId p = 0; p < n_; ++p) {
+    if (!terminated_[static_cast<std::size_t>(p)]) {
+      strategies_[static_cast<std::size_t>(p)]->on_init(
+          *contexts_[static_cast<std::size_t>(p)]);
+    }
+  }
+
+  while (!ready_.empty()) {
+    if (stats_.deliveries >= step_limit_) {
+      stats_.step_limit_hit = true;
+      break;
+    }
+    const ProcessorId next = scheduler_->pick(std::span<const ProcessorId>(ready_));
+    deliver_to(next);
+  }
+
+  return aggregate_outcome(std::span<const std::optional<LocalOutput>>(outputs_),
+                           static_cast<std::size_t>(n_));
+}
+
+Outcome run_honest(const RingProtocol& protocol, int n, std::uint64_t trial_seed,
+                   EngineOptions options) {
+  if (options.step_limit == 0) {
+    options.step_limit = protocol.honest_message_bound(n) * 2 + 1024;
+  }
+  RingEngine engine(n, trial_seed, std::move(options));
+  std::vector<std::unique_ptr<RingStrategy>> strategies;
+  strategies.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
+  return engine.run(std::move(strategies));
+}
+
+}  // namespace fle

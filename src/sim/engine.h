@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic asynchronous executor for unidirectional-ring protocols.
+//
+// Models the paper's asynchronous LOCAL variant (§2): one FIFO link per
+// processor pair (i -> i+1 mod n), messages delivered uncorrupted in FIFO
+// order under an oblivious schedule, processors acting only on wake-up or
+// receipt.  An execution ends at quiescence (no deliverable messages) or at
+// a step bound; the outcome is aggregated per the paper's definition
+// (non-termination, aborts and disagreement all map to FAIL).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/scheduler.h"
+#include "sim/strategy.h"
+
+namespace fle {
+
+/// Counters and instrumentation collected during one execution.
+struct ExecutionStats {
+  std::vector<std::uint64_t> sent;      ///< messages sent by each processor
+  std::vector<std::uint64_t> received;  ///< messages delivered to each processor
+  std::uint64_t deliveries = 0;         ///< total delivered messages
+  std::uint64_t total_sent = 0;         ///< total sent messages
+  bool step_limit_hit = false;
+
+  /// Maximum over time of (max_i sent_i - min_i sent_i), sampled after every
+  /// send while no processor has terminated yet.  This is the
+  /// synchronization gap of Lemmas D.3/D.5 and §6 ("m-synchronized" means
+  /// this stays O(m)).
+  std::uint64_t max_sync_gap = 0;
+};
+
+/// Per-delivery observer: (step index, receiving processor, message value,
+/// per-processor sent counts so far).  Used by the trace module.
+using DeliveryObserver =
+    std::function<void(std::uint64_t, ProcessorId, Value, std::span<const std::uint64_t>)>;
+
+struct EngineOptions {
+  /// Hard bound on deliveries; 0 = derive from ring size (8n^2 + 1024).
+  std::uint64_t step_limit = 0;
+  /// Scheduler; null = round-robin.
+  std::unique_ptr<Scheduler> scheduler;
+  DeliveryObserver observer;
+};
+
+/// Runs one execution of a strategy vector on an n-ring.
+class RingEngine {
+ public:
+  RingEngine(int n, std::uint64_t trial_seed, EngineOptions options = {});
+  ~RingEngine();
+
+  RingEngine(const RingEngine&) = delete;
+  RingEngine& operator=(const RingEngine&) = delete;
+
+  /// Executes to completion.  `strategies` must contain exactly n entries;
+  /// entry i is processor i's strategy (honest or adversarial).
+  Outcome run(std::vector<std::unique_ptr<RingStrategy>> strategies);
+
+  [[nodiscard]] const ExecutionStats& stats() const { return stats_; }
+  /// Local outputs (nullopt = never terminated); valid after run().
+  [[nodiscard]] const std::vector<std::optional<LocalOutput>>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] int n() const { return n_; }
+
+ private:
+  class Context;
+  friend class Context;
+
+  void enqueue(ProcessorId from, Value v);
+  void deliver_to(ProcessorId p);
+  void mark_ready(ProcessorId p);
+  void unmark_ready(ProcessorId p);
+
+  int n_;
+  std::uint64_t trial_seed_;
+  std::uint64_t step_limit_;
+  std::unique_ptr<Scheduler> scheduler_;
+  DeliveryObserver observer_;
+
+  std::vector<std::unique_ptr<RingStrategy>> strategies_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<std::deque<Value>> inbox_;  ///< inbox_[p]: FIFO from pred(p)
+  std::vector<std::optional<LocalOutput>> outputs_;
+  std::vector<bool> terminated_;
+
+  // Ready-set bookkeeping: processors with pending deliveries.
+  std::vector<ProcessorId> ready_;
+  std::vector<int> ready_pos_;  ///< position in ready_, or -1
+
+  // Sync-gap tracking (frozen once any processor terminates).
+  // sent_freq_[c] counts processors whose sent count is exactly c; min/max
+  // pointers move monotonically, giving O(1) amortized gap maintenance.
+  std::vector<std::uint64_t> sent_freq_;
+  std::uint64_t min_sent_ = 0;
+  std::uint64_t max_sent_ = 0;
+  bool gap_frozen_ = false;
+
+  ExecutionStats stats_;
+};
+
+/// Convenience: instantiate `protocol` honestly on every processor and run.
+Outcome run_honest(const RingProtocol& protocol, int n, std::uint64_t trial_seed,
+                   EngineOptions options = {});
+
+}  // namespace fle

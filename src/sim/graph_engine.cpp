@@ -1,0 +1,172 @@
+#include "sim/graph_engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fle {
+
+class GraphEngine::Context final : public GraphContext {
+ public:
+  Context(GraphEngine& engine, ProcessorId id, std::uint64_t trial_seed)
+      : engine_(engine), id_(id), tape_(trial_seed, id) {}
+
+  void send(ProcessorId to, GraphMessage message) override {
+    if (engine_.terminated_[static_cast<std::size_t>(id_)]) {
+      throw std::logic_error("strategy sent after terminating");
+    }
+    if (to < 0 || to >= engine_.n_ || to == id_) {
+      throw std::invalid_argument("invalid destination");
+    }
+    if (!engine_.options_.adjacency.empty() &&
+        engine_.options_.adjacency[static_cast<std::size_t>(id_)]
+                                  [static_cast<std::size_t>(to)] == 0) {
+      throw std::invalid_argument("send along a non-existent link");
+    }
+    engine_.enqueue(id_, to, std::move(message));
+  }
+
+  void terminate(Value output) override { finish(LocalOutput{false, output}); }
+  void abort() override { finish(LocalOutput{true, 0}); }
+
+  ProcessorId id() const override { return id_; }
+  int network_size() const override { return engine_.n_; }
+  RandomTape& tape() override { return tape_; }
+
+ private:
+  void finish(LocalOutput out) {
+    auto& slot = engine_.outputs_[static_cast<std::size_t>(id_)];
+    if (slot.has_value()) throw std::logic_error("strategy terminated twice");
+    slot = out;
+    engine_.terminated_[static_cast<std::size_t>(id_)] = true;
+    // Drop all pending traffic towards a terminated processor.
+    for (ProcessorId from = 0; from < engine_.n_; ++from) {
+      if (from == id_) continue;
+      const int link = engine_.link_index(from, id_);
+      engine_.links_[static_cast<std::size_t>(link)].clear();
+      engine_.unmark_ready(link);
+    }
+  }
+
+  GraphEngine& engine_;
+  ProcessorId id_;
+  RandomTape tape_;
+};
+
+GraphEngine::GraphEngine(int n, std::uint64_t trial_seed, GraphEngineOptions options)
+    : n_(n),
+      trial_seed_(trial_seed),
+      options_(std::move(options)),
+      step_limit_(options_.step_limit != 0
+                      ? options_.step_limit
+                      : 16ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) +
+                            4096),
+      schedule_rng_(mix64(options_.schedule_seed ^ 0x5ca1'ab1e'0000'0001ull)) {
+  if (n_ < 2) throw std::invalid_argument("network needs at least 2 processors");
+  if (!options_.adjacency.empty() &&
+      (options_.adjacency.size() != static_cast<std::size_t>(n_) ||
+       options_.adjacency[0].size() != static_cast<std::size_t>(n_))) {
+    throw std::invalid_argument("adjacency must be n x n");
+  }
+}
+
+GraphEngine::~GraphEngine() = default;
+
+void GraphEngine::mark_ready(int link) {
+  auto& pos = ready_pos_[static_cast<std::size_t>(link)];
+  if (pos >= 0) return;
+  pos = static_cast<int>(ready_.size());
+  ready_.push_back(link);
+}
+
+void GraphEngine::unmark_ready(int link) {
+  auto& pos = ready_pos_[static_cast<std::size_t>(link)];
+  if (pos < 0) return;
+  const int last = ready_.back();
+  ready_[static_cast<std::size_t>(pos)] = last;
+  ready_pos_[static_cast<std::size_t>(last)] = pos;
+  ready_.pop_back();
+  pos = -1;
+}
+
+void GraphEngine::enqueue(ProcessorId from, ProcessorId to, GraphMessage m) {
+  ++stats_.total_sent;
+  ++stats_.sent[static_cast<std::size_t>(from)];
+  if (terminated_[static_cast<std::size_t>(to)]) return;  // receiver gone
+  const int link = link_index(from, to);
+  links_[static_cast<std::size_t>(link)].push_back(std::move(m));
+  mark_ready(link);
+}
+
+void GraphEngine::deliver(int link) {
+  auto& q = links_[static_cast<std::size_t>(link)];
+  assert(!q.empty());
+  const GraphMessage m = std::move(q.front());
+  q.pop_front();
+  if (q.empty()) unmark_ready(link);
+  const ProcessorId from = link / n_;
+  const ProcessorId to = link % n_;
+  ++stats_.received[static_cast<std::size_t>(to)];
+  ++stats_.deliveries;
+  strategies_[static_cast<std::size_t>(to)]->on_receive(*contexts_[static_cast<std::size_t>(to)],
+                                                        from, m);
+}
+
+Outcome GraphEngine::run(std::vector<std::unique_ptr<GraphStrategy>> strategies) {
+  if (static_cast<int>(strategies.size()) != n_) {
+    throw std::invalid_argument("strategy count must equal network size");
+  }
+  strategies_ = std::move(strategies);
+  contexts_.clear();
+  contexts_.reserve(static_cast<std::size_t>(n_));
+  for (ProcessorId p = 0; p < n_; ++p) {
+    contexts_.push_back(std::make_unique<Context>(*this, p, trial_seed_));
+  }
+  links_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), {});
+  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
+  terminated_.assign(static_cast<std::size_t>(n_), false);
+  ready_.clear();
+  ready_pos_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
+  stats_ = GraphExecutionStats{};
+  stats_.sent.assign(static_cast<std::size_t>(n_), 0);
+  stats_.received.assign(static_cast<std::size_t>(n_), 0);
+
+  for (ProcessorId p = 0; p < n_; ++p) {
+    if (!terminated_[static_cast<std::size_t>(p)]) {
+      strategies_[static_cast<std::size_t>(p)]->on_init(
+          *contexts_[static_cast<std::size_t>(p)]);
+    }
+  }
+
+  while (!ready_.empty()) {
+    if (stats_.deliveries >= step_limit_) {
+      stats_.step_limit_hit = true;
+      break;
+    }
+    std::size_t pick;
+    switch (options_.schedule) {
+      case LinkScheduleKind::kRandom:
+        pick = schedule_rng_.below(ready_.size());
+        break;
+      case LinkScheduleKind::kRoundRobin:
+      default:
+        pick = static_cast<std::size_t>(rr_cursor_++ % ready_.size());
+        break;
+    }
+    deliver(ready_[pick]);
+  }
+
+  return aggregate_outcome(std::span<const std::optional<LocalOutput>>(outputs_),
+                           static_cast<std::size_t>(n_));
+}
+
+Outcome run_honest_graph(const GraphProtocol& protocol, int n, std::uint64_t trial_seed,
+                         GraphEngineOptions options) {
+  if (options.step_limit == 0) options.step_limit = protocol.honest_message_bound(n) * 2 + 4096;
+  GraphEngine engine(n, trial_seed, std::move(options));
+  std::vector<std::unique_ptr<GraphStrategy>> strategies;
+  strategies.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
+  return engine.run(std::move(strategies));
+}
+
+}  // namespace fle

@@ -1,0 +1,124 @@
+#pragma once
+// Deterministic asynchronous executor for general-topology networks.
+//
+// The ring engine (sim/engine.h) exploits the ring's single-incoming-link
+// structure; general networks (the paper's fully-connected related-work
+// baselines, Section 1.1, and the tree topologies of Section 7) need
+// per-link FIFO queues and a scheduler that picks among *links* — still
+// oblivious: it never sees message contents.  Messages are value vectors
+// (the paper allows unlimited-size messages).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace fle {
+
+using GraphMessage = std::vector<Value>;
+
+class GraphContext {
+ public:
+  virtual ~GraphContext() = default;
+  /// Send along the link to `to` (must be a neighbour; fully connected by
+  /// default).  FIFO per link.
+  virtual void send(ProcessorId to, GraphMessage message) = 0;
+  virtual void terminate(Value output) = 0;
+  virtual void abort() = 0;
+  [[nodiscard]] virtual ProcessorId id() const = 0;
+  [[nodiscard]] virtual int network_size() const = 0;
+  virtual RandomTape& tape() = 0;
+};
+
+class GraphStrategy {
+ public:
+  virtual ~GraphStrategy() = default;
+  virtual void on_init(GraphContext& /*ctx*/) {}
+  virtual void on_receive(GraphContext& ctx, ProcessorId from, const GraphMessage& m) = 0;
+};
+
+class GraphProtocol {
+ public:
+  virtual ~GraphProtocol() = default;
+  [[nodiscard]] virtual std::unique_ptr<GraphStrategy> make_strategy(ProcessorId id,
+                                                                     int n) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual std::uint64_t honest_message_bound(int n) const {
+    return 8ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  }
+};
+
+enum class LinkScheduleKind { kRoundRobin, kRandom };
+
+struct GraphEngineOptions {
+  std::uint64_t step_limit = 0;  ///< 0 = 16n^2 + 4096
+  LinkScheduleKind schedule = LinkScheduleKind::kRoundRobin;
+  std::uint64_t schedule_seed = 0;
+  /// Optional adjacency restriction: adjacency[u][v] != 0 means u may send
+  /// to v.  Empty = fully connected.
+  std::vector<std::vector<char>> adjacency;
+};
+
+struct GraphExecutionStats {
+  std::vector<std::uint64_t> sent;
+  std::vector<std::uint64_t> received;
+  std::uint64_t total_sent = 0;
+  std::uint64_t deliveries = 0;
+  bool step_limit_hit = false;
+};
+
+class GraphEngine {
+ public:
+  GraphEngine(int n, std::uint64_t trial_seed, GraphEngineOptions options = {});
+  ~GraphEngine();
+
+  GraphEngine(const GraphEngine&) = delete;
+  GraphEngine& operator=(const GraphEngine&) = delete;
+
+  Outcome run(std::vector<std::unique_ptr<GraphStrategy>> strategies);
+
+  [[nodiscard]] const GraphExecutionStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<std::optional<LocalOutput>>& outputs() const {
+    return outputs_;
+  }
+
+ private:
+  class Context;
+  friend class Context;
+
+  [[nodiscard]] int link_index(ProcessorId from, ProcessorId to) const {
+    return from * n_ + to;
+  }
+  void enqueue(ProcessorId from, ProcessorId to, GraphMessage m);
+  void deliver(int link);
+  void mark_ready(int link);
+  void unmark_ready(int link);
+
+  int n_;
+  std::uint64_t trial_seed_;
+  GraphEngineOptions options_;
+  std::uint64_t step_limit_;
+  Xoshiro256 schedule_rng_;
+  std::uint64_t rr_cursor_ = 0;
+
+  std::vector<std::unique_ptr<GraphStrategy>> strategies_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<std::deque<GraphMessage>> links_;  ///< indexed by link_index
+  std::vector<std::optional<LocalOutput>> outputs_;
+  std::vector<bool> terminated_;
+
+  std::vector<int> ready_;
+  std::vector<int> ready_pos_;
+
+  GraphExecutionStats stats_;
+};
+
+/// Convenience: run `protocol` honestly on a fully-connected n-network.
+Outcome run_honest_graph(const GraphProtocol& protocol, int n, std::uint64_t trial_seed,
+                         GraphEngineOptions options = {});
+
+}  // namespace fle

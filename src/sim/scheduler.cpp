@@ -1,0 +1,43 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace fle {
+
+ProcessorId RoundRobinScheduler::pick(std::span<const ProcessorId> ready) {
+  assert(!ready.empty());
+  const ProcessorId chosen = ready[cursor_ % ready.size()];
+  ++cursor_;
+  return chosen;
+}
+
+ProcessorId RandomScheduler::pick(std::span<const ProcessorId> ready) {
+  assert(!ready.empty());
+  return ready[rng_.below(ready.size())];
+}
+
+ProcessorId PriorityScheduler::pick(std::span<const ProcessorId> ready) {
+  assert(!ready.empty());
+  ProcessorId best = ready[0];
+  for (const ProcessorId p : ready) {
+    assert(static_cast<std::size_t>(p) < priority_.size());
+    if (priority_[static_cast<std::size_t>(p)] < priority_[static_cast<std::size_t>(best)]) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Scheduler> make_round_robin_scheduler() {
+  return std::make_unique<RoundRobinScheduler>();
+}
+
+std::unique_ptr<Scheduler> make_random_scheduler(std::uint64_t seed) {
+  return std::make_unique<RandomScheduler>(seed);
+}
+
+std::unique_ptr<Scheduler> make_priority_scheduler(std::vector<int> priority) {
+  return std::make_unique<PriorityScheduler>(std::move(priority));
+}
+
+}  // namespace fle

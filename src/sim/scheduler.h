@@ -1,0 +1,73 @@
+#pragma once
+// Oblivious message schedulers (paper §2).
+//
+// A schedule decides, at every step, which pending message to deliver next.
+// Obliviousness means the decision may not depend on message *contents* —
+// our Scheduler interface only ever sees processor ids with non-empty
+// incoming queues, which enforces that structurally.  On a unidirectional
+// ring all oblivious schedules yield the same local computations (paper §2);
+// we keep several schedulers to verify that claim empirically and to drive
+// the general-topology experiments.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace fle {
+
+/// Picks which ready processor receives its queue-head message next.
+/// `ready` is non-empty and lists processors with pending deliveries.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual ProcessorId pick(std::span<const ProcessorId> ready) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Rotates fairly through ready processors.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  ProcessorId pick(std::span<const ProcessorId> ready) override;
+  const char* name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+/// Picks a ready processor uniformly at random (seeded, reproducible).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  ProcessorId pick(std::span<const ProcessorId> ready) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Always serves the ready processor with the best (lowest) fixed priority.
+/// A fixed priority permutation is still oblivious; this models a schedule
+/// chosen adversarially in advance (Definition 2.3 lets the coalition pick
+/// the oblivious schedule).
+class PriorityScheduler final : public Scheduler {
+ public:
+  /// `priority[p]` = rank of processor p (lower = served first).  Must be a
+  /// permutation of 0..n-1.
+  explicit PriorityScheduler(std::vector<int> priority) : priority_(std::move(priority)) {}
+  ProcessorId pick(std::span<const ProcessorId> ready) override;
+  const char* name() const override { return "priority"; }
+
+ private:
+  std::vector<int> priority_;
+};
+
+/// Convenience factories.
+std::unique_ptr<Scheduler> make_round_robin_scheduler();
+std::unique_ptr<Scheduler> make_random_scheduler(std::uint64_t seed);
+std::unique_ptr<Scheduler> make_priority_scheduler(std::vector<int> priority);
+
+}  // namespace fle

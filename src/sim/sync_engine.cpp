@@ -1,0 +1,130 @@
+#include "sim/sync_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fle {
+
+class SyncEngine::Context final : public SyncContext {
+ public:
+  Context(SyncEngine& engine, ProcessorId id, std::uint64_t trial_seed)
+      : engine_(engine), id_(id), tape_(trial_seed, id) {}
+
+  void send(ProcessorId to, GraphMessage message) override {
+    if (engine_.terminated_[static_cast<std::size_t>(id_)]) {
+      throw std::logic_error("strategy sent after terminating");
+    }
+    if (to < 0 || to >= engine_.n_ || to == id_) {
+      throw std::invalid_argument("invalid destination");
+    }
+    ++engine_.stats_.total_sent;
+    if (!engine_.terminated_[static_cast<std::size_t>(to)]) {
+      engine_.next_inbox_[static_cast<std::size_t>(to)].push_back({id_, std::move(message)});
+    }
+  }
+
+  void broadcast(GraphMessage message) override {
+    for (ProcessorId to = 0; to < engine_.n_; ++to) {
+      if (to != id_) send(to, message);
+    }
+  }
+
+  void terminate(Value output) override { finish(LocalOutput{false, output}); }
+  void abort() override { finish(LocalOutput{true, 0}); }
+
+  ProcessorId id() const override { return id_; }
+  int network_size() const override { return engine_.n_; }
+  int round() const override { return round_; }
+  RandomTape& tape() override { return tape_; }
+
+  void set_round(int r) { round_ = r; }
+
+ private:
+  void finish(LocalOutput out) {
+    auto& slot = engine_.outputs_[static_cast<std::size_t>(id_)];
+    if (slot.has_value()) throw std::logic_error("strategy terminated twice");
+    slot = out;
+    engine_.terminated_[static_cast<std::size_t>(id_)] = true;
+  }
+
+  SyncEngine& engine_;
+  ProcessorId id_;
+  RandomTape tape_;
+  int round_ = 0;
+};
+
+SyncEngine::SyncEngine(int n, std::uint64_t trial_seed, SyncEngineOptions options)
+    : n_(n), trial_seed_(trial_seed), options_(options) {
+  if (n_ < 2) throw std::invalid_argument("network needs at least 2 processors");
+  if (options_.round_limit == 0) options_.round_limit = 4 * n_ + 8;
+}
+
+SyncEngine::~SyncEngine() = default;
+
+Outcome SyncEngine::run(std::vector<std::unique_ptr<SyncStrategy>> strategies) {
+  if (static_cast<int>(strategies.size()) != n_) {
+    throw std::invalid_argument("strategy count must equal network size");
+  }
+  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
+  terminated_.assign(static_cast<std::size_t>(n_), false);
+  next_inbox_.assign(static_cast<std::size_t>(n_), {});
+  stats_ = SyncExecutionStats{};
+
+  std::vector<std::unique_ptr<Context>> contexts;
+  contexts.reserve(static_cast<std::size_t>(n_));
+  for (ProcessorId p = 0; p < n_; ++p) {
+    contexts.push_back(std::make_unique<Context>(*this, p, trial_seed_));
+  }
+
+  for (int round = 1;; ++round) {
+    if (round > options_.round_limit) {
+      stats_.round_limit_hit = true;
+      break;
+    }
+    stats_.rounds = round;
+    // Collect this round's deliveries (sent last round), then clear the
+    // buffers so this round's sends land in the next one.
+    std::vector<SyncInbox> inbox(static_cast<std::size_t>(n_));
+    inbox.swap(next_inbox_);
+    bool anyone_alive = false;
+    for (ProcessorId p = 0; p < n_; ++p) {
+      if (terminated_[static_cast<std::size_t>(p)]) continue;
+      anyone_alive = true;
+      auto& my_inbox = inbox[static_cast<std::size_t>(p)];
+      std::sort(my_inbox.begin(), my_inbox.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      contexts[static_cast<std::size_t>(p)]->set_round(round);
+      strategies[static_cast<std::size_t>(p)]->on_round(
+          *contexts[static_cast<std::size_t>(p)], my_inbox);
+    }
+    if (!anyone_alive) break;
+    // Quiescence: nobody alive will ever receive anything again.
+    bool any_pending = false;
+    for (const auto& box : next_inbox_) {
+      if (!box.empty()) any_pending = true;
+    }
+    if (!any_pending && round > 1) {
+      // One extra grace round lets strategies that act on empty inboxes
+      // (e.g. detecting silence) terminate; a second empty round means the
+      // execution can only spin.
+      if (quiet_rounds_++ >= 1) break;
+    } else {
+      quiet_rounds_ = 0;
+    }
+  }
+
+  return aggregate_outcome(std::span<const std::optional<LocalOutput>>(outputs_),
+                           static_cast<std::size_t>(n_));
+}
+
+Outcome run_honest_sync(const SyncProtocol& protocol, int n, std::uint64_t trial_seed,
+                        SyncEngineOptions options) {
+  if (options.round_limit == 0) options.round_limit = protocol.round_bound(n);
+  SyncEngine engine(n, trial_seed, options);
+  std::vector<std::unique_ptr<SyncStrategy>> strategies;
+  strategies.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
+  return engine.run(std::move(strategies));
+}
+
+}  // namespace fle

@@ -1,0 +1,78 @@
+#pragma once
+// Real-thread asynchronous runtime: one std::jthread per processor, blocking
+// FIFO channels between ring neighbours.
+//
+// This is the "manual async plumbing" counterpart of the deterministic
+// engine: the OS scheduler provides a genuinely asynchronous (and still
+// oblivious — it cannot read message contents) schedule.  On a
+// unidirectional ring the paper's §2 argument says all oblivious schedules
+// induce the same local computations, so outcomes must match the
+// deterministic engine trial-for-trial given the same seed; tests verify
+// exactly that.
+//
+// Quiescence (the paper's "some processor never terminates" FAIL case) is
+// detected by a monitor: when every live processor thread is blocked on an
+// empty channel and no message is in flight, the execution can never make
+// progress again and is stopped.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/strategy.h"
+
+namespace fle {
+
+struct ThreadedRuntimeOptions {
+  /// Hard bound on total sends; 0 = 8n^2 + 1024.
+  std::uint64_t send_limit = 0;
+  /// Safety wall-clock bound in milliseconds (0 = 60000).
+  std::uint64_t wall_timeout_ms = 0;
+};
+
+struct ThreadedRuntimeStats {
+  std::vector<std::uint64_t> sent;
+  std::vector<std::uint64_t> received;
+  std::uint64_t total_sent = 0;
+  bool send_limit_hit = false;
+  bool wall_timeout_hit = false;
+  bool quiesced = false;  ///< stopped because no progress was possible
+};
+
+class ThreadedRuntime {
+ public:
+  ThreadedRuntime(int n, std::uint64_t trial_seed, ThreadedRuntimeOptions options = {});
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Runs the strategies to completion (all terminated, quiescence, send
+  /// limit, or wall timeout) and aggregates the outcome.
+  Outcome run(std::vector<std::unique_ptr<RingStrategy>> strategies);
+
+  [[nodiscard]] const ThreadedRuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<std::optional<LocalOutput>>& outputs() const {
+    return outputs_;
+  }
+
+  struct Impl;  // public so the per-thread context (an implementation detail
+                // in the .cpp) can reach the shared channel state
+
+ private:
+  std::unique_ptr<Impl> impl_;
+
+  int n_;
+  std::uint64_t trial_seed_;
+  ThreadedRuntimeOptions options_;
+  ThreadedRuntimeStats stats_;
+  std::vector<std::optional<LocalOutput>> outputs_;
+};
+
+/// Convenience: run `protocol` honestly on real threads.
+Outcome run_honest_threaded(const RingProtocol& protocol, int n, std::uint64_t trial_seed,
+                            ThreadedRuntimeOptions options = {});
+
+}  // namespace fle

@@ -1,0 +1,102 @@
+#include "trees/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace fle {
+
+Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
+  if (n < 1) throw std::invalid_argument("graph needs at least one vertex");
+}
+
+void Graph::add_edge(int u, int v) {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) throw std::invalid_argument("vertex out of range");
+  if (u == v) throw std::invalid_argument("no self loops");
+  if (has_edge(u, v)) return;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++edges_;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+bool Graph::connected() const {
+  std::vector<int> all(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) all[static_cast<std::size_t>(i)] = i;
+  return connected_subset(all);
+}
+
+bool Graph::connected_subset(const std::vector<int>& vertices) const {
+  if (vertices.empty()) return false;
+  std::vector<char> in_set(static_cast<std::size_t>(n_), 0);
+  for (const int v : vertices) in_set[static_cast<std::size_t>(v)] = 1;
+  std::vector<char> seen(static_cast<std::size_t>(n_), 0);
+  std::vector<int> stack{vertices.front()};
+  seen[static_cast<std::size_t>(vertices.front())] = 1;
+  std::size_t reached = 0;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const int w : adj_[static_cast<std::size_t>(v)]) {
+      if (in_set[static_cast<std::size_t>(w)] && !seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == vertices.size();
+}
+
+bool Graph::is_tree() const {
+  return connected() && edges_ == static_cast<std::size_t>(n_ - 1);
+}
+
+Graph Graph::ring(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph Graph::path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph Graph::star(int n) {
+  Graph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph Graph::complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+Graph Graph::random_connected(int n, int extra_edges, std::uint64_t seed) {
+  Graph g(n);
+  Xoshiro256 rng(mix64(seed ^ 0x7ea7'5eed'1234'5678ull));
+  // Random spanning tree: attach each vertex i >= 1 to a random earlier one.
+  for (int i = 1; i < n; ++i) {
+    g.add_edge(i, static_cast<int>(rng.below(static_cast<std::uint64_t>(i))));
+  }
+  for (int e = 0; e < extra_edges && n >= 2; ++e) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) v = (v + 1) % n;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace fle

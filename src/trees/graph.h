@@ -1,0 +1,45 @@
+#pragma once
+// Undirected graphs for the k-simulated-tree machinery (paper Section 7).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace fle {
+
+class Graph {
+ public:
+  explicit Graph(int n);
+
+  void add_edge(int u, int v);
+  [[nodiscard]] bool has_edge(int u, int v) const;
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] const std::vector<int>& neighbors(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  [[nodiscard]] bool connected() const;
+  /// Is the induced subgraph over `vertices` connected (and non-empty)?
+  [[nodiscard]] bool connected_subset(const std::vector<int>& vertices) const;
+
+  /// Is this graph a tree (connected, |E| = n-1)?
+  [[nodiscard]] bool is_tree() const;
+
+  // Constructions.
+  static Graph ring(int n);
+  static Graph path(int n);
+  static Graph star(int n);
+  static Graph complete(int n);
+  /// Random connected graph: a random spanning tree plus `extra_edges`
+  /// random extra edges (deduplicated).
+  static Graph random_connected(int n, int extra_edges, std::uint64_t seed);
+
+ private:
+  int n_;
+  std::size_t edges_ = 0;
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace fle

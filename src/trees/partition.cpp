@@ -1,0 +1,61 @@
+#include "trees/partition.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace fle {
+
+TreeSimulation half_partition(const Graph& g) {
+  if (!g.connected()) throw std::invalid_argument("graph must be connected");
+  const int n = g.n();
+  const int half = (n + 1) / 2;  // ceil(n/2)
+
+  std::vector<int> part_of(static_cast<std::size_t>(n), -1);
+
+  // B1: a BFS prefix of size ceil(n/2) — connected by construction.
+  {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::deque<int> queue{0};
+    seen[0] = 1;
+    int taken = 0;
+    while (!queue.empty() && taken < half) {
+      const int v = queue.front();
+      queue.pop_front();
+      part_of[static_cast<std::size_t>(v)] = 0;
+      ++taken;
+      for (const int w : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+
+  // B2..BL: the connected components of the remaining vertices.  Each is a
+  // maximal connected leftover set, and each touches B1 (G is connected), so
+  // the part graph is a star around B1 — a tree.
+  int next_part = 1;
+  for (int v = 0; v < n; ++v) {
+    if (part_of[static_cast<std::size_t>(v)] != -1) continue;
+    const int part = next_part++;
+    std::vector<int> stack{v};
+    part_of[static_cast<std::size_t>(v)] = part;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (const int w : g.neighbors(u)) {
+        if (part_of[static_cast<std::size_t>(w)] == -1) {
+          part_of[static_cast<std::size_t>(w)] = part;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  TreeSimulation sim{Graph(next_part), std::move(part_of)};
+  for (int p = 1; p < next_part; ++p) sim.tree.add_edge(0, p);
+  return sim;
+}
+
+}  // namespace fle

@@ -1,0 +1,18 @@
+#pragma once
+// Claim F.5: every connected graph is a ceil(n/2)-simulated tree.
+//
+// Constructive proof, implemented: take B1 = any connected set of size
+// ceil(n/2) (a BFS prefix), then repeatedly take a maximal connected subset
+// of the remaining vertices.  The induced graph over the parts is connected
+// and acyclic (a cycle would contradict the maximality of some B_i), hence a
+// tree; all parts have size <= ceil(n/2).
+
+#include "trees/simulated_tree.h"
+
+namespace fle {
+
+/// Builds the Claim F.5 partition for any connected graph.  The returned
+/// simulation always satisfies is_valid_simulation(g, sim, ceil(n/2)).
+TreeSimulation half_partition(const Graph& g);
+
+}  // namespace fle

@@ -1,0 +1,86 @@
+#include "trees/simulated_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fle {
+
+std::vector<std::vector<int>> TreeSimulation::parts() const {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(tree.n()));
+  for (int v = 0; v < static_cast<int>(part_of.size()); ++v) {
+    const int t = part_of[static_cast<std::size_t>(v)];
+    if (t < 0 || t >= tree.n()) throw std::out_of_range("part_of out of range");
+    out[static_cast<std::size_t>(t)].push_back(v);
+  }
+  return out;
+}
+
+int TreeSimulation::width() const {
+  int w = 0;
+  for (const auto& p : parts()) w = std::max(w, static_cast<int>(p.size()));
+  return w;
+}
+
+bool is_valid_simulation(const Graph& g, const TreeSimulation& sim, int k) {
+  if (static_cast<int>(sim.part_of.size()) != g.n()) return false;
+  if (!sim.tree.is_tree()) return false;
+  // Homomorphism: every edge of G stays inside a part or maps to a tree edge.
+  for (int u = 0; u < g.n(); ++u) {
+    for (const int v : g.neighbors(u)) {
+      if (u > v) continue;
+      const int tu = sim.part_of[static_cast<std::size_t>(u)];
+      const int tv = sim.part_of[static_cast<std::size_t>(v)];
+      if (tu == tv) continue;
+      if (!sim.tree.has_edge(tu, tv)) return false;
+    }
+  }
+  // Parts: non-empty is not required by Def 7.1, but size <= k and
+  // connectivity of non-empty parts are.
+  for (const auto& part : sim.parts()) {
+    if (static_cast<int>(part.size()) > k) return false;
+    if (!part.empty() && !g.connected_subset(part)) return false;
+  }
+  return true;
+}
+
+SimulatedTreeExample figure2_example() {
+  // A 12-vertex graph simulated by a 4-vertex star tree with parts of size
+  // at most 4 (the shape of the paper's Figure 2: clustered blobs whose
+  // cluster graph is a tree).
+  Graph g(12);
+  // Part 0 = {0,1,2,3}: a small clique blob.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 2);
+  // Part 1 = {4,5,6}: a triangle hanging off vertex 1.
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(4, 6);
+  g.add_edge(1, 4);
+  // Part 2 = {7,8,9,10}: a path blob hanging off vertex 3.
+  g.add_edge(7, 8);
+  g.add_edge(8, 9);
+  g.add_edge(9, 10);
+  g.add_edge(3, 7);
+  // Part 3 = {11}: a pendant vertex off vertex 8's part via vertex 10.
+  g.add_edge(10, 11);
+
+  TreeSimulation sim{Graph(4), {}};
+  sim.tree.add_edge(0, 1);
+  sim.tree.add_edge(0, 2);
+  sim.tree.add_edge(2, 3);
+  sim.part_of = {0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 2, 3};
+  return SimulatedTreeExample{std::move(g), std::move(sim)};
+}
+
+TreeSimulation ring_as_two_arc_simulation(int n) {
+  if (n < 2) throw std::invalid_argument("ring needs n >= 2");
+  TreeSimulation sim{Graph(2), std::vector<int>(static_cast<std::size_t>(n), 0)};
+  sim.tree.add_edge(0, 1);
+  const int half = (n + 1) / 2;  // first arc gets ceil(n/2) vertices
+  for (int v = half; v < n; ++v) sim.part_of[static_cast<std::size_t>(v)] = 1;
+  return sim;
+}
+
+}  // namespace fle

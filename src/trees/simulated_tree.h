@@ -1,0 +1,46 @@
+#pragma once
+// k-simulated trees (paper Definition 7.1, Figure 2, Theorem 7.2).
+//
+// G is a k-simulated tree when a mapping f : V(G) -> V(T) onto a tree T
+// exists with (i) every edge of G mapping to a tree edge or inside one part,
+// (ii) every part f^{-1}(t) of size <= k, and (iii) every part connected in
+// G.  Theorem 7.2: no FLE protocol on such a G is eps-k-resilient for
+// eps <= 1/n (the part that simulates one tree vertex is a coalition that
+// can assure an outcome).
+
+#include <vector>
+
+#include "trees/graph.h"
+
+namespace fle {
+
+/// A candidate simulation: `part_of[v]` = tree vertex simulating v.
+struct TreeSimulation {
+  Graph tree;                ///< T
+  std::vector<int> part_of;  ///< f : V(G) -> V(T)
+
+  /// Parts as vertex lists, indexed by tree vertex.
+  [[nodiscard]] std::vector<std::vector<int>> parts() const;
+  /// max_t |f^{-1}(t)| — the k this simulation witnesses.
+  [[nodiscard]] int width() const;
+};
+
+/// Definition 7.1 checker: is `sim` a valid k-simulation of `g`?
+/// Validates the homomorphism property, part connectivity, part sizes <= k
+/// and that `sim.tree` is a tree.
+bool is_valid_simulation(const Graph& g, const TreeSimulation& sim, int k);
+
+/// The paper's Figure 2 instance: a graph that is a 4-simulated tree,
+/// returned together with its witnessing simulation.
+struct SimulatedTreeExample {
+  Graph graph;
+  TreeSimulation simulation;
+};
+SimulatedTreeExample figure2_example();
+
+/// A ring is a ceil(n/2)-simulated tree: split it into two arcs mapped to a
+/// 2-vertex tree (the observation that makes Theorem 7.2 generalize the
+/// n/2 impossibility of Abraham et al.).
+TreeSimulation ring_as_two_arc_simulation(int n);
+
+}  // namespace fle

@@ -1,0 +1,63 @@
+#include "trees/tree_protocols.h"
+
+#include <stdexcept>
+
+namespace fle {
+
+namespace {
+
+std::unique_ptr<GameNode> alternating_rec(int rounds_left, int turn, int parity) {
+  if (rounds_left == 0) return GameTree::leaf(parity);
+  std::vector<std::unique_ptr<GameNode>> kids;
+  kids.push_back(alternating_rec(rounds_left - 1, 1 - turn, parity));      // reveal 0
+  kids.push_back(alternating_rec(rounds_left - 1, 1 - turn, parity ^ 1));  // reveal 1
+  return GameTree::choice(turn, std::move(kids));
+}
+
+}  // namespace
+
+GameTree alternating_xor_game(int rounds) {
+  if (rounds < 1) throw std::invalid_argument("need at least one round");
+  return GameTree(alternating_rec(rounds, /*turn=*/0, /*parity=*/0), /*players=*/2);
+}
+
+GameTree xor_leaf_edge_game(bool leaf_last) {
+  // Conversation on the leaf edge: one bit each way; the announced result is
+  // whatever the *second* mover says (it has seen the first bit).
+  const int first = leaf_last ? 1 : 0;
+  const int second = 1 - first;
+  auto announce = [&](void) {
+    std::vector<std::unique_ptr<GameNode>> kids;
+    kids.push_back(GameTree::leaf(0));
+    kids.push_back(GameTree::leaf(1));
+    return GameTree::choice(second, std::move(kids));
+  };
+  std::vector<std::unique_ptr<GameNode>> kids;
+  kids.push_back(announce());
+  kids.push_back(announce());
+  return GameTree(GameTree::choice(first, std::move(kids)), /*players=*/2);
+}
+
+std::vector<std::uint32_t> part_masks(const TreeSimulation& sim) {
+  if (sim.part_of.size() > 31) throw std::invalid_argument("mask supports <= 31 processors");
+  std::vector<std::uint32_t> masks(static_cast<std::size_t>(sim.tree.n()), 0);
+  for (std::size_t v = 0; v < sim.part_of.size(); ++v) {
+    masks[static_cast<std::size_t>(sim.part_of[v])] |= (1u << v);
+  }
+  return masks;
+}
+
+std::optional<AssuringPart> find_assuring_part(const GameTree& g, const TreeSimulation& sim) {
+  const auto masks = part_masks(sim);
+  for (std::size_t p = 0; p < masks.size(); ++p) {
+    if (masks[p] == 0) continue;
+    for (int bit = 0; bit <= 1; ++bit) {
+      if (g.assures(masks[p], bit)) {
+        return AssuringPart{static_cast<int>(p), bit};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fle

@@ -1,0 +1,55 @@
+#pragma once
+// Executable content of the tree impossibility (paper Lemma F.3, Corollary
+// F.4, Theorem 7.2) on concrete protocols.
+//
+// Lemma F.3's induction absorbs a leaf into its neighbour (the neighbour
+// simulates the leaf — a compound player) until two parties remain, then
+// applies Lemma F.2.  We demonstrate the pipeline on explicit finite
+// coin-toss protocols rendered as game trees:
+//
+//  * alternating_xor_game(r): players A and B alternately reveal bits for r
+//    rounds; the outcome is the XOR.  The solver shows the *last mover*
+//    assures both outcomes — the classic asynchronous coin-toss failure the
+//    paper's introduction describes (wait, then choose).
+//
+//  * xor_leaf_edge_game(...): the two-party game induced on a leaf edge of
+//    a tree running the "aggregate XOR up, broadcast result down" protocol;
+//    the compound (rest-of-tree) player dictates, exhibiting the coalition
+//    f^{-1}(v0) of Corollary F.4.
+//
+//  * find_assuring_part: given any game and a tree simulation's parts,
+//    reports a part (coalition of size <= k) assuring an outcome — the
+//    Theorem 7.2 witness.
+
+#include <optional>
+
+#include "trees/simulated_tree.h"
+#include "trees/two_party.h"
+
+namespace fle {
+
+/// Two players alternately reveal one bit, `rounds` bits in total, starting
+/// with player 0; outcome = XOR of all revealed bits.
+GameTree alternating_xor_game(int rounds);
+
+/// The two-party game on a leaf edge of the tree XOR protocol: the leaf
+/// (player 0) reveals its bit; the compound rest-of-tree (player 1) replies
+/// with the announced result.  If `leaf_last` the order is reversed (the
+/// protocol lets the leaf announce).
+GameTree xor_leaf_edge_game(bool leaf_last);
+
+/// Coalition bit-masks of a simulation's parts (requires <= 31 processors).
+std::vector<std::uint32_t> part_masks(const TreeSimulation& sim);
+
+struct AssuringPart {
+  int part_index = -1;
+  int bit = -1;  ///< the outcome the part can force
+};
+
+/// Searches the simulation's parts for one that assures an outcome of `g`
+/// (players of `g` = processors of the simulated graph).  Returns the first
+/// found; Theorem 7.2 predicts one exists for fair protocols on k-simulated
+/// trees.
+std::optional<AssuringPart> find_assuring_part(const GameTree& g, const TreeSimulation& sim);
+
+}  // namespace fle

@@ -1,0 +1,105 @@
+#pragma once
+// Two-party coin-toss protocols as finite game trees, and the Lemma F.2
+// solver.
+//
+// A finite two-party protocol with bounded messages induces an extensive-
+// form game tree: each internal node is owned by the player whose turn it is
+// to send, its branches are the legitimate messages at that point, and each
+// leaf carries the protocol outcome in {0,1}.  Two-party protocols are
+// perfect-information on their single channel, so the game tree is a
+// faithful model of adversarial deviations (each player sees the whole
+// conversation).
+//
+// Lemma F.2 says that for every such protocol (1) A assures 0 or B assures
+// 1, and (2) A assures 1 or B assures 0 — "P assures b" meaning P has a
+// deviating strategy forcing outcome b against every behaviour of the other
+// player.  The solver computes all four assurances by backward induction
+// (OR at the assurer's nodes, AND at the opponent's) and extracts the
+// assuring strategy, which tests then replay against arbitrary opposition.
+//
+// The same backward induction generalizes to coalitions on n-player game
+// trees; together with `absorb` (relabel one player into another — the
+// compound-player step of Lemma F.3's induction) it provides the executable
+// content of the tree impossibility (see tree_protocols.h).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace fle {
+
+/// A node of an n-player extensive-form game tree.
+struct GameNode {
+  /// Terminal outcome (0/1) if leaf; otherwise unset.
+  std::optional<int> outcome;
+  /// Owner of the move at this node (ignored for leaves).
+  int owner = -1;
+  std::vector<std::unique_ptr<GameNode>> children;
+
+  [[nodiscard]] bool is_leaf() const { return outcome.has_value(); }
+};
+
+class GameTree {
+ public:
+  explicit GameTree(std::unique_ptr<GameNode> root, int players);
+
+  [[nodiscard]] const GameNode& root() const { return *root_; }
+  [[nodiscard]] int players() const { return players_; }
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] int depth() const;
+
+  /// Builders.
+  static std::unique_ptr<GameNode> leaf(int outcome);
+  static std::unique_ptr<GameNode> choice(int owner,
+                                          std::vector<std::unique_ptr<GameNode>> children);
+
+  /// A random protocol tree: alternating-ish owners, random arity in
+  /// [2, max_arity], random leaf outcomes; depth-bounded.
+  static GameTree random(int players, int depth, int max_arity, std::uint64_t seed);
+
+  /// Probability of outcome 1 when every choice is made uniformly at random
+  /// (the honest randomized execution of the protocol).
+  [[nodiscard]] double uniform_value() const;
+
+  /// Lemma F.2 solver: can the coalition given by `member_mask` (bit p set =
+  /// player p in the coalition) force every reachable leaf to `bit`?
+  [[nodiscard]] bool assures(std::uint32_t member_mask, int bit) const;
+
+  /// Extracted assuring strategy: for each coalition-owned node (pre-order
+  /// index) the child to pick.  Empty if the coalition does not assure.
+  [[nodiscard]] std::vector<int> assuring_strategy(std::uint32_t member_mask, int bit) const;
+
+  /// Plays the tree: at coalition nodes follow `strategy` (indexed by
+  /// pre-order node id); at other nodes follow `opponent_choices` (consumed
+  /// one per node, cyclically).  Returns the leaf outcome reached.
+  [[nodiscard]] int play(std::uint32_t member_mask, const std::vector<int>& strategy,
+                         const std::vector<int>& opponent_choices) const;
+
+  /// Compound-player step (Lemma F.3): relabel every node owned by `from`
+  /// to `to`.  Returns a new tree.
+  [[nodiscard]] GameTree absorb(int from, int to) const;
+
+ private:
+  std::unique_ptr<GameNode> root_;
+  int players_;
+};
+
+/// Convenience for the two-party statement of Lemma F.2 on `g` (players 0=A,
+/// 1=B): checks both required disjunctions.
+struct LemmaF2Result {
+  bool a_assures_0 = false;
+  bool a_assures_1 = false;
+  bool b_assures_0 = false;
+  bool b_assures_1 = false;
+
+  [[nodiscard]] bool disjunction_one() const { return a_assures_0 || b_assures_1; }
+  [[nodiscard]] bool disjunction_two() const { return a_assures_1 || b_assures_0; }
+  /// A player assuring both bits is a dictator.
+  [[nodiscard]] bool has_dictator() const {
+    return (a_assures_0 && a_assures_1) || (b_assures_0 && b_assures_1);
+  }
+};
+LemmaF2Result solve_two_party(const GameTree& g);
+
+}  // namespace fle

@@ -1,0 +1,213 @@
+// Attacks on PhaseAsyncLead: the rushing/steering attack of the remark after
+// Theorem 6.1, and the resilience regime of Theorem 6.1 itself.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/experiment.h"
+#include "attacks/coalition.h"
+#include "attacks/phase_late_validation.h"
+#include "attacks/phase_rushing.h"
+#include "protocols/phase_async_lead.h"
+
+namespace fle {
+namespace {
+
+int sqrt_plus3_k(int n) {
+  return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) + 3;
+}
+
+TEST(PhaseRushing, SteeringPossibleExactlyAboveSqrtN) {
+  // Free slots = k - l_j; equal spacing gives l_j ~ n/k - 1, so steering
+  // needs k(k+1) >~ n: the sqrt(n) crossover of Section 6.
+  const int n = 400;
+  PhaseAsyncLeadProtocol protocol(n, 1);
+  {
+    const int k = sqrt_plus3_k(n);  // 23
+    PhaseRushingDeviation dev(Coalition::equally_spaced(n, k), 0, protocol);
+    EXPECT_TRUE(dev.steering_possible());
+  }
+  {
+    const int k = 10;  // sqrt(n)/2: resilient regime
+    PhaseRushingDeviation dev(Coalition::equally_spaced(n, k), 0, protocol);
+    EXPECT_FALSE(dev.steering_possible());
+  }
+}
+
+class PhaseRushingAttack : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseRushingAttack, ControlsOutcomeAtSqrtNPlus3) {
+  const int n = GetParam();
+  const int k = sqrt_plus3_k(n);
+  PhaseAsyncLeadProtocol protocol(n, 0x5a5aull + n);
+  const auto coalition = Coalition::equally_spaced(n, k);
+  PhaseRushingDeviation deviation(coalition, static_cast<Value>(n / 3), protocol,
+                                  /*search_cap=*/64ull * n);
+  ASSERT_TRUE(deviation.steering_possible()) << coalition.render();
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 12;
+  config.seed = 1009 * n;
+  const auto result = run_trials(protocol, &deviation, config);
+  // Each adversary independently needs a preimage hit; with >= 2 free slots
+  // and a generous cap the attack succeeds in virtually every trial.
+  EXPECT_GE(result.outcomes.count(static_cast<Value>(n / 3)), result.outcomes.trials() - 1)
+      << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhaseRushingAttack, ::testing::Values(64, 100, 196, 256));
+
+TEST(PhaseRushingAttack, EveryTargetReachable) {
+  const int n = 100;
+  const int k = sqrt_plus3_k(n);
+  PhaseAsyncLeadProtocol protocol(n, 7);
+  const auto coalition = Coalition::equally_spaced(n, k);
+  for (Value w : {Value{0}, Value{13}, Value{99}}) {
+    PhaseRushingDeviation deviation(coalition, w, protocol, 64ull * n);
+    ExperimentConfig config;
+    config.n = n;
+    config.trials = 6;
+    config.seed = w + 5;
+    const auto result = run_trials(protocol, &deviation, config);
+    EXPECT_GE(result.outcomes.count(w), result.outcomes.trials() - 1) << "w=" << w;
+  }
+}
+
+TEST(PhaseRushingAttack, ResilientRegimeGivesNoControl) {
+  // Theorem 6.1's regime (k <= sqrt(n)/10 would be 2 at n=400; use a
+  // slightly larger-but-still-subcritical coalition): the same deviation
+  // cannot steer and the executions FAIL or elect essentially uniformly —
+  // the coalition gains nothing (solution preference makes FAIL worthless).
+  const int n = 256;
+  const int k = 8;  // l_j = 31 >> k: zero free slots
+  PhaseAsyncLeadProtocol protocol(n, 3);
+  const Value w = 77;
+  PhaseRushingDeviation deviation(Coalition::equally_spaced(n, k), w, protocol);
+  ASSERT_FALSE(deviation.steering_possible());
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 30;
+  const auto result = run_trials(protocol, &deviation, config);
+  // Target hit rate must be near 1/n, not near 1 (w.h.p. the mismatched
+  // segment outputs simply FAIL).
+  EXPECT_LE(result.outcomes.count(w), 3u);
+  EXPECT_GE(result.outcomes.fails(), result.outcomes.trials() / 2);
+}
+
+TEST(PhaseRushingAttack, CrossoverSweepMatchesSqrtN) {
+  // Sweep k: success should jump from ~0 to ~1 as k crosses sqrt(n)-ish.
+  const int n = 144;
+  PhaseAsyncLeadProtocol protocol(n, 21);
+  const Value w = 5;
+  double low_k_rate = 0.0;
+  double high_k_rate = 0.0;
+  {
+    PhaseRushingDeviation dev(Coalition::equally_spaced(n, 6), w, protocol);
+    ExperimentConfig config;
+    config.n = n;
+    config.trials = 10;
+    const auto r = run_trials(protocol, &dev, config);
+    low_k_rate = static_cast<double>(r.outcomes.count(w)) / r.outcomes.trials();
+  }
+  {
+    PhaseRushingDeviation dev(Coalition::equally_spaced(n, sqrt_plus3_k(n)), w, protocol,
+                              64ull * n);
+    ExperimentConfig config;
+    config.n = n;
+    config.trials = 10;
+    const auto r = run_trials(protocol, &dev, config);
+    high_k_rate = static_cast<double>(r.outcomes.count(w)) / r.outcomes.trials();
+  }
+  EXPECT_LT(low_k_rate, 0.2);
+  EXPECT_GT(high_k_rate, 0.8);
+}
+
+TEST(PhaseRushing, RejectsOriginMember) {
+  const int n = 64;
+  PhaseAsyncLeadProtocol protocol(n, 1);
+  EXPECT_THROW(
+      PhaseRushingDeviation(Coalition::equally_spaced(n, 11, /*first=*/0), 0, protocol),
+      std::invalid_argument);
+}
+
+TEST(PhaseRushing, CubicStyleCoalitionDoesNotBeatPhaseAsyncLead) {
+  // The coalition scale that breaks A-LEADuni (k ~ 2 n^(1/3)) is far below
+  // PhaseAsyncLead's sqrt(n) threshold: steering is impossible there.
+  const int n = 729;  // 2*9=18 adversaries < sqrt(729)=27
+  const int k = Coalition::cubic_min_k(n);
+  ASSERT_LT(k, 27);
+  PhaseAsyncLeadProtocol protocol(n, 2);
+  PhaseRushingDeviation deviation(Coalition::equally_spaced(n, k), 1, protocol);
+  EXPECT_FALSE(deviation.steering_possible());
+}
+
+
+TEST(PhaseLateValidation, SmallLFallsToConstantCoalition) {
+  // Design ablation: with l = 4, a coalition of exactly l = 4 consecutive
+  // processors steers f through the round-(n-l) validation value.
+  const int n = 128;
+  PhaseParams params = PhaseParams::defaults(n);
+  params.l = 4;
+  PhaseAsyncLeadProtocol protocol(params, 0x1a7eull);
+  const Value w = 100;
+  PhaseLateValidationDeviation deviation(protocol, w);
+  EXPECT_EQ(deviation.coalition().k(), 4);
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.trials = 12;
+  cfg.seed = 5;
+  const auto r = run_trials(protocol, &deviation, cfg);
+  EXPECT_EQ(r.outcomes.count(w), r.outcomes.trials());
+  EXPECT_EQ(r.outcomes.fails(), 0u);  // fully honest-looking: never detected
+}
+
+TEST(PhaseLateValidation, EveryTargetReachable) {
+  const int n = 64;
+  PhaseParams params = PhaseParams::defaults(n);
+  params.l = 6;
+  PhaseAsyncLeadProtocol protocol(params, 0x99ull);
+  for (const Value w : {Value{0}, Value{31}, Value{63}}) {
+    PhaseLateValidationDeviation deviation(protocol, w);
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.trials = 6;
+    cfg.seed = w + 1;
+    const auto r = run_trials(protocol, &deviation, cfg);
+    EXPECT_EQ(r.outcomes.count(w), r.outcomes.trials()) << "w=" << w;
+  }
+}
+
+TEST(PhaseLateValidation, DefaultLMakesTheAttackExpensive) {
+  // With the paper's l = ceil(10 sqrt(n)) the same channel needs k = l
+  // ~ 10 sqrt(n) members — strictly worse than the rushing attack, which is
+  // exactly why the paper picks l there.
+  const int n = 400;
+  PhaseAsyncLeadProtocol protocol(n, 0x1ull);
+  EXPECT_EQ(PhaseLateValidationDeviation::required_k(protocol), 200);
+  PhaseLateValidationDeviation deviation(protocol, 7);
+  EXPECT_EQ(deviation.coalition().k(), 200);
+}
+
+TEST(PhaseLateValidation, ConsecutivePlacementStillWins) {
+  // Unlike the rushing attacks (which need spread-out coalitions), this
+  // channel uses a *consecutive* coalition — placement structure matters
+  // per-attack, not universally (contrast Claim D.1).
+  const int n = 100;
+  PhaseParams params = PhaseParams::defaults(n);
+  params.l = 5;
+  PhaseAsyncLeadProtocol protocol(params, 0x7ull);
+  PhaseLateValidationDeviation deviation(protocol, 9);
+  const auto& members = deviation.coalition().members();
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    EXPECT_EQ(members[i], members[i - 1] + 1);  // consecutive block
+  }
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.trials = 8;
+  const auto r = run_trials(protocol, &deviation, cfg);
+  EXPECT_EQ(r.outcomes.count(9), r.outcomes.trials());
+}
+
+}  // namespace
+}  // namespace fle

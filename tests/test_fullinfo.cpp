@@ -1,0 +1,161 @@
+// Full-information model: the turn-game substrate, Saks' pass-the-baton,
+// and the one-round majority coin (paper Related Work comparators).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fullinfo/baton.h"
+#include "fullinfo/majority.h"
+#include "fullinfo/turn_game.h"
+
+namespace fle {
+namespace {
+
+TEST(BatonGame, ReplayTracksHolderAndUnvisited) {
+  BatonGame g(5);
+  const auto s0 = g.replay({});
+  EXPECT_EQ(s0.holder, 0);
+  EXPECT_EQ(s0.unvisited, (std::vector<ProcessorId>{1, 2, 3, 4}));
+  const auto s1 = g.replay({2});  // pass to the 3rd unvisited: player 3
+  EXPECT_EQ(s1.holder, 3);
+  EXPECT_EQ(s1.unvisited, (std::vector<ProcessorId>{1, 2, 4}));
+  EXPECT_FALSE(g.finished({2}));
+  EXPECT_EQ(g.action_count({2}), 3u);
+}
+
+TEST(BatonGame, HonestElectsUniformlyAmongNonStarters) {
+  const int n = 8;
+  BatonGame g(n);
+  Xoshiro256 rng(42);
+  std::vector<int> wins(static_cast<std::size_t>(n), 0);
+  const int trials = 14000;
+  for (int i = 0; i < trials; ++i) {
+    ++wins[static_cast<std::size_t>(play_turn_game(g, {}, nullptr, rng))];
+  }
+  EXPECT_EQ(wins[0], 0);  // the starter never receives the baton
+  for (int p = 1; p < n; ++p) {
+    EXPECT_NEAR(wins[static_cast<std::size_t>(p)], trials / (n - 1),
+                5 * std::sqrt(trials / (n - 1.0)))
+        << p;
+  }
+}
+
+TEST(BatonGame, GreedyCoalitionBoostsTarget) {
+  const int n = 16;
+  BatonGame g(n);
+  const ProcessorId target = 9;
+  Xoshiro256 rng(7);
+  const int trials = 4000;
+  double honest_rate = 0, small_rate = 0, large_rate = 0;
+  {
+    int hits = 0;
+    for (int i = 0; i < trials; ++i) {
+      hits += play_turn_game(g, {}, nullptr, rng) == static_cast<Value>(target);
+    }
+    honest_rate = static_cast<double>(hits) / trials;
+  }
+  {
+    std::vector<ProcessorId> coalition{1, 2};
+    BatonGreedyAdversary adv(coalition, target);
+    int hits = 0;
+    for (int i = 0; i < trials; ++i) {
+      hits += play_turn_game(g, coalition, &adv, rng) == static_cast<Value>(target);
+    }
+    small_rate = static_cast<double>(hits) / trials;
+  }
+  {
+    std::vector<ProcessorId> coalition{1, 2, 3, 4, 5, 6, 7, 8};
+    BatonGreedyAdversary adv(coalition, target);
+    int hits = 0;
+    for (int i = 0; i < trials; ++i) {
+      hits += play_turn_game(g, coalition, &adv, rng) == static_cast<Value>(target);
+    }
+    large_rate = static_cast<double>(hits) / trials;
+  }
+  EXPECT_NEAR(honest_rate, 1.0 / (n - 1), 0.02);
+  EXPECT_GT(small_rate, honest_rate);        // some influence
+  EXPECT_GT(large_rate, 3 * honest_rate);    // large coalitions dominate
+  EXPECT_GT(large_rate, small_rate);
+}
+
+TEST(BatonGame, CoalitionCannotElectTheStarter) {
+  const int n = 6;
+  BatonGame g(n);
+  std::vector<ProcessorId> coalition{1, 2, 3};
+  BatonGreedyAdversary adv(coalition, 0);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(play_turn_game(g, coalition, &adv, rng), 0u);
+  }
+}
+
+TEST(MajorityCoin, HonestIsFair) {
+  const int n = 15;
+  MajorityCoinGame g(n);
+  Xoshiro256 rng(11);
+  int ones = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ones += play_turn_game(g, {}, nullptr, rng) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.02);
+}
+
+TEST(MajorityCoin, TieBreaksToZeroOnEvenN) {
+  MajorityCoinGame g(4);
+  EXPECT_EQ(g.outcome({1, 1, 0, 0}), 0u);
+  EXPECT_EQ(g.outcome({1, 1, 1, 0}), 1u);
+}
+
+TEST(MajorityCoin, CoalitionBiasMatchesBinomialEstimate) {
+  const int n = 25;
+  MajorityCoinGame g(n);
+  Xoshiro256 rng(5);
+  for (const int k : {1, 3, 5, 9}) {
+    std::vector<ProcessorId> coalition;
+    for (int i = 0; i < k; ++i) coalition.push_back(i);
+    MajorityTargetAdversary adv(1);
+    int ones = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+      ones += play_turn_game(g, coalition, &adv, rng) == 1;
+    }
+    const double measured = static_cast<double>(ones) / trials - 0.5;
+    const double predicted = majority_bias_estimate(n, k);
+    EXPECT_NEAR(measured, predicted, 0.02) << "k=" << k;
+  }
+}
+
+TEST(MajorityCoin, BiasGrowsLikeKOverSqrtN) {
+  // Theta(k / sqrt(n)) scaling: doubling k roughly doubles the bias while
+  // the bias is small.
+  const int n = 101;
+  const double b2 = majority_bias_estimate(n, 2);
+  const double b4 = majority_bias_estimate(n, 4);
+  const double b8 = majority_bias_estimate(n, 8);
+  EXPECT_NEAR(b4 / b2, 2.0, 0.5);
+  EXPECT_NEAR(b8 / b4, 2.0, 0.6);
+  // And the absolute scale tracks the Gaussian slope: k / sqrt(2*pi*n).
+  EXPECT_NEAR(b4, 4 / std::sqrt(2.0 * M_PI * n), 0.03);
+}
+
+TEST(TurnGame, AdversaryActionsAreClamped) {
+  // An adversary returning an out-of-range action is reduced mod the bound,
+  // never crashing the runner.
+  class Wild final : public TurnAdversary {
+   public:
+    Value choose(const TurnGame&, const Transcript&, ProcessorId) override {
+      return 0xffff'ffffull;
+    }
+  };
+  BatonGame g(5);
+  std::vector<ProcessorId> coalition{1, 2, 3, 4};
+  Wild adv;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Value leader = play_turn_game(g, coalition, &adv, rng);
+    EXPECT_LT(leader, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,166 @@
+// General-topology asynchronous engine: link FIFO order, adjacency
+// enforcement, quiescence, scheduler variants.
+
+#include <gtest/gtest.h>
+
+#include "sim/graph_engine.h"
+
+namespace fle {
+namespace {
+
+/// Sends `count` numbered messages to a fixed destination at wake-up.
+class GraphBurst final : public GraphStrategy {
+ public:
+  GraphBurst(ProcessorId to, int count) : to_(to), count_(count) {}
+  void on_init(GraphContext& ctx) override {
+    for (int i = 0; i < count_; ++i) ctx.send(to_, {static_cast<Value>(i)});
+  }
+  void on_receive(GraphContext& ctx, ProcessorId, const GraphMessage&) override {
+    ctx.terminate(0);
+  }
+
+ private:
+  ProcessorId to_;
+  int count_;
+};
+
+/// Records (from, first value) pairs; terminates after `expect` receives.
+class GraphRecorder final : public GraphStrategy {
+ public:
+  GraphRecorder(std::vector<std::pair<ProcessorId, Value>>* sink, int expect)
+      : sink_(sink), expect_(expect) {}
+  void on_receive(GraphContext& ctx, ProcessorId from, const GraphMessage& m) override {
+    sink_->push_back({from, m.empty() ? ~0ull : m[0]});
+    if (static_cast<int>(sink_->size()) >= expect_) {
+      for (ProcessorId p = 0; p < ctx.network_size(); ++p) {
+        if (p != ctx.id()) ctx.send(p, {0});
+      }
+      ctx.terminate(0);
+    }
+  }
+
+ private:
+  std::vector<std::pair<ProcessorId, Value>>* sink_;
+  int expect_;
+};
+
+TEST(GraphEngine, PerLinkFifoOrder) {
+  std::vector<std::pair<ProcessorId, Value>> received;
+  GraphEngine engine(3, 1);
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  s.push_back(std::make_unique<GraphBurst>(2, 4));
+  s.push_back(std::make_unique<GraphBurst>(2, 4));
+  s.push_back(std::make_unique<GraphRecorder>(&received, 8));
+  const Outcome o = engine.run(std::move(s));
+  EXPECT_TRUE(o.valid());
+  // Per-sender subsequences must be 0,1,2,3 in order.
+  for (ProcessorId sender : {0, 1}) {
+    Value expect = 0;
+    for (const auto& [from, v] : received) {
+      if (from != sender) continue;
+      EXPECT_EQ(v, expect);
+      ++expect;
+    }
+    EXPECT_EQ(expect, 4u);
+  }
+}
+
+TEST(GraphEngine, AdjacencyRestrictionEnforced) {
+  GraphEngineOptions options;
+  options.adjacency.assign(3, std::vector<char>(3, 0));
+  options.adjacency[0][1] = 1;  // only 0 -> 1 allowed
+  GraphEngine engine(3, 1, std::move(options));
+  class SendToForbidden final : public GraphStrategy {
+   public:
+    void on_init(GraphContext& ctx) override { ctx.send(2, {1}); }
+    void on_receive(GraphContext&, ProcessorId, const GraphMessage&) override {}
+  };
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  s.push_back(std::make_unique<SendToForbidden>());
+  s.push_back(std::make_unique<SendToForbidden>());
+  s.push_back(std::make_unique<SendToForbidden>());
+  EXPECT_THROW(engine.run(std::move(s)), std::invalid_argument);
+}
+
+TEST(GraphEngine, SelfSendRejected) {
+  GraphEngine engine(2, 1);
+  class SelfSend final : public GraphStrategy {
+   public:
+    void on_init(GraphContext& ctx) override { ctx.send(ctx.id(), {1}); }
+    void on_receive(GraphContext&, ProcessorId, const GraphMessage&) override {}
+  };
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  s.push_back(std::make_unique<SelfSend>());
+  s.push_back(std::make_unique<SelfSend>());
+  EXPECT_THROW(engine.run(std::move(s)), std::invalid_argument);
+}
+
+TEST(GraphEngine, QuiescenceWithoutTerminationFails) {
+  class Silent final : public GraphStrategy {
+   public:
+    void on_receive(GraphContext&, ProcessorId, const GraphMessage&) override {}
+  };
+  GraphEngine engine(3, 1);
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  for (int i = 0; i < 3; ++i) s.push_back(std::make_unique<Silent>());
+  const Outcome o = engine.run(std::move(s));
+  EXPECT_TRUE(o.failed());
+  EXPECT_EQ(engine.stats().deliveries, 0u);
+}
+
+TEST(GraphEngine, StepLimitStopsPingPong) {
+  class PingPong final : public GraphStrategy {
+   public:
+    void on_init(GraphContext& ctx) override {
+      if (ctx.id() == 0) ctx.send(1, {0});
+    }
+    void on_receive(GraphContext& ctx, ProcessorId from, const GraphMessage& m) override {
+      ctx.send(from, m);
+    }
+  };
+  GraphEngineOptions options;
+  options.step_limit = 64;
+  GraphEngine engine(2, 1, std::move(options));
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  s.push_back(std::make_unique<PingPong>());
+  s.push_back(std::make_unique<PingPong>());
+  EXPECT_TRUE(engine.run(std::move(s)).failed());
+  EXPECT_TRUE(engine.stats().step_limit_hit);
+}
+
+TEST(GraphEngine, MessagesToTerminatedVanish) {
+  class StopImmediately final : public GraphStrategy {
+   public:
+    void on_init(GraphContext& ctx) override { ctx.terminate(0); }
+    void on_receive(GraphContext&, ProcessorId, const GraphMessage&) override {}
+  };
+  class Sender final : public GraphStrategy {
+   public:
+    void on_init(GraphContext& ctx) override {
+      ctx.send(1, {7});
+      ctx.terminate(0);
+    }
+    void on_receive(GraphContext&, ProcessorId, const GraphMessage&) override {}
+  };
+  GraphEngine engine(2, 1);
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  s.push_back(std::make_unique<Sender>());
+  s.push_back(std::make_unique<StopImmediately>());
+  const Outcome o = engine.run(std::move(s));
+  EXPECT_TRUE(o.valid());
+  EXPECT_EQ(engine.stats().received[1], 0u);
+}
+
+TEST(GraphEngine, CountsSentAndReceived) {
+  std::vector<std::pair<ProcessorId, Value>> received;
+  GraphEngine engine(2, 1);
+  std::vector<std::unique_ptr<GraphStrategy>> s;
+  s.push_back(std::make_unique<GraphBurst>(1, 5));
+  s.push_back(std::make_unique<GraphRecorder>(&received, 5));
+  ASSERT_TRUE(engine.run(std::move(s)).valid());
+  EXPECT_EQ(engine.stats().sent[0], 5u);
+  EXPECT_EQ(engine.stats().received[1], 5u);
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,99 @@
+// PhaseSumLead (Appendix E.4): the sum-output strawman works honestly but
+// falls to a constant-size (k = 4) coalition via the validation-value covert
+// channel — the paper's motivation for the random function f.
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/stats.h"
+#include "attacks/phase_sum_attack.h"
+#include "protocols/phase_sum_lead.h"
+
+namespace fle {
+namespace {
+
+TEST(PhaseSumLead, HonestElectsValidLeaderSmallRings) {
+  for (int n = 2; n <= 20; ++n) {
+    PhaseSumLeadProtocol protocol(n);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      const Outcome o = run_honest(protocol, n, seed * 131 + 3);
+      ASSERT_TRUE(o.valid()) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PhaseSumLead, HonestOutcomeEqualsSumOfSecrets) {
+  const int n = 9;
+  PhaseSumLeadProtocol protocol(n);
+  for (std::uint64_t seed : {4ull, 44ull, 444ull}) {
+    Value expected = 0;
+    for (ProcessorId p = 0; p < n; ++p) {
+      RandomTape tape(seed, p);
+      expected = (expected + tape.uniform(static_cast<Value>(n))) % n;
+    }
+    const Outcome o = run_honest(protocol, n, seed);
+    ASSERT_TRUE(o.valid());
+    EXPECT_EQ(o.leader(), expected);
+  }
+}
+
+TEST(PhaseSumLead, HonestElectionIsUniform) {
+  const int n = 8;
+  PhaseSumLeadProtocol protocol(n);
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 4000;
+  const auto result = run_trials(protocol, nullptr, config);
+  EXPECT_EQ(result.outcomes.fails(), 0u);
+  EXPECT_LT(result.outcomes.chi_square_uniform(), chi_square_critical_999(n - 1));
+}
+
+class PhaseSumAttackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseSumAttackTest, FourAdversariesControlAnyN) {
+  const int n = GetParam();
+  PhaseSumLeadProtocol protocol(n);
+  const auto coalition = PhaseSumDeviation::placement(n);
+  ASSERT_EQ(coalition.k(), 4);
+  for (Value w : {Value{0}, static_cast<Value>(n / 2), static_cast<Value>(n - 1)}) {
+    PhaseSumDeviation deviation(coalition, w, protocol);
+    ExperimentConfig config;
+    config.n = n;
+    config.trials = 6;
+    config.seed = 13 * n + w;
+    const auto result = run_trials(protocol, &deviation, config);
+    EXPECT_EQ(result.outcomes.count(w), result.outcomes.trials())
+        << "n=" << n << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhaseSumAttackTest,
+                         ::testing::Values(24, 32, 50, 100, 128, 256));
+
+TEST(PhaseSumAttack, ConstantCoalitionIndependentOfN) {
+  // The point of E.4: k = 4 regardless of n (contrast with the sqrt(n)
+  // requirement against PhaseAsyncLead's random f).
+  for (int n : {40, 400}) {
+    PhaseSumLeadProtocol protocol(n);
+    PhaseSumDeviation deviation(PhaseSumDeviation::placement(n), 1, protocol);
+    ExperimentConfig config;
+    config.n = n;
+    config.trials = 4;
+    const auto result = run_trials(protocol, &deviation, config);
+    EXPECT_EQ(result.outcomes.count(1), result.outcomes.trials()) << "n=" << n;
+  }
+}
+
+TEST(PhaseSumAttack, RequiresExactlyFourMembers) {
+  const int n = 64;
+  PhaseSumLeadProtocol protocol(n);
+  EXPECT_THROW(PhaseSumDeviation(Coalition::equally_spaced(n, 5), 0, protocol),
+               std::invalid_argument);
+}
+
+TEST(PhaseSumAttack, RejectsTinyRings) {
+  EXPECT_THROW(PhaseSumDeviation::placement(12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fle

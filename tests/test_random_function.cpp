@@ -1,0 +1,138 @@
+// The random function f (Section 6): domain handling, determinism,
+// statistical behaviour (uniform outputs, avalanche on single entries) and
+// the preimage-search behaviour the phase-rushing attack relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random_function.h"
+#include "core/rng.h"
+
+namespace fle {
+namespace {
+
+std::vector<Value> random_vector(Xoshiro256& rng, int len, Value bound) {
+  std::vector<Value> v(static_cast<std::size_t>(len));
+  for (auto& x : v) x = rng.below(bound);
+  return v;
+}
+
+TEST(RandomFunction, Deterministic) {
+  const int n = 16;
+  RandomFunction f(42, n, RandomFunction::default_m(n), 4);
+  Xoshiro256 rng(1);
+  const auto d = random_vector(rng, n, n);
+  const auto v = random_vector(rng, n - 4, RandomFunction::default_m(n));
+  EXPECT_EQ(f.evaluate(d, v), f.evaluate(d, v));
+}
+
+TEST(RandomFunction, KeySeparatesInstances) {
+  const int n = 16;
+  RandomFunction f1(1, n, 512, 4), f2(2, n, 512, 4);
+  Xoshiro256 rng(3);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = random_vector(rng, n, n);
+    const auto v = random_vector(rng, n - 4, 512);
+    if (f1.evaluate(d, v) != f2.evaluate(d, v)) ++differing;
+  }
+  EXPECT_GT(differing, 150);
+}
+
+TEST(RandomFunction, OutputInRange) {
+  const int n = 11;
+  RandomFunction f(9, n, 242, 3);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto d = random_vector(rng, n, n);
+    const auto v = random_vector(rng, n - 3, 242);
+    EXPECT_LT(f.evaluate(d, v), static_cast<Value>(n));
+  }
+}
+
+TEST(RandomFunction, OutputsRoughlyUniform) {
+  const int n = 8;
+  RandomFunction f(77, n, 128, 2);
+  Xoshiro256 rng(6);
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const auto d = random_vector(rng, n, n);
+    const auto v = random_vector(rng, n - 2, 128);
+    ++counts[f.evaluate(d, v)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 8.0, 6.0 * std::sqrt(trials / 8.0));
+  }
+}
+
+TEST(RandomFunction, SingleEntryAvalanche) {
+  // Changing one data entry re-randomizes the output: Pr[same] ~ 1/n.
+  const int n = 64;
+  RandomFunction f(123, n, RandomFunction::default_m(n), 10);
+  Xoshiro256 rng(7);
+  int same = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    auto d = random_vector(rng, n, n);
+    const auto v = random_vector(rng, n - 10, RandomFunction::default_m(n));
+    const Value before = f.evaluate(d, v);
+    d[static_cast<std::size_t>(rng.below(n))] ^= 1;
+    if (f.evaluate(d, v) == before) ++same;
+  }
+  EXPECT_LT(same, trials / 16);  // well below coincidence-heavy behaviour
+}
+
+TEST(RandomFunction, PositionSensitivity) {
+  // Swapping two distinct entries changes the output (inputs are
+  // index-bound, not multiset-hashed).
+  const int n = 10;
+  RandomFunction f(5, n, 200, 2);
+  Xoshiro256 rng(8);
+  int same = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto d = random_vector(rng, n, n);
+    d[0] = 1;
+    d[1] = 2;
+    const auto v = random_vector(rng, n - 2, 200);
+    const Value before = f.evaluate(d, v);
+    std::swap(d[0], d[1]);
+    if (f.evaluate(d, v) == before) ++same;
+  }
+  EXPECT_LT(same, 60);
+}
+
+TEST(RandomFunction, PreimageSearchHitsTargets) {
+  // The phase-rushing adversary's core step: with 2 free entries and a
+  // budget of 8n attempts, a preimage for any target exists w.h.p.
+  const int n = 32;
+  RandomFunction f(321, n, RandomFunction::default_m(n), 8);
+  Xoshiro256 rng(9);
+  int hits = 0;
+  const int cases = 100;
+  for (int c = 0; c < cases; ++c) {
+    auto d = random_vector(rng, n, n);
+    const auto v = random_vector(rng, n - 8, RandomFunction::default_m(n));
+    const Value target = rng.below(n);
+    bool hit = false;
+    for (std::uint64_t attempt = 0; attempt < 8ull * n && !hit; ++attempt) {
+      d[3] = attempt % n;
+      d[7] = (attempt / n) % n;
+      hit = f.evaluate(d, v) == target;
+    }
+    hits += hit ? 1 : 0;
+  }
+  EXPECT_GE(hits, 95);
+}
+
+TEST(RandomFunction, DefaultsMatchPaper) {
+  EXPECT_EQ(RandomFunction::default_m(100), 20000u);
+  EXPECT_EQ(RandomFunction::default_l(100), 99);   // clamped: 10*sqrt(100)=100 >= n
+  EXPECT_EQ(RandomFunction::default_l(400), 200);  // unclamped
+  EXPECT_EQ(RandomFunction::default_l(10000), 1000);
+}
+
+}  // namespace
+}  // namespace fle

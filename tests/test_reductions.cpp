@@ -1,0 +1,80 @@
+// Theorem 8.1: leader election <-> coin toss reductions and their bias
+// bounds.
+
+#include <gtest/gtest.h>
+
+#include "core/reductions.h"
+#include "core/rng.h"
+
+namespace fle {
+namespace {
+
+TEST(Reductions, CoinFromLeaderParity) {
+  EXPECT_EQ(coin_from_leader(Outcome::elected(0)), CoinResult::kZero);
+  EXPECT_EQ(coin_from_leader(Outcome::elected(1)), CoinResult::kOne);
+  EXPECT_EQ(coin_from_leader(Outcome::elected(7)), CoinResult::kOne);
+  EXPECT_EQ(coin_from_leader(Outcome::elected(8)), CoinResult::kZero);
+  EXPECT_EQ(coin_from_leader(Outcome::fail()), CoinResult::kFail);
+}
+
+TEST(Reductions, TossesNeededIsLog2) {
+  EXPECT_EQ(tosses_needed(2), 1);
+  EXPECT_EQ(tosses_needed(8), 3);
+  EXPECT_EQ(tosses_needed(1024), 10);
+}
+
+TEST(Reductions, LeaderFromCoinsConcatenatesBits) {
+  const std::vector<CoinResult> coins{CoinResult::kOne, CoinResult::kZero, CoinResult::kOne};
+  const Outcome o = leader_from_coins(coins, 8);
+  ASSERT_TRUE(o.valid());
+  EXPECT_EQ(o.leader(), 0b101u);
+}
+
+TEST(Reductions, LeaderFromCoinsAllOutcomesReachable) {
+  for (Value leader = 0; leader < 8; ++leader) {
+    std::vector<CoinResult> coins;
+    for (int b = 0; b < 3; ++b) {
+      coins.push_back(((leader >> b) & 1) ? CoinResult::kOne : CoinResult::kZero);
+    }
+    const Outcome o = leader_from_coins(coins, 8);
+    ASSERT_TRUE(o.valid());
+    EXPECT_EQ(o.leader(), leader);
+  }
+}
+
+TEST(Reductions, FailedTossFailsElection) {
+  const std::vector<CoinResult> coins{CoinResult::kOne, CoinResult::kFail, CoinResult::kZero};
+  EXPECT_TRUE(leader_from_coins(coins, 8).failed());
+}
+
+TEST(Reductions, BiasBoundsMatchTheorem81) {
+  // Coin from eps-unbiased election on n processors: 1/2 + n*eps/2.
+  EXPECT_DOUBLE_EQ(coin_bias_bound_from_election(0.0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(coin_bias_bound_from_election(0.01, 8), 0.54);
+  // Election from log2(n) eps-unbiased coins: (1/2 + eps)^log2(n).
+  EXPECT_DOUBLE_EQ(election_probability_bound_from_coins(0.0, 8), 0.125);
+  EXPECT_NEAR(election_probability_bound_from_coins(0.1, 8), 0.216, 1e-9);
+}
+
+TEST(Reductions, EndToEndRoundTripUniformity) {
+  // Simulate a perfectly fair election; derive coins; rebuild an election.
+  // Exercises the independence assumption the paper flags explicitly.
+  const int n = 8;
+  std::vector<int> counts(n, 0);
+  std::uint64_t state = 99;
+  for (int trial = 0; trial < 8000; ++trial) {
+    std::vector<CoinResult> coins;
+    for (int b = 0; b < tosses_needed(n); ++b) {
+      // Independent fair coins from a fair "election" parity.
+      const Value leader = splitmix64(state) % n;
+      coins.push_back(coin_from_leader(Outcome::elected(leader)));
+    }
+    const Outcome o = leader_from_coins(coins, n);
+    ASSERT_TRUE(o.valid());
+    ++counts[static_cast<int>(o.leader())];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,94 @@
+// RNG substrate: determinism, bounds, rough uniformity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rng.h"
+
+namespace fle {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(Rng, Mix64ChangesWithInput) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 1000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Rng, XoshiroDeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool all_equal_c = true;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 10.0, 5.0 * std::sqrt(trials / 10.0));
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RandomTape, IndependentPerProcessor) {
+  RandomTape t0(1, 0), t1(1, 1), t0b(1, 0);
+  bool identical = true;
+  for (int i = 0; i < 32; ++i) {
+    const Value a = t0.uniform(1000);
+    EXPECT_EQ(a, t0b.uniform(1000));  // same seed+id => same tape
+    if (a != t1.uniform(1000)) identical = false;
+  }
+  EXPECT_FALSE(identical);  // different ids => different tapes
+}
+
+TEST(RandomTape, DifferentTrialSeedsDiffer) {
+  RandomTape a(1, 0), b(2, 0);
+  bool identical = true;
+  for (int i = 0; i < 32; ++i) {
+    if (a.uniform(1 << 20) != b.uniform(1 << 20)) identical = false;
+  }
+  EXPECT_FALSE(identical);
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,75 @@
+// Statistics helpers: counters, intervals, chi-square machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.h"
+
+namespace fle {
+namespace {
+
+TEST(OutcomeCounter, CountsAndRates) {
+  OutcomeCounter c(4);
+  c.record(Outcome::elected(0));
+  c.record(Outcome::elected(0));
+  c.record(Outcome::elected(3));
+  c.record(Outcome::fail());
+  EXPECT_EQ(c.trials(), 4u);
+  EXPECT_EQ(c.fails(), 1u);
+  EXPECT_EQ(c.count(0), 2u);
+  EXPECT_EQ(c.count(1), 0u);
+  EXPECT_DOUBLE_EQ(c.fail_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(c.leader_rate(0), 0.5);
+}
+
+TEST(OutcomeCounter, MaxBiasAgainstUniform) {
+  OutcomeCounter c(2);
+  for (int i = 0; i < 9; ++i) c.record(Outcome::elected(0));
+  c.record(Outcome::elected(1));
+  EXPECT_NEAR(c.max_bias(), 0.9 - 0.5, 1e-12);
+}
+
+TEST(OutcomeCounter, ChiSquareDetectsSkew) {
+  OutcomeCounter uniform(4), skewed(4);
+  for (int i = 0; i < 4000; ++i) {
+    uniform.record(Outcome::elected(static_cast<Value>(i % 4)));
+    skewed.record(Outcome::elected(static_cast<Value>(i % 2)));
+  }
+  EXPECT_LT(uniform.chi_square_uniform(), chi_square_critical_999(3));
+  EXPECT_GT(skewed.chi_square_uniform(), chi_square_critical_999(3));
+}
+
+TEST(Stats, HoeffdingRadiusShrinks) {
+  const double r100 = hoeffding_radius(100, 0.01);
+  const double r10000 = hoeffding_radius(10000, 0.01);
+  EXPECT_GT(r100, r10000);
+  EXPECT_NEAR(r10000, std::sqrt(std::log(200.0) / 20000.0), 1e-12);
+}
+
+TEST(Stats, WilsonIntervalCoversPointEstimate) {
+  const auto iv = wilson_interval(30, 100);
+  EXPECT_LT(iv.lo, 0.3);
+  EXPECT_GT(iv.hi, 0.3);
+  EXPECT_GT(iv.lo, 0.19);
+  EXPECT_LT(iv.hi, 0.42);
+}
+
+TEST(Stats, WilsonDegenerateCases) {
+  const auto none = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(none.lo, std::min(none.lo, 0.01));
+  const auto all = wilson_interval(50, 50);
+  EXPECT_GT(all.hi, 0.99);
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(Stats, ChiSquareCriticalGrowsWithDof) {
+  EXPECT_GT(chi_square_critical_999(10), chi_square_critical_999(3));
+  // Known value: chi2_{0.999, 10} ~ 29.6.
+  EXPECT_NEAR(chi_square_critical_999(10), 29.6, 1.0);
+}
+
+}  // namespace
+}  // namespace fle

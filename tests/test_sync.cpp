@@ -1,0 +1,237 @@
+// Synchronous scenarios (Section 1.1): lockstep engine semantics and the
+// k = n-1 resilience of the synchronous broadcast/ring elections.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "protocols/sync_lead.h"
+#include "sim/sync_engine.h"
+
+namespace fle {
+namespace {
+
+TEST(SyncEngine, RoundsDeliverSimultaneously) {
+  // Sender emits in round 1; receiver must see it in round 2, not round 1.
+  class Probe final : public SyncStrategy {
+   public:
+    explicit Probe(std::vector<int>* log) : log_(log) {}
+    void on_round(SyncContext& ctx, const SyncInbox& inbox) override {
+      if (ctx.id() == 0 && ctx.round() == 1) ctx.send(1, {42});
+      if (ctx.id() == 1 && !inbox.empty()) {
+        log_->push_back(ctx.round());
+        ctx.terminate(0);
+      }
+      if (ctx.id() == 0 && ctx.round() == 2) ctx.terminate(0);
+    }
+
+   private:
+    std::vector<int>* log_;
+  };
+  std::vector<int> log;
+  SyncEngine engine(2, 1);
+  std::vector<std::unique_ptr<SyncStrategy>> s;
+  s.push_back(std::make_unique<Probe>(&log));
+  s.push_back(std::make_unique<Probe>(&log));
+  ASSERT_TRUE(engine.run(std::move(s)).valid());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 2);
+}
+
+TEST(SyncEngine, RoundLimitStopsSpinners) {
+  class Spinner final : public SyncStrategy {
+   public:
+    void on_round(SyncContext& ctx, const SyncInbox&) override {
+      ctx.send(ring_succ(ctx.id(), ctx.network_size()), {0});
+    }
+  };
+  SyncEngineOptions options;
+  options.round_limit = 10;
+  SyncEngine engine(3, 1, options);
+  std::vector<std::unique_ptr<SyncStrategy>> s;
+  for (int i = 0; i < 3; ++i) s.push_back(std::make_unique<Spinner>());
+  EXPECT_TRUE(engine.run(std::move(s)).failed());
+  EXPECT_TRUE(engine.stats().round_limit_hit);
+}
+
+TEST(SyncBroadcastLead, HonestElectsValidLeader) {
+  SyncBroadcastLeadProtocol protocol;
+  for (int n : {2, 3, 8, 20}) {
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      const Outcome o = run_honest_sync(protocol, n, seed * 11 + 1);
+      ASSERT_TRUE(o.valid()) << "n=" << n << " seed=" << seed;
+      ASSERT_LT(o.leader(), static_cast<Value>(n));
+    }
+  }
+}
+
+TEST(SyncBroadcastLead, OutcomeIsSumOfSecrets) {
+  const int n = 7;
+  SyncBroadcastLeadProtocol protocol;
+  for (std::uint64_t seed : {3ull, 33ull}) {
+    Value expected = 0;
+    for (ProcessorId p = 0; p < n; ++p) {
+      RandomTape tape(seed, p);
+      expected = (expected + tape.uniform(static_cast<Value>(n))) % n;
+    }
+    const Outcome o = run_honest_sync(protocol, n, seed);
+    ASSERT_TRUE(o.valid());
+    EXPECT_EQ(o.leader(), expected);
+  }
+}
+
+TEST(SyncRingLead, HonestElectsValidLeader) {
+  SyncRingLeadProtocol protocol;
+  for (int n : {2, 3, 9, 16}) {
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      const Outcome o = run_honest_sync(protocol, n, seed * 13 + 5);
+      ASSERT_TRUE(o.valid()) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SyncRingLead, MatchesBroadcastOutcome) {
+  // Same secrets (same tapes), same sum: the two synchronous protocols
+  // agree trial for trial.
+  const int n = 9;
+  SyncBroadcastLeadProtocol bc;
+  SyncRingLeadProtocol ring;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    EXPECT_EQ(run_honest_sync(bc, n, seed), run_honest_sync(ring, n, seed));
+  }
+}
+
+// --- deviations --------------------------------------------------------------
+
+/// Broadcasts one round late — the rushing move that wins in asynchrony.
+class LateBroadcaster final : public SyncStrategy {
+ public:
+  void on_round(SyncContext& ctx, const SyncInbox& inbox) override {
+    const auto n = static_cast<Value>(ctx.network_size());
+    if (ctx.round() == 1) return;  // wait: see everyone's secrets first
+    if (ctx.round() == 2) {
+      Value others = 0;
+      for (const auto& [from, m] : inbox) others = (others + m[0]) % n;
+      ctx.broadcast({(0 + n - others) % n});  // aim for leader 0
+      return;
+    }
+    ctx.terminate(0);
+  }
+};
+
+TEST(SyncBroadcastLead, LateBroadcasterIsDetected) {
+  // In the synchronous model the round-2 validation sees a missing round-1
+  // value: the would-be rushing attack cannot exist.
+  const int n = 8;
+  SyncBroadcastLeadProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SyncEngine engine(n, seed);
+    std::vector<std::unique_ptr<SyncStrategy>> s;
+    for (ProcessorId p = 0; p < n; ++p) {
+      if (p == 3) {
+        s.push_back(std::make_unique<LateBroadcaster>());
+      } else {
+        s.push_back(protocol.make_strategy(p, n));
+      }
+    }
+    EXPECT_TRUE(engine.run(std::move(s)).failed()) << seed;
+  }
+}
+
+/// Sends legal but adversarially fixed values in round 1 (the strongest
+/// undetectable deviation under synchrony).
+class BlindFixedValue final : public SyncStrategy {
+ public:
+  explicit BlindFixedValue(Value v) : v_(v) {}
+  void on_round(SyncContext& ctx, const SyncInbox& inbox) override {
+    const auto n = static_cast<Value>(ctx.network_size());
+    if (ctx.round() == 1) {
+      ctx.broadcast({v_ % n});
+      return;
+    }
+    if (static_cast<int>(inbox.size()) != ctx.network_size() - 1) return ctx.abort();
+    Value sum = v_ % n;
+    for (const auto& [from, m] : inbox) sum = (sum + m[0]) % n;
+    ctx.terminate(sum);
+  }
+
+ private:
+  Value v_;
+};
+
+TEST(SyncBroadcastLead, NMinusOneColludersGainNothing) {
+  // The paper's k = n-1 resilience: all but one processor collude on fixed
+  // values; the single honest uniform secret keeps the outcome uniform.
+  const int n = 6;
+  SyncBroadcastLeadProtocol protocol;
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    SyncEngine engine(n, static_cast<std::uint64_t>(t) * 17 + 3);
+    std::vector<std::unique_ptr<SyncStrategy>> s;
+    for (ProcessorId p = 0; p < n; ++p) {
+      if (p == 2) {
+        s.push_back(protocol.make_strategy(p, n));  // the lone honest one
+      } else {
+        s.push_back(std::make_unique<BlindFixedValue>(static_cast<Value>(p)));
+      }
+    }
+    const Outcome o = engine.run(std::move(s));
+    ASSERT_TRUE(o.valid());
+    ++counts[static_cast<std::size_t>(o.leader())];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, trials / n, 5 * std::sqrt(trials / static_cast<double>(n)));
+  }
+}
+
+TEST(SyncRingLead, SilentProcessorDetected) {
+  const int n = 7;
+  SyncRingLeadProtocol protocol;
+  class Silent final : public SyncStrategy {
+   public:
+    void on_round(SyncContext& ctx, const SyncInbox&) override {
+      if (ctx.round() > ctx.network_size()) ctx.terminate(0);
+    }
+  };
+  SyncEngine engine(n, 9);
+  std::vector<std::unique_ptr<SyncStrategy>> s;
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p == 4) {
+      s.push_back(std::make_unique<Silent>());
+    } else {
+      s.push_back(protocol.make_strategy(p, n));
+    }
+  }
+  EXPECT_TRUE(engine.run(std::move(s)).failed());
+}
+
+TEST(SyncRingLead, DoubleSenderDetected) {
+  const int n = 6;
+  SyncRingLeadProtocol protocol;
+  class DoubleSender final : public SyncStrategy {
+   public:
+    void on_round(SyncContext& ctx, const SyncInbox&) override {
+      const ProcessorId succ = ring_succ(ctx.id(), ctx.network_size());
+      if (ctx.round() == 1) {
+        ctx.send(succ, {1});
+        ctx.send(succ, {2});  // off-schedule extra message
+        return;
+      }
+      if (ctx.round() >= ctx.network_size()) ctx.terminate(0);
+    }
+  };
+  SyncEngine engine(n, 4);
+  std::vector<std::unique_ptr<SyncStrategy>> s;
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p == 1) {
+      s.push_back(std::make_unique<DoubleSender>());
+    } else {
+      s.push_back(protocol.make_strategy(p, n));
+    }
+  }
+  EXPECT_TRUE(engine.run(std::move(s)).failed());
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,96 @@
+// Failure injection: every single-message tamper on every protocol must
+// surface as FAIL (the validation machinery of Lemma 3.5 and Section 6).
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "attacks/tamper.h"
+#include "protocols/alead_uni.h"
+#include "protocols/basic_lead.h"
+#include "protocols/phase_async_lead.h"
+#include "protocols/phase_sum_lead.h"
+
+namespace fle {
+namespace {
+
+struct TamperCase {
+  TamperKind kind;
+  std::uint64_t target;
+};
+
+class TamperMatrix : public ::testing::TestWithParam<TamperCase> {};
+
+TEST_P(TamperMatrix, ALeadUniDetects) {
+  const auto [kind, target] = GetParam();
+  const int n = 12;
+  ALeadUniProtocol protocol;
+  TamperDeviation deviation(n, 5, protocol, kind, target);
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 5;
+  const auto result = run_trials(protocol, &deviation, config);
+  EXPECT_EQ(result.outcomes.fails(), result.outcomes.trials());
+}
+
+TEST_P(TamperMatrix, PhaseAsyncLeadDetects) {
+  const auto [kind, target] = GetParam();
+  const int n = 12;
+  PhaseAsyncLeadProtocol protocol(n, 0xccull);
+  TamperDeviation deviation(n, 7, protocol, kind, target);
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 5;
+  const auto result = run_trials(protocol, &deviation, config);
+  EXPECT_EQ(result.outcomes.fails(), result.outcomes.trials());
+}
+
+TEST_P(TamperMatrix, PhaseSumLeadDetects) {
+  const auto [kind, target] = GetParam();
+  const int n = 12;
+  PhaseSumLeadProtocol protocol(n);
+  TamperDeviation deviation(n, 3, protocol, kind, target);
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 5;
+  const auto result = run_trials(protocol, &deviation, config);
+  EXPECT_EQ(result.outcomes.fails(), result.outcomes.trials());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndOffsets, TamperMatrix,
+    ::testing::Values(TamperCase{TamperKind::kFlipValue, 0},
+                      TamperCase{TamperKind::kFlipValue, 1},
+                      TamperCase{TamperKind::kFlipValue, 5},
+                      TamperCase{TamperKind::kDropSend, 0},
+                      TamperCase{TamperKind::kDropSend, 3},
+                      TamperCase{TamperKind::kDuplicate, 0},
+                      TamperCase{TamperKind::kDuplicate, 4},
+                      TamperCase{TamperKind::kExtraZero, 2}));
+
+TEST(Tamper, BasicLeadDetectsValueFlip) {
+  const int n = 10;
+  BasicLeadProtocol protocol;
+  // Flipping a forwarded value breaks someone's own-value return.
+  TamperDeviation deviation(n, 4, protocol, TamperKind::kFlipValue, 2);
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 5;
+  const auto result = run_trials(protocol, &deviation, config);
+  EXPECT_EQ(result.outcomes.fails(), result.outcomes.trials());
+}
+
+TEST(Tamper, UntamperedControlStaysValid) {
+  // Control: a tamper target beyond the send count changes nothing.
+  const int n = 10;
+  ALeadUniProtocol protocol;
+  TamperDeviation deviation(n, 4, protocol, TamperKind::kFlipValue,
+                            /*target_send=*/10'000);
+  ExperimentConfig config;
+  config.n = n;
+  config.trials = 5;
+  const auto result = run_trials(protocol, &deviation, config);
+  EXPECT_EQ(result.outcomes.fails(), 0u);
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,138 @@
+// Threaded runtime: real threads + blocking queues must reproduce the
+// deterministic engine's outcomes on the ring (paper §2: all oblivious
+// schedules agree), detect quiescence, and survive attacks.
+
+#include <gtest/gtest.h>
+
+#include "attacks/basic_single.h"
+#include "attacks/coalition.h"
+#include "attacks/cubic.h"
+#include "attacks/deviation.h"
+#include "protocols/alead_uni.h"
+#include "protocols/basic_lead.h"
+#include "protocols/phase_async_lead.h"
+#include "sim/engine.h"
+#include "sim/threaded_runtime.h"
+
+namespace fle {
+namespace {
+
+TEST(Threaded, BasicLeadMatchesDeterministicEngine) {
+  const int n = 8;
+  BasicLeadProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Outcome expected = run_honest(protocol, n, seed);
+    const Outcome actual = run_honest_threaded(protocol, n, seed);
+    EXPECT_EQ(actual, expected) << "seed=" << seed;
+  }
+}
+
+TEST(Threaded, ALeadMatchesDeterministicEngine) {
+  const int n = 10;
+  ALeadUniProtocol protocol;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_EQ(run_honest_threaded(protocol, n, seed), run_honest(protocol, n, seed));
+  }
+}
+
+TEST(Threaded, PhaseAsyncLeadMatchesDeterministicEngine) {
+  const int n = 9;
+  PhaseAsyncLeadProtocol protocol(n, 0x71ull);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_EQ(run_honest_threaded(protocol, n, seed), run_honest(protocol, n, seed));
+  }
+}
+
+TEST(Threaded, LargeRingStress) {
+  const int n = 128;
+  PhaseAsyncLeadProtocol protocol(n, 0x99ull);
+  const Outcome o = run_honest_threaded(protocol, n, 4242);
+  ASSERT_TRUE(o.valid());
+  EXPECT_EQ(o, run_honest(protocol, n, 4242));
+}
+
+TEST(Threaded, MessageCountsMatch) {
+  const int n = 12;
+  ALeadUniProtocol protocol;
+  ThreadedRuntime runtime(n, 7);
+  std::vector<std::unique_ptr<RingStrategy>> s;
+  for (ProcessorId p = 0; p < n; ++p) s.push_back(protocol.make_strategy(p, n));
+  ASSERT_TRUE(runtime.run(std::move(s)).valid());
+  EXPECT_EQ(runtime.stats().total_sent, static_cast<std::uint64_t>(n) * n);
+}
+
+TEST(Threaded, QuiescenceDetectedOnSilentRing) {
+  class Silent final : public RingStrategy {
+    void on_receive(RingContext&, Value) override {}
+  };
+  ThreadedRuntime runtime(4, 1);
+  std::vector<std::unique_ptr<RingStrategy>> s;
+  for (int i = 0; i < 4; ++i) s.push_back(std::make_unique<Silent>());
+  const Outcome o = runtime.run(std::move(s));
+  EXPECT_TRUE(o.failed());
+  EXPECT_TRUE(runtime.stats().quiesced);
+  EXPECT_FALSE(runtime.stats().wall_timeout_hit);
+}
+
+TEST(Threaded, QuiescenceDetectedMidProtocol) {
+  // One processor swallows everything: the ring stalls and must be stopped.
+  const int n = 6;
+  ALeadUniProtocol protocol;
+  class BlackHole final : public RingStrategy {
+    void on_receive(RingContext&, Value) override {}
+  };
+  ThreadedRuntime runtime(n, 3);
+  std::vector<std::unique_ptr<RingStrategy>> s;
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p == 2) {
+      s.push_back(std::make_unique<BlackHole>());
+    } else {
+      s.push_back(protocol.make_strategy(p, n));
+    }
+  }
+  const Outcome o = runtime.run(std::move(s));
+  EXPECT_TRUE(o.failed());
+  EXPECT_TRUE(runtime.stats().quiesced);
+}
+
+TEST(Threaded, SendLimitStopsRunaways) {
+  class PingPong final : public RingStrategy {
+   public:
+    void on_init(RingContext& ctx) override { ctx.send(0); }
+    void on_receive(RingContext& ctx, Value v) override { ctx.send(v + 1); }
+  };
+  ThreadedRuntimeOptions options;
+  options.send_limit = 200;
+  ThreadedRuntime runtime(2, 1, options);
+  std::vector<std::unique_ptr<RingStrategy>> s;
+  s.push_back(std::make_unique<PingPong>());
+  s.push_back(std::make_unique<PingPong>());
+  const Outcome o = runtime.run(std::move(s));
+  EXPECT_TRUE(o.failed());
+  EXPECT_TRUE(runtime.stats().send_limit_hit);
+}
+
+TEST(Threaded, AttacksWorkOnRealThreads) {
+  {
+    const int n = 9;
+    BasicLeadProtocol protocol;
+    BasicSingleDeviation deviation(n, 4, 2);
+    ThreadedRuntime runtime(n, 11);
+    const Outcome o = runtime.run(compose_strategies(protocol, &deviation, n));
+    ASSERT_TRUE(o.valid());
+    EXPECT_EQ(o.leader(), 2u);
+  }
+  {
+    const int n = 60;
+    ALeadUniProtocol protocol;
+    const int k = Coalition::cubic_min_k(n);
+    CubicDeviation deviation(Coalition::cubic_staircase(n, k), 7);
+    ThreadedRuntime runtime(n, 12);
+    const Outcome o = runtime.run(compose_strategies(protocol, &deviation, n));
+    ASSERT_TRUE(o.valid());
+    EXPECT_EQ(o.leader(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace fle

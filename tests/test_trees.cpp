@@ -1,0 +1,134 @@
+// Graphs, k-simulated trees (Definition 7.1), the Figure 2 instance, and
+// the Claim F.5 half-partition as a property over random connected graphs.
+
+#include <gtest/gtest.h>
+
+#include "trees/graph.h"
+#include "trees/partition.h"
+#include "trees/simulated_tree.h"
+
+namespace fle {
+namespace {
+
+TEST(Graph, BasicInvariants) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.is_tree());
+  g.add_edge(3, 0);
+  EXPECT_FALSE(g.is_tree());
+}
+
+TEST(Graph, DuplicateEdgesIgnored) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadVertices) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, FamiliesHaveExpectedShape) {
+  EXPECT_TRUE(Graph::path(6).is_tree());
+  EXPECT_TRUE(Graph::star(6).is_tree());
+  EXPECT_FALSE(Graph::ring(6).is_tree());
+  EXPECT_TRUE(Graph::ring(6).connected());
+  EXPECT_EQ(Graph::complete(5).edge_count(), 10u);
+}
+
+TEST(Graph, RandomConnectedIsConnected) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto g = Graph::random_connected(20, 10, seed);
+    EXPECT_TRUE(g.connected()) << seed;
+  }
+}
+
+TEST(SimulatedTree, RingAsTwoArcsIsValid) {
+  for (int n : {2, 3, 8, 15, 16}) {
+    const auto sim = ring_as_two_arc_simulation(n);
+    EXPECT_TRUE(is_valid_simulation(Graph::ring(n), sim, (n + 1) / 2)) << n;
+    EXPECT_EQ(sim.width(), (n + 1) / 2);
+    // And invalid for k below the width.
+    if (n >= 4) {
+      EXPECT_FALSE(is_valid_simulation(Graph::ring(n), sim, (n + 1) / 2 - 1));
+    }
+  }
+}
+
+TEST(SimulatedTree, Figure2ExampleIsA4SimulatedTree) {
+  const auto ex = figure2_example();
+  EXPECT_TRUE(is_valid_simulation(ex.graph, ex.simulation, 4));
+  EXPECT_EQ(ex.simulation.width(), 4);
+  EXPECT_TRUE(ex.graph.connected());
+}
+
+TEST(SimulatedTree, RejectsNonHomomorphism) {
+  // Map two adjacent graph vertices to non-adjacent tree vertices.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  TreeSimulation sim{Graph(3), {0, 2, 2}};  // edge (0,1) -> tree pair (0,2)
+  sim.tree.add_edge(0, 1);
+  sim.tree.add_edge(1, 2);
+  EXPECT_FALSE(is_valid_simulation(g, sim, 2));
+}
+
+TEST(SimulatedTree, RejectsDisconnectedPart) {
+  Graph g = Graph::path(4);  // 0-1-2-3
+  TreeSimulation sim{Graph(2), {0, 1, 0, 1}};  // parts {0,2} and {1,3}: disconnected
+  sim.tree.add_edge(0, 1);
+  EXPECT_FALSE(is_valid_simulation(g, sim, 2));
+}
+
+class HalfPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalfPartitionProperty, ValidOnRandomConnectedGraphs) {
+  const int n = GetParam();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto g = Graph::random_connected(n, static_cast<int>(seed % 13), seed);
+    const auto sim = half_partition(g);
+    EXPECT_TRUE(is_valid_simulation(g, sim, (n + 1) / 2))
+        << "n=" << n << " seed=" << seed;
+    EXPECT_LE(sim.width(), (n + 1) / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HalfPartitionProperty, ::testing::Values(2, 3, 5, 10, 24, 63));
+
+TEST(HalfPartition, WorksOnNamedFamilies) {
+  for (int n : {4, 9, 16}) {
+    for (const auto& g : {Graph::ring(n), Graph::path(n), Graph::star(n), Graph::complete(n)}) {
+      const auto sim = half_partition(g);
+      EXPECT_TRUE(is_valid_simulation(g, sim, (n + 1) / 2));
+    }
+  }
+}
+
+TEST(HalfPartition, RejectsDisconnectedGraphs) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(half_partition(g), std::invalid_argument);
+}
+
+TEST(HalfPartition, TreeIsStarAroundB1) {
+  const auto g = Graph::ring(10);
+  const auto sim = half_partition(g);
+  // B2.. are components of the complement of a BFS prefix: for a ring the
+  // complement is an arc => exactly 2 parts.
+  EXPECT_EQ(sim.tree.n(), 2);
+  EXPECT_TRUE(sim.tree.is_tree());
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,100 @@
+// Model vocabulary: outcome aggregation (paper Section 2), rational
+// utilities (Definition 2.1), resilience/unbias conversions (Lemma 2.4).
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+#include "core/utility.h"
+
+namespace fle {
+namespace {
+
+std::vector<std::optional<LocalOutput>> outputs_of(std::initializer_list<int> vals) {
+  std::vector<std::optional<LocalOutput>> out;
+  for (const int v : vals) {
+    if (v < 0) {
+      out.push_back(std::nullopt);  // never terminated
+    } else {
+      out.push_back(LocalOutput{false, static_cast<Value>(v)});
+    }
+  }
+  return out;
+}
+
+TEST(Outcome, AllAgreeIsValid) {
+  const auto outs = outputs_of({3, 3, 3, 3});
+  EXPECT_EQ(aggregate_outcome(outs, 4), Outcome::elected(3));
+}
+
+TEST(Outcome, DisagreementFails) {
+  const auto outs = outputs_of({3, 3, 2, 3});
+  EXPECT_TRUE(aggregate_outcome(outs, 4).failed());
+}
+
+TEST(Outcome, MissingTerminationFails) {
+  const auto outs = outputs_of({3, -1, 3});
+  EXPECT_TRUE(aggregate_outcome(outs, 3).failed());
+}
+
+TEST(Outcome, AbortFails) {
+  auto outs = outputs_of({1, 1, 1});
+  outs[1] = LocalOutput{true, 0};
+  EXPECT_TRUE(aggregate_outcome(outs, 3).failed());
+}
+
+TEST(Outcome, OutOfRangeFails) {
+  const auto outs = outputs_of({5, 5, 5});
+  EXPECT_TRUE(aggregate_outcome(outs, 3).failed());  // 5 >= n=3
+}
+
+TEST(RingHelpers, SuccPredDistance) {
+  EXPECT_EQ(ring_succ(4, 5), 0);
+  EXPECT_EQ(ring_pred(0, 5), 4);
+  EXPECT_EQ(ring_distance(2, 2, 7), 0);
+  EXPECT_EQ(ring_distance(5, 1, 7), 3);
+  EXPECT_EQ(ring_distance(1, 5, 7), 4);
+}
+
+TEST(RationalUtility, FailIsWorthZero) {
+  const auto u = RationalUtility::indicator(4, 2);
+  EXPECT_EQ(u.value(Outcome::fail()), 0.0);
+  EXPECT_EQ(u.value(Outcome::elected(2)), 1.0);
+  EXPECT_EQ(u.value(Outcome::elected(1)), 0.0);
+}
+
+TEST(RationalUtility, ClampsToUnitInterval) {
+  RationalUtility u({-1.0, 2.0, 0.5});
+  EXPECT_EQ(u.value(Outcome::elected(0)), 0.0);
+  EXPECT_EQ(u.value(Outcome::elected(1)), 1.0);
+  EXPECT_EQ(u.value(Outcome::elected(2)), 0.5);
+}
+
+TEST(ExpectedUtility, WeightsByDistribution) {
+  OutcomeDistribution dist;
+  dist.leader_probability = {0.25, 0.25, 0.0, 0.0};
+  dist.fail_probability = 0.5;
+  dist.trials = 100;
+  const auto u = RationalUtility::indicator(4, 0);
+  EXPECT_DOUBLE_EQ(expected_utility(u, dist), 0.25);
+}
+
+TEST(MaxBias, UniformIsZero) {
+  OutcomeDistribution dist;
+  dist.leader_probability = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(max_bias(dist), 0.0, 1e-12);
+}
+
+TEST(MaxBias, FullControlIsOneMinusOneOverN) {
+  OutcomeDistribution dist;
+  dist.leader_probability = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(max_bias(dist), 0.75, 1e-12);
+}
+
+TEST(Lemma24, ConversionsAreConsistent) {
+  // eps-resilient => eps-unbiased; eps-unbiased => (n*eps)-resilient.
+  EXPECT_DOUBLE_EQ(unbias_from_resilience(0.1), 0.1);
+  EXPECT_DOUBLE_EQ(resilience_from_unbias(0.1, 20), 2.0);
+}
+
+}  // namespace
+}  // namespace fle
