@@ -3,37 +3,36 @@
 
 #include <cstdio>
 
-#include "analysis/experiment.h"
-#include "attacks/basic_single.h"
-#include "bench_util.h"
-#include "protocols/basic_lead.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E1 / Claim B.1", "Basic-LEAD: one adversary forces any outcome");
-  bench::note("paper: Pr[outcome = w] = 1 for every target w (honest: 1/n)");
-  bench::row_header("     n   target   honest Pr[w]   attacked Pr[w]   FAIL");
+  bench::Harness h("e01", "E1 / Claim B.1",
+                   "Basic-LEAD: one adversary forces any outcome");
+  h.note("paper: Pr[outcome = w] = 1 for every target w (honest: 1/n)");
+  h.row_header("     n   target   honest Pr[w]   attacked Pr[w]   FAIL");
 
-  BasicLeadProtocol protocol;
   for (const int n : {8, 32, 128, 256}) {
-    ExperimentConfig honest_cfg;
-    honest_cfg.n = n;
-    honest_cfg.trials = 2000;
-    honest_cfg.seed = 42;
-    const auto honest = run_trials(protocol, nullptr, honest_cfg);
+    ScenarioSpec honest;
+    honest.protocol = "basic-lead";
+    honest.n = n;
+    honest.trials = 2000;
+    honest.seed = 42;
+    const auto honest_r = h.run(honest, "honest");
 
     for (const Value w : {Value{0}, static_cast<Value>(n / 2)}) {
-      BasicSingleDeviation deviation(n, /*adversary=*/n / 3 + 1, w);
-      ExperimentConfig cfg;
-      cfg.n = n;
-      cfg.trials = 200;
-      cfg.seed = 7 * n + w;
-      const auto attacked = run_trials(protocol, &deviation, cfg);
+      ScenarioSpec attacked = honest;
+      attacked.deviation = "basic-single";
+      attacked.coalition = CoalitionSpec::consecutive(1, /*first=*/n / 3 + 1);
+      attacked.target = w;
+      attacked.trials = 200;
+      attacked.seed = 7 * n + w;
+      const auto r = h.run(attacked, "attacked");
       std::printf("%6d   %6llu   %12.4f   %14.4f   %4.2f\n", n,
-                  static_cast<unsigned long long>(w), honest.outcomes.leader_rate(w),
-                  attacked.outcomes.leader_rate(w), attacked.outcomes.fail_rate());
+                  static_cast<unsigned long long>(w), honest_r.outcomes.leader_rate(w),
+                  r.outcomes.leader_rate(w), r.outcomes.fail_rate());
     }
   }
-  bench::note("expected shape: attacked Pr[w] = 1.0000 in every row");
+  h.note("expected shape: attacked Pr[w] = 1.0000 in every row");
   return 0;
 }

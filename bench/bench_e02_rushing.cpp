@@ -5,20 +5,17 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
-#include "attacks/rushing.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E2 / Lemma 4.1, Theorem 4.2",
-               "A-LEADuni: k >= sqrt(n) equally spaced adversaries control the outcome");
-  bench::note("precondition: every honest segment l_j <= k-1 (equal spacing: n <= k^2)");
-  bench::row_header("     n     k   l_max   precond   attacked Pr[w]   FAIL");
+  bench::Harness h(
+      "e02", "E2 / Lemma 4.1, Theorem 4.2",
+      "A-LEADuni: k >= sqrt(n) equally spaced adversaries control the outcome");
+  h.note("precondition: every honest segment l_j <= k-1 (equal spacing: n <= k^2)");
+  h.row_header("     n     k   l_max   precond   attacked Pr[w]   FAIL");
 
-  ALeadUniProtocol protocol;
   for (const int n : {16, 64, 100, 256, 529, 1024}) {
     const int k_sqrt = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
     for (const int k : {k_sqrt - 1, k_sqrt, k_sqrt + 2}) {
@@ -28,20 +25,22 @@ int main() {
       double rate = 0.0;
       double fail = 0.0;
       if (precond) {
-        const Value w = static_cast<Value>(n - 1);
-        RushingDeviation deviation(coalition, w);
-        ExperimentConfig cfg;
-        cfg.n = n;
-        cfg.trials = 50;
-        cfg.seed = 11 * n + k;
-        const auto r = run_trials(protocol, &deviation, cfg);
-        rate = r.outcomes.leader_rate(w);
+        ScenarioSpec spec;
+        spec.protocol = "alead-uni";
+        spec.deviation = "rushing";
+        spec.coalition = CoalitionSpec::equally_spaced(k);
+        spec.target = static_cast<Value>(n - 1);
+        spec.n = n;
+        spec.trials = 50;
+        spec.seed = 11 * n + k;
+        const auto r = h.run(spec);
+        rate = r.outcomes.leader_rate(spec.target);
         fail = r.outcomes.fail_rate();
       }
       std::printf("%6d  %4d   %5d   %7s   %14.4f   %4.2f\n", n, k,
                   coalition.max_segment_length(), precond ? "yes" : "no", rate, fail);
     }
   }
-  bench::note("expected shape: precond=yes rows show Pr[w] = 1.0; the boundary sits at k ~ sqrt(n)");
+  h.note("expected shape: precond=yes rows show Pr[w] = 1.0; the boundary sits at k ~ sqrt(n)");
   return 0;
 }

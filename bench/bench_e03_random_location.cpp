@@ -5,20 +5,16 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
-#include "attacks/coalition.h"
 #include "attacks/random_location.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E3 / Theorem C.1",
-               "A-LEADuni vs ~sqrt(8 n ln n) randomly located adversaries");
-  bench::note("success bound: 1 - n^(2-C) - delta (delta covers bad placements)");
-  bench::row_header("     n    C      p     E[k]   success    bound(1-n^(2-C))");
+  bench::Harness h("e03", "E3 / Theorem C.1",
+                   "A-LEADuni vs ~sqrt(8 n ln n) randomly located adversaries");
+  h.note("success bound: 1 - n^(2-C) - delta (delta covers bad placements)");
+  h.row_header("     n    C      p     E[k]   success    bound(1-n^(2-C))");
 
-  ALeadUniProtocol protocol;
   for (const int n : {100, 200, 400, 800}) {
     const double p = RandomLocationDeviation::recommended_density(n);
     for (const int c_prefix : {3, 4, 5}) {
@@ -26,15 +22,20 @@ int main() {
       int attempts = 0;
       double k_total = 0.0;
       for (std::uint64_t seed = 0; seed < 60; ++seed) {
-        const auto coalition = Coalition::bernoulli(n, p, seed * 31 + c_prefix);
-        if (coalition.k() < c_prefix + 2) continue;
-        k_total += coalition.k();
-        RandomLocationDeviation deviation(coalition, 3, c_prefix, protocol);
-        ExperimentConfig cfg;
-        cfg.n = n;
-        cfg.trials = 1;
-        cfg.seed = seed * 7919 + n;
-        const auto r = run_trials(protocol, &deviation, cfg);
+        const auto placement = CoalitionSpec::bernoulli(p, seed * 31 + c_prefix);
+        const auto coalition = build_coalition(placement, n);
+        if (coalition->k() < c_prefix + 2) continue;
+        k_total += coalition->k();
+        ScenarioSpec spec;
+        spec.protocol = "alead-uni";
+        spec.deviation = "random-location";
+        spec.coalition = placement;
+        spec.target = 3;
+        spec.prefix = c_prefix;
+        spec.n = n;
+        spec.trials = 1;
+        spec.seed = seed * 7919 + n;
+        const auto r = h.run(spec);
         ++attempts;
         successes += (r.outcomes.count(3) == 1) ? 1 : 0;
       }
@@ -44,6 +45,6 @@ int main() {
                   attempts > 0 ? static_cast<double>(successes) / attempts : 0.0, bound);
     }
   }
-  bench::note("expected shape: success ~ 1 for C >= 4 and large n; degradation only via delta");
+  h.note("expected shape: success ~ 1 for C >= 4 and large n; degradation only via delta");
   return 0;
 }

@@ -5,34 +5,33 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
-#include "attacks/cubic.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E4 / Theorem 4.3 (Cubic Attack)",
-               "A-LEADuni: k = Theta(n^(1/3)) staircase adversaries control the outcome");
-  bench::row_header("      n     k   2*n^(1/3)   attacked Pr[w]   FAIL   sync gap");
+  bench::Harness h(
+      "e04", "E4 / Theorem 4.3 (Cubic Attack)",
+      "A-LEADuni: k = Theta(n^(1/3)) staircase adversaries control the outcome");
+  h.row_header("      n     k   2*n^(1/3)   attacked Pr[w]   FAIL   sync gap");
 
-  ALeadUniProtocol protocol;
   for (const int n : {64, 128, 256, 512, 1024, 2048, 4096}) {
     const int k = Coalition::cubic_min_k(n);
-    const Value w = static_cast<Value>(n / 2);
-    CubicDeviation deviation(Coalition::cubic_staircase(n, k), w);
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.trials = 25;
-    cfg.seed = n;
-    const auto r = run_trials(protocol, &deviation, cfg);
+    ScenarioSpec spec;
+    spec.protocol = "alead-uni";
+    spec.deviation = "cubic";
+    spec.coalition = CoalitionSpec::cubic_staircase(k);
+    spec.target = static_cast<Value>(n / 2);
+    spec.n = n;
+    spec.trials = 25;
+    spec.seed = n;
+    const auto r = h.run(spec);
     std::printf("%7d  %4d   %9.1f   %14.4f   %4.2f   %8llu\n", n, k,
-                2.0 * std::cbrt(static_cast<double>(n)), r.outcomes.leader_rate(w),
-                r.outcomes.fail_rate(),
+                2.0 * std::cbrt(static_cast<double>(n)),
+                r.outcomes.leader_rate(spec.target), r.outcomes.fail_rate(),
                 static_cast<unsigned long long>(r.max_sync_gap));
   }
-  bench::note("expected shape: Pr[w] = 1 with k tracking ~2 n^(1/3); gap = Theta(k^2),");
-  bench::note("the k^2-desynchronization the attack needs (paper Section 6 discussion)");
+  h.note("expected shape: Pr[w] = 1 with k tracking ~2 n^(1/3); gap = Theta(k^2),");
+  h.note("the k^2-desynchronization the attack needs (paper Section 6 discussion)");
   return 0;
 }

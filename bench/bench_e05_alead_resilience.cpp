@@ -6,19 +6,16 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E5 / Theorem 5.1",
-               "A-LEADuni resilience regime: k <= n^(1/4)/4 cannot be attacked");
-  bench::row_header(
+  bench::Harness h("e05", "E5 / Theorem 5.1",
+                   "A-LEADuni resilience regime: k <= n^(1/4)/4 cannot be attacked");
+  h.row_header(
       "      n    k0=n^(1/4)/4   rushing-k-needed   cubic-k-needed   honest Pr[w]-1/n");
 
-  ALeadUniProtocol protocol;
   for (const int n : {256, 1024, 4096}) {
     const double k0 = std::pow(static_cast<double>(n), 0.25) / 4.0;
     int rushing_k = 1;
@@ -27,20 +24,24 @@ int main() {
       ++rushing_k;
     }
     const int cubic_k = Coalition::cubic_min_k(n);
-    ExperimentConfig cfg;
-    cfg.n = n;
+    ScenarioSpec spec;
+    spec.protocol = "alead-uni";
+    spec.n = n;
     // Keep total delivered messages ~ 10^8: enough trials to bound the
-    // fixed-target deviation well below any exploitable bias.
-    cfg.trials = std::max<std::size_t>(60, 100'000'000ull / (static_cast<std::size_t>(n) * n));
-    cfg.seed = n;
-    const auto honest = run_trials(protocol, nullptr, cfg);
+    // fixed-target deviation well below any exploitable bias.  The parallel
+    // trial batcher spreads the sweep over all cores.
+    spec.trials = std::max<std::size_t>(60, 100'000'000ull /
+                                                (static_cast<std::size_t>(n) * n));
+    spec.seed = n;
+    spec.threads = 0;  // hardware concurrency
+    const auto honest = h.run(spec);
     // Fixed-target deviation from 1/n: the eps of eps-k-unbiasedness for a
     // specific w (max-over-j needs >> n trials to separate from noise).
     const Value w = static_cast<Value>(n / 2);
     std::printf("%7d   %12.2f   %16d   %14d   %16.5f\n", n, k0, rushing_k + 1, cubic_k,
                 honest.outcomes.leader_rate(w) - 1.0 / n);
   }
-  bench::note("expected shape: both attack thresholds sit far above k0 = n^(1/4)/4;");
-  bench::note("the gap between k0 and cubic-k-needed is the open band of Conjecture 4.7");
+  h.note("expected shape: both attack thresholds sit far above k0 = n^(1/4)/4;");
+  h.note("the gap between k0 and cubic-k-needed is the open band of Conjecture 4.7");
   return 0;
 }

@@ -7,45 +7,50 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
 #include "attacks/phase_rushing.h"
-#include "bench_util.h"
+#include "harness.h"
 #include "protocols/phase_async_lead.h"
 
 int main() {
   using namespace fle;
-  bench::title("E6 / Theorem 6.1",
-               "PhaseAsyncLead resilience: sub-sqrt(n) coalitions gain nothing");
-  bench::row_header("     n    k   free slots   Pr[w]   FAIL   honest Pr[w]-1/n");
+  bench::Harness h("e06", "E6 / Theorem 6.1",
+                   "PhaseAsyncLead resilience: sub-sqrt(n) coalitions gain nothing");
+  h.row_header("     n    k   free slots   Pr[w]   FAIL   honest Pr[w]-1/n");
 
   for (const int n : {100, 256, 400, 784}) {
-    PhaseAsyncLeadProtocol protocol(n, 0xfadeull + n);
     const Value w = static_cast<Value>(n / 4);
-    ExperimentConfig honest_cfg;
-    honest_cfg.n = n;
-    honest_cfg.trials =
+    ScenarioSpec honest;
+    honest.protocol = "phase-async-lead";
+    honest.protocol_key = 0xfadeull + n;
+    honest.n = n;
+    honest.trials =
         std::max<std::size_t>(100, 50'000'000ull / (static_cast<std::size_t>(n) * n));
-    honest_cfg.seed = n;
-    const auto honest = run_trials(protocol, nullptr, honest_cfg);
+    honest.seed = n;
+    honest.threads = 0;
+    const auto honest_r = h.run(honest, "honest");
 
     // Sub-threshold coalition sizes: fractions of sqrt(n) (Theorem 6.1's
     // regime is k <= sqrt(n)/10; we sweep up to ~2/3 sqrt(n), all of which
     // leave zero free slots under equal spacing).
     const int s = static_cast<int>(std::sqrt(static_cast<double>(n)));
     for (const int k : {std::max(2, s / 4), std::max(3, s / 2), std::max(4, 2 * s / 3)}) {
-      PhaseRushingDeviation deviation(Coalition::equally_spaced(n, k), w, protocol);
-      const int free = deviation.free_slots(0);
-      ExperimentConfig cfg;
-      cfg.n = n;
-      cfg.trials = 30;
-      cfg.seed = 13 * n + k;
-      const auto r = run_trials(protocol, &deviation, cfg);
-      std::printf("%6d  %3d   %10d   %5.3f   %4.2f   %16.5f\n", n, k, free,
+      // Free-slot count for the table: from the deviation itself.
+      PhaseAsyncLeadProtocol protocol(n, honest.protocol_key);
+      PhaseRushingDeviation probe(Coalition::equally_spaced(n, k), w, protocol);
+      ScenarioSpec spec = honest;
+      spec.deviation = "phase-rushing";
+      spec.coalition = CoalitionSpec::equally_spaced(k);
+      spec.target = w;
+      spec.trials = 30;
+      spec.seed = 13 * n + k;
+      spec.threads = 1;
+      const auto r = h.run(spec);
+      std::printf("%6d  %3d   %10d   %5.3f   %4.2f   %16.5f\n", n, k, probe.free_slots(0),
                   r.outcomes.leader_rate(w), r.outcomes.fail_rate(),
-                  honest.outcomes.leader_rate(w) - 1.0 / n);
+                  honest_r.outcomes.leader_rate(w) - 1.0 / n);
     }
   }
-  bench::note("expected shape: free slots = 0, Pr[w] ~ 0, FAIL ~ 1 in the resilient band");
+  h.note("expected shape: free slots = 0, Pr[w] ~ 0, FAIL ~ 1 in the resilient band");
   return 0;
 }

@@ -3,38 +3,45 @@
 // through their free late data slots.  This is the tightness half of the
 // Theta(sqrt(n)) claim.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
 #include "attacks/phase_rushing.h"
-#include "bench_util.h"
+#include "harness.h"
 #include "protocols/phase_async_lead.h"
 
 int main() {
   using namespace fle;
-  bench::title("E7 / Theorem 6.1 tightness",
-               "PhaseAsyncLead: k = sqrt(n)+3 adversaries steer f to any target");
-  bench::row_header("     n    k   min free slots   attacked Pr[w]   FAIL");
+  bench::Harness h("e07", "E7 / Theorem 6.1 tightness",
+                   "PhaseAsyncLead: k = sqrt(n)+3 adversaries steer f to any target");
+  h.row_header("     n    k   min free slots   attacked Pr[w]   FAIL");
 
   for (const int n : {64, 100, 196, 324, 529}) {
     const int k = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) + 3;
-    PhaseAsyncLeadProtocol protocol(n, 0xd00dull + n);
+    ScenarioSpec spec;
+    spec.protocol = "phase-async-lead";
+    spec.protocol_key = 0xd00dull + n;
+    spec.deviation = "phase-rushing";
+    spec.coalition = CoalitionSpec::equally_spaced(k);
+    spec.target = static_cast<Value>(2 * n / 3);
+    spec.search_cap = 96ull * n;
+    spec.n = n;
+    spec.trials = 25;
+    spec.seed = 3 * n;
+
+    PhaseAsyncLeadProtocol protocol(n, spec.protocol_key);
     const auto coalition = Coalition::equally_spaced(n, k);
-    const Value w = static_cast<Value>(2 * n / 3);
-    PhaseRushingDeviation deviation(coalition, w, protocol, /*search_cap=*/96ull * n);
+    PhaseRushingDeviation probe(coalition, spec.target, protocol, spec.search_cap);
     int min_free = n;
-    for (int j = 0; j < coalition.k(); ++j) min_free = std::min(min_free, deviation.free_slots(j));
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.trials = 25;
-    cfg.seed = 3 * n;
-    const auto r = run_trials(protocol, &deviation, cfg);
+    for (int j = 0; j < coalition.k(); ++j) min_free = std::min(min_free, probe.free_slots(j));
+
+    const auto r = h.run(spec);
     std::printf("%6d  %4d   %14d   %14.4f   %4.2f\n", n, k, min_free,
-                r.outcomes.leader_rate(w), r.outcomes.fail_rate());
+                r.outcomes.leader_rate(spec.target), r.outcomes.fail_rate());
   }
-  bench::note("expected shape: >= 3 free slots per adversary and Pr[w] ~ 1 (paper:");
-  bench::note("'every adversary can control the output almost for every input')");
+  h.note("expected shape: >= 3 free slots per adversary and Pr[w] ~ 1 (paper:");
+  h.note("'every adversary can control the output almost for every input')");
   return 0;
 }

@@ -4,31 +4,29 @@
 
 #include <cstdio>
 
-#include "analysis/experiment.h"
-#include "attacks/phase_sum_attack.h"
-#include "bench_util.h"
-#include "protocols/phase_sum_lead.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E8 / Appendix E.4 (ablation: sum output instead of random f)",
-               "PhaseSumLead: k = 4 adversaries control any ring size");
-  bench::row_header("      n    k   attacked Pr[w]   FAIL   sync gap");
+  bench::Harness h("e08", "E8 / Appendix E.4 (ablation: sum output instead of random f)",
+                   "PhaseSumLead: k = 4 adversaries control any ring size");
+  h.row_header("      n    k   attacked Pr[w]   FAIL   sync gap");
 
   for (const int n : {32, 64, 128, 256, 512, 1024}) {
-    PhaseSumLeadProtocol protocol(n);
-    const Value w = static_cast<Value>(n - 3);
-    PhaseSumDeviation deviation(PhaseSumDeviation::placement(n), w, protocol);
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.trials = 25;
-    cfg.seed = 5 * n;
-    const auto r = run_trials(protocol, &deviation, cfg);
-    std::printf("%7d    4   %14.4f   %4.2f   %8llu\n", n, r.outcomes.leader_rate(w),
-                r.outcomes.fail_rate(), static_cast<unsigned long long>(r.max_sync_gap));
+    ScenarioSpec spec;
+    spec.protocol = "phase-sum-lead";
+    spec.deviation = "phase-sum";  // canonical k = 4 placement
+    spec.target = static_cast<Value>(n - 3);
+    spec.n = n;
+    spec.trials = 25;
+    spec.seed = 5 * n;
+    const auto r = h.run(spec);
+    std::printf("%7d    4   %14.4f   %4.2f   %8llu\n", n,
+                r.outcomes.leader_rate(spec.target), r.outcomes.fail_rate(),
+                static_cast<unsigned long long>(r.max_sync_gap));
   }
-  bench::note("expected shape: Pr[w] = 1 with k fixed at 4 for every n — contrast with");
-  bench::note("E7 where the random-f protocol needs k ~ sqrt(n); sync gap stays O(k):");
-  bench::note("the covert channel defeats the sum despite intact synchronization");
+  h.note("expected shape: Pr[w] = 1 with k fixed at 4 for every n — contrast with");
+  h.note("E7 where the random-f protocol needs k ~ sqrt(n); sync gap stays O(k):");
+  h.note("the covert channel defeats the sum despite intact synchronization");
   return 0;
 }

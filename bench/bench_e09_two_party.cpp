@@ -1,19 +1,20 @@
 // E9 (Lemma F.2): every finite two-party coin-toss protocol has an assuring
 // player; fair protocols included.  Table: over random protocol trees, how
 // often each assurance pattern occurs, and verification that both
-// disjunctions of the lemma hold universally.
+// disjunctions of the lemma hold universally.  The last-mover dictatorship
+// is additionally exercised live through the Scenario API's tree topology.
 
 #include <cstdio>
 
-#include "bench_util.h"
+#include "harness.h"
 #include "trees/tree_protocols.h"
 #include "trees/two_party.h"
 
 int main() {
   using namespace fle;
-  bench::title("E9 / Lemma F.2",
-               "Two-party coin toss: an assuring player always exists");
-  bench::row_header(" depth   trees   disj1   disj2   dictator   A-assures   B-assures");
+  bench::Harness h("e09", "E9 / Lemma F.2",
+                   "Two-party coin toss: an assuring player always exists");
+  h.row_header(" depth   trees   disj1   disj2   dictator   A-assures   B-assures");
 
   for (const int depth : {2, 3, 4, 6, 8}) {
     const int trees = 300;
@@ -29,19 +30,42 @@ int main() {
     }
     std::printf("%6d   %5d   %5d   %5d   %8d   %9d   %9d\n", depth, trees, disj1, disj2,
                 dictator, a_any, b_any);
+    bench::JsonObject row;
+    row.set("label", "lemma-f2-sweep")
+        .set("depth", depth)
+        .set("trees", trees)
+        .set("disj1", disj1)
+        .set("disj2", disj2)
+        .set("dictator", dictator);
+    h.add_row(row);
   }
 
-  bench::note("expected shape: disj1 = disj2 = trees in every row (the lemma);");
-  bench::note("alternating-XOR sanity: the last mover dictates at every round count");
-  bench::row_header(" rounds   last mover dictates   first mover assures anything");
+  h.note("expected shape: disj1 = disj2 = trees in every row (the lemma);");
+  h.note("alternating-XOR sanity: the last mover dictates at every round count,");
+  h.note("sampled live via the tree-topology scenario (both target bits forced)");
+  h.row_header(" rounds   last mover forces 0   last mover forces 1   first assures anything");
   for (const int rounds : {1, 2, 3, 4, 5, 6, 7}) {
+    ScenarioSpec spec;
+    spec.topology = TopologyKind::kTree;
+    spec.protocol = "alternating-xor";
+    spec.deviation = "xor-last-mover";
+    spec.rounds = rounds;
+    spec.n = 2;
+    spec.trials = 64;
+    spec.seed = 100 + rounds;
+    spec.target = 0;
+    const auto zero = h.run(spec, "force-0");
+    spec.target = 1;
+    const auto one = h.run(spec, "force-1");
+    const bool forces0 = zero.outcomes.count(0) == zero.trials;
+    const bool forces1 = one.outcomes.count(1) == one.trials;
+
     const auto g = alternating_xor_game(rounds);
     const std::uint32_t last_mask = ((rounds - 1) % 2 == 0) ? 0b01u : 0b10u;
     const std::uint32_t first_mask = 0b11u ^ last_mask;
-    const bool last_dictates = g.assures(last_mask, 0) && g.assures(last_mask, 1);
     const bool first_any = g.assures(first_mask, 0) || g.assures(first_mask, 1);
-    std::printf("%7d   %19s   %28s\n", rounds, last_dictates ? "yes" : "NO",
-                first_any ? "YES" : "no");
+    std::printf("%7d   %19s   %19s   %22s\n", rounds, forces0 ? "yes" : "NO",
+                forces1 ? "yes" : "NO", first_any ? "YES" : "no");
   }
   return 0;
 }

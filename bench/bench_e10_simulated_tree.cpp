@@ -2,17 +2,18 @@
 // ceil(n/2)-simulated tree (constructive partition), and on simulated-tree
 // protocols an assuring part of size <= k exists.
 
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_util.h"
+#include "harness.h"
 #include "trees/partition.h"
 #include "trees/tree_protocols.h"
 
 int main() {
   using namespace fle;
-  bench::title("E10 / Claim F.5 + Theorem 7.2",
-               "Half-partitions of random graphs; assuring parts on simulated trees");
-  bench::row_header("     n   graphs   valid simulations   max width   width bound");
+  bench::Harness h("e10", "E10 / Claim F.5 + Theorem 7.2",
+                   "Half-partitions of random graphs; assuring parts on simulated trees");
+  h.row_header("     n   graphs   valid simulations   max width   width bound");
 
   for (const int n : {8, 16, 32, 64, 128}) {
     const int graphs = 50;
@@ -26,11 +27,19 @@ int main() {
     }
     std::printf("%6d   %6d   %17d   %9d   %11d\n", n, graphs, valid, max_width,
                 (n + 1) / 2);
+    bench::JsonObject row;
+    row.set("label", "half-partition")
+        .set("n", n)
+        .set("graphs", graphs)
+        .set("valid", valid)
+        .set("max_width", max_width)
+        .set("width_bound", (n + 1) / 2);
+    h.add_row(row);
   }
 
-  bench::note("expected shape: valid = graphs, width <= ceil(n/2) in every row");
-  bench::note("assuring-part demo on last-mover games over the two-arc ring simulation:");
-  bench::row_header("  ring n   part width k   assuring part found   forces both bits");
+  h.note("expected shape: valid = graphs, width <= ceil(n/2) in every row");
+  h.note("assuring-part demo on last-mover games over the two-arc ring simulation:");
+  h.row_header("  ring n   part width k   assuring part found   forces both bits");
   for (const int n : {4, 8, 12, 16, 20}) {
     const auto sim = ring_as_two_arc_simulation(n);
     auto say = [&](int owner) {
@@ -52,7 +61,14 @@ int main() {
     }
     std::printf("%8d   %12d   %19s   %16s\n", n, sim.width(), part ? "yes" : "NO",
                 both ? "yes" : "no");
+    bench::JsonObject row;
+    row.set("label", "assuring-part")
+        .set("n", n)
+        .set("width", sim.width())
+        .set("found", part.has_value())
+        .set("forces_both", both);
+    h.add_row(row);
   }
-  bench::note("expected shape: a part of size ceil(n/2) assures (Theorem 7.2's coalition)");
+  h.note("expected shape: a part of size ceil(n/2) assures (Theorem 7.2's coalition)");
   return 0;
 }

@@ -1,52 +1,72 @@
 // E11 (Theorem 8.1): FLE <-> coin toss reductions measured over real
 // PhaseAsyncLead elections, with the theorem's bias-amplification bounds.
+// Per-trial outcomes come from record_outcomes scenarios — the reductions
+// are outcome-level adapters over the recorded elections.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.h"
 #include "core/reductions.h"
-#include "protocols/phase_async_lead.h"
-#include "sim/engine.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E11 / Theorem 8.1", "Leader election <-> coin toss reductions");
+  bench::Harness h("e11", "E11 / Theorem 8.1",
+                   "Leader election <-> coin toss reductions");
 
-  bench::row_header("     n   trials   Pr[coin=1] (from election parity)   |bias|");
+  h.row_header("     n   trials   Pr[coin=1] (from election parity)   |bias|");
   for (const int n : {8, 16, 64}) {
-    PhaseAsyncLeadProtocol protocol(n, 0xc0141ull + n);
-    const int trials = 3000;
+    ScenarioSpec spec;
+    spec.protocol = "phase-async-lead";
+    spec.protocol_key = 0xc0141ull + n;
+    spec.n = n;
+    spec.trials = 3000;
+    spec.seed = 37 * n + 11;
+    spec.record_outcomes = true;
+    spec.threads = 0;
+    const auto r = h.run(spec, "coin-from-election");
     int ones = 0;
-    for (int t = 0; t < trials; ++t) {
-      const Outcome o = run_honest(protocol, n, static_cast<std::uint64_t>(t) * 37 + 11);
+    for (const Outcome& o : r.per_trial) {
       if (coin_from_leader(o) == CoinResult::kOne) ++ones;
     }
-    const double rate = static_cast<double>(ones) / trials;
-    std::printf("%6d   %6d   %33.4f   %6.4f\n", n, trials, rate, std::abs(rate - 0.5));
+    const double rate = static_cast<double>(ones) / static_cast<double>(r.trials);
+    h.annotate("coin_one_rate", rate);
+    std::printf("%6d   %6zu   %33.4f   %6.4f\n", n, r.trials, rate, std::abs(rate - 0.5));
   }
-  bench::note("expected shape: Pr[coin=1] ~ 1/2 (paper bound: 1/2 + n*eps/2, eps ~ 0)");
+  h.note("expected shape: Pr[coin=1] ~ 1/2 (paper bound: 1/2 + n*eps/2, eps ~ 0)");
 
-  bench::row_header("     n   tosses   election max bias (from coins)   bound (1/2+eps)^log2(n)");
+  h.row_header("     n   tosses   election max bias (from coins)   bound (1/2+eps)^log2(n)");
   for (const int n : {8, 16}) {
-    PhaseAsyncLeadProtocol protocol(n, 0x7055ull + n);
-    const int trials = 1500;
+    const int tosses = tosses_needed(n);
+    const int elections = 1500;
+    ScenarioSpec spec;
+    spec.protocol = "phase-async-lead";
+    spec.protocol_key = 0x7055ull + n;
+    spec.n = n;
+    spec.trials = static_cast<std::size_t>(elections) * tosses;
+    spec.seed = 101 * n + 3;
+    spec.record_outcomes = true;
+    spec.threads = 0;
+    const auto r = h.run(spec, "election-from-coins");
     std::vector<int> counts(static_cast<std::size_t>(n), 0);
-    for (int t = 0; t < trials; ++t) {
+    for (int t = 0; t < elections; ++t) {
       std::vector<CoinResult> coins;
-      for (int b = 0; b < tosses_needed(n); ++b) {
-        const Outcome o =
-            run_honest(protocol, n, static_cast<std::uint64_t>(t) * 101 + b * 17 + 3);
-        coins.push_back(coin_from_leader(o));
+      for (int b = 0; b < tosses; ++b) {
+        coins.push_back(coin_from_leader(r.per_trial[static_cast<std::size_t>(t) * tosses + b]));
       }
       const Outcome leader = leader_from_coins(coins, n);
       if (leader.valid()) ++counts[static_cast<std::size_t>(leader.leader())];
     }
     double max_rate = 0.0;
-    for (const int c : counts) max_rate = std::max(max_rate, static_cast<double>(c) / trials);
-    std::printf("%6d   %6d   %30.4f   %23.4f\n", n, tosses_needed(n),
-                max_rate - 1.0 / n, election_probability_bound_from_coins(0.02, n) - 1.0 / n);
+    for (const int c : counts) {
+      max_rate = std::max(max_rate, static_cast<double>(c) / elections);
+    }
+    h.annotate("election_max_bias", max_rate - 1.0 / n);
+    std::printf("%6d   %6d   %30.4f   %23.4f\n", n, tosses, max_rate - 1.0 / n,
+                election_probability_bound_from_coins(0.02, n) - 1.0 / n);
   }
-  bench::note("expected shape: measured bias within the theorem's amplification bound");
+  h.note("expected shape: measured bias within the theorem's amplification bound");
   return 0;
 }

@@ -4,54 +4,44 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
-#include "protocols/basic_lead.h"
-#include "protocols/chang_roberts.h"
-#include "protocols/peterson.h"
-#include "protocols/phase_async_lead.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E12 / message complexity",
-               "Fair-vs-classical: Theta(n^2) is the price of rational resilience");
-  bench::row_header(
+  bench::Harness h("e12", "E12 / message complexity",
+                   "Fair-vs-classical: Theta(n^2) is the price of rational resilience");
+  h.row_header(
       "     n   Basic-LEAD   A-LEADuni   PhaseAsync   ChangRoberts(avg)   Peterson(max)   n^2      n*log2(n)");
 
   for (const int n : {16, 32, 64, 128, 256, 512}) {
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.trials = 5;
-    cfg.seed = n;
-
-    BasicLeadProtocol basic;
-    const auto basic_r = run_trials(basic, nullptr, cfg);
-    ALeadUniProtocol alead;
-    const auto alead_r = run_trials(alead, nullptr, cfg);
-    PhaseAsyncLeadProtocol phase(n, 0xabull);
-    const auto phase_r = run_trials(phase, nullptr, cfg);
-
-    ExperimentConfig classical_cfg;
-    classical_cfg.n = n;
-    classical_cfg.trials = 25;
-    classical_cfg.seed = n;
-    const auto cr = run_trials_factory(
-        [&](std::uint64_t s) {
-          return std::make_unique<ChangRobertsProtocol>(ChangRobertsProtocol::random(n, s));
-        },
-        nullptr, classical_cfg);
-    const auto pet = run_trials_factory(
-        [&](std::uint64_t s) {
-          return std::make_unique<PetersonProtocol>(PetersonProtocol::random(n, s));
-        },
-        nullptr, classical_cfg);
+    const auto fair = [&](const char* protocol) {
+      ScenarioSpec spec;
+      spec.protocol = protocol;
+      spec.protocol_key = 0xabull;
+      spec.n = n;
+      spec.trials = 5;
+      spec.seed = n;
+      return h.run(spec);
+    };
+    const auto classical = [&](const char* protocol) {
+      ScenarioSpec spec;
+      spec.protocol = protocol;  // per-trial id permutations
+      spec.n = n;
+      spec.trials = 25;
+      spec.seed = n;
+      return h.run(spec);
+    };
+    const auto basic_r = fair("basic-lead");
+    const auto alead_r = fair("alead-uni");
+    const auto phase_r = fair("phase-async-lead");
+    const auto cr = classical("chang-roberts");
+    const auto pet = classical("peterson");
 
     std::printf("%6d   %10.0f   %9.0f   %10.0f   %17.1f   %13llu   %7d   %9.1f\n", n,
                 basic_r.mean_messages, alead_r.mean_messages, phase_r.mean_messages,
                 cr.mean_messages, static_cast<unsigned long long>(pet.max_messages), n * n,
                 n * std::log2(static_cast<double>(n)));
   }
-  bench::note("expected shape: fair columns track n^2 (PhaseAsync = 2n^2); classical track n log n");
+  h.note("expected shape: fair columns track n^2 (PhaseAsync = 2n^2); classical track n log n");
   return 0;
 }

@@ -6,32 +6,15 @@
 #include <cstdio>
 
 #include "attacks/shamir_attacks.h"
-#include "bench_util.h"
+#include "harness.h"
 #include "protocols/shamir_lead.h"
 
 int main() {
   using namespace fle;
-  bench::title("E13 / related-work baseline (Abraham et al. via Shamir)",
-               "Fully-connected async FLE: resilient to n/2-1, broken at n/2");
-  bench::row_header(
+  bench::Harness h("e13", "E13 / related-work baseline (Abraham et al. via Shamir)",
+                   "Fully-connected async FLE: resilient to n/2-1, broken at n/2");
+  h.row_header(
       "     n    k         attack        possible   Pr[w]   FAIL   (w = n-1)");
-
-  const auto run_attack = [](const ShamirLeadProtocol& protocol, const GraphDeviation& dev,
-                             int n, Value w, double* rate, double* fail) {
-    int hits = 0, fails = 0;
-    const int trials = 20;
-    for (std::uint64_t seed = 0; seed < trials; ++seed) {
-      GraphEngine engine(n, seed * 11 + 1);
-      const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
-      if (o.failed()) {
-        ++fails;
-      } else if (o.leader() == w) {
-        ++hits;
-      }
-    }
-    *rate = static_cast<double>(hits) / trials;
-    *fail = static_cast<double>(fails) / trials;
-  };
 
   for (const int n : {8, 12, 16, 24}) {
     ShamirLeadProtocol protocol(n);
@@ -48,24 +31,33 @@ int main() {
         {t, "rushing (k=t)", false},                   // reconstruction regime
     };
     for (const auto& row : rows) {
-      double rate = 0, fail = 0;
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kGraph;
+      spec.protocol = "shamir-lead";
+      spec.deviation = row.forge ? "shamir-forge" : "shamir-rushing";
+      spec.coalition = CoalitionSpec::consecutive(row.k, row.forge ? 0 : 1);
+      spec.target = w;
+      spec.n = n;
+      spec.trials = 20;
+      spec.seed = 17 * n + row.k;
+
       bool possible;
       if (row.forge) {
-        ShamirForgeDeviation dev(Coalition::consecutive(n, row.k, 0), w, protocol);
-        possible = dev.forging_possible();
-        run_attack(protocol, dev, n, w, &rate, &fail);
+        ShamirForgeDeviation probe(Coalition::consecutive(n, row.k, 0), w, protocol);
+        possible = probe.forging_possible();
       } else {
-        ShamirRushingDeviation dev(Coalition::consecutive(n, row.k, 1), w, protocol);
-        possible = dev.reconstruction_possible();
-        run_attack(protocol, dev, n, w, &rate, &fail);
+        ShamirRushingDeviation probe(Coalition::consecutive(n, row.k, 1), w, protocol);
+        possible = probe.reconstruction_possible();
       }
+      const auto r = h.run(spec, row.name);
       std::printf("%6d  %3d   %18s   %8s   %5.2f   %4.2f\n", n, row.k, row.name,
-                  possible ? "yes" : "no", rate, fail);
+                  possible ? "yes" : "no", r.outcomes.leader_rate(w),
+                  r.outcomes.fail_rate());
     }
   }
-  bench::note("expected shape: Pr[w] jumps 0 -> 1 exactly at k = ceil(n/2) (forge)");
-  bench::note("and k = floor(n/2)+1 (rushing); below, attacks fail or give no gain.");
-  bench::note("Contrast: the ring tops out at Theta(sqrt(n)) (E7) — topology buys");
-  bench::note("resilience: fully-connected n/2 >> ring sqrt(n) >> tree k (Thm 7.2)");
+  h.note("expected shape: Pr[w] jumps 0 -> 1 exactly at k = ceil(n/2) (forge)");
+  h.note("and k = floor(n/2)+1 (rushing); below, attacks fail or give no gain.");
+  h.note("Contrast: the ring tops out at Theta(sqrt(n)) (E7) — topology buys");
+  h.note("resilience: fully-connected n/2 >> ring sqrt(n) >> tree k (Thm 7.2)");
   return 0;
 }

@@ -6,61 +6,65 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.h"
-#include "fullinfo/baton.h"
 #include "fullinfo/majority.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E14 / full-information comparators (Saks, Ben-Or & Linial)",
-               "Bias vs coalition size in the broadcast model");
+  bench::Harness h("e14", "E14 / full-information comparators (Saks, Ben-Or & Linial)",
+                   "Bias vs coalition size in the broadcast model");
 
-  bench::row_header("baton n=64:    k   Pr[target wins]   honest 1/(n-1)");
+  h.row_header("baton n=64:    k   Pr[target wins]   honest 1/(n-1)");
   {
     const int n = 64;
-    BatonGame game(n);
-    const ProcessorId target = n - 1;
-    Xoshiro256 rng(2024);
     for (const int k : {0, 2, 4, 8, 16, 32}) {
-      std::vector<ProcessorId> coalition;
-      for (int i = 1; i <= k; ++i) coalition.push_back(i);
-      BatonGreedyAdversary adv(coalition, target);
-      int hits = 0;
-      const int trials = 4000;
-      for (int i = 0; i < trials; ++i) {
-        hits += play_turn_game(game, coalition, k > 0 ? &adv : nullptr, rng) ==
-                static_cast<Value>(target);
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kFullInfo;
+      spec.protocol = "baton";
+      spec.n = n;
+      spec.trials = 4000;
+      spec.seed = 2024 + k;
+      spec.target = static_cast<Value>(n - 1);
+      if (k > 0) {
+        spec.deviation = "baton-greedy";
+        std::vector<ProcessorId> members;
+        for (int i = 1; i <= k; ++i) members.push_back(i);
+        spec.coalition = CoalitionSpec::custom(members);
       }
-      std::printf("%17d   %15.4f   %14.4f\n", k, static_cast<double>(hits) / trials,
+      const auto r = h.run(spec);
+      std::printf("%17d   %15.4f   %14.4f\n", k, r.outcomes.leader_rate(spec.target),
                   1.0 / (n - 1));
     }
   }
-  bench::note("expected shape: influence grows slowly — the baton resists much larger");
-  bench::note("coalitions than sqrt(n) (Saks: O(n/log n)), at broadcast-model cost");
+  h.note("expected shape: influence grows slowly — the baton resists much larger");
+  h.note("coalitions than sqrt(n) (Saks: O(n/log n)), at broadcast-model cost");
 
-  bench::row_header("majority:     n     k   measured bias   binomial exact   k/sqrt(2 pi n)");
-  {
-    Xoshiro256 rng(7);
-    for (const int n : {49, 225}) {
-      MajorityCoinGame game(n);
-      for (const int k : {2, 4, 8}) {
-        std::vector<ProcessorId> coalition;
-        for (int i = 0; i < k; ++i) coalition.push_back(i);
-        MajorityTargetAdversary adv(1);
-        int ones = 0;
-        const int trials = 20000;
-        for (int i = 0; i < trials; ++i) {
-          ones += play_turn_game(game, coalition, &adv, rng) == 1;
-        }
-        std::printf("%19d  %4d   %13.4f   %14.4f   %14.4f\n", n, k,
-                    static_cast<double>(ones) / trials - 0.5, majority_bias_estimate(n, k),
-                    k / std::sqrt(2.0 * M_PI * n));
-      }
+  h.row_header("majority:     n     k   measured bias   binomial exact   k/sqrt(2 pi n)");
+  for (const int n : {49, 225}) {
+    for (const int k : {2, 4, 8}) {
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kFullInfo;
+      spec.protocol = "majority-coin";
+      spec.deviation = "majority-target";
+      std::vector<ProcessorId> members;
+      for (int i = 0; i < k; ++i) members.push_back(i);
+      spec.coalition = CoalitionSpec::custom(members);
+      spec.target = 1;
+      spec.n = n;
+      spec.trials = 20000;
+      spec.seed = 7 * n + k;
+      spec.threads = 0;
+      const auto r = h.run(spec);
+      const double ones = static_cast<double>(r.outcomes.count(1)) /
+                          static_cast<double>(r.trials);
+      std::printf("%19d  %4d   %13.4f   %14.4f   %14.4f\n", n, k, ones - 0.5,
+                  majority_bias_estimate(n, k), k / std::sqrt(2.0 * M_PI * n));
     }
   }
-  bench::note("expected shape: measured = exact binomial = Gaussian k/sqrt(2 pi n):");
-  bench::note("single-round coins leak linearly in k — the reason the paper's ring");
-  bench::note("protocols never let a round's value be decided by a vote");
+  h.note("expected shape: measured = exact binomial = Gaussian k/sqrt(2 pi n):");
+  h.note("single-round coins leak linearly in k — the reason the paper's ring");
+  h.note("protocols never let a round's value be decided by a vote");
   return 0;
 }

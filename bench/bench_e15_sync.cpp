@@ -4,114 +4,61 @@
 // impossible and silence detectable.  The full four-scenario resilience
 // ladder is now measured end to end.
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
-#include "bench_util.h"
-#include "protocols/sync_lead.h"
-#include "sim/sync_engine.h"
-
-namespace {
-
-using namespace fle;
-
-/// n-1 colluders broadcast fixed values; one honest processor remains.
-class FixedValueColluder final : public SyncStrategy {
- public:
-  explicit FixedValueColluder(Value v) : v_(v) {}
-  void on_round(SyncContext& ctx, const SyncInbox& inbox) override {
-    const auto n = static_cast<Value>(ctx.network_size());
-    if (ctx.round() == 1) {
-      ctx.broadcast({v_ % n});
-      return;
-    }
-    Value sum = v_ % n;
-    for (const auto& [from, m] : inbox) sum = (sum + m[0]) % n;
-    ctx.terminate(sum);
-  }
-
- private:
-  Value v_;
-};
-
-/// Waits one round before broadcasting (the asynchronous winning move).
-class LateBroadcaster final : public SyncStrategy {
- public:
-  void on_round(SyncContext& ctx, const SyncInbox& inbox) override {
-    const auto n = static_cast<Value>(ctx.network_size());
-    if (ctx.round() == 1) return;
-    if (ctx.round() == 2) {
-      Value others = 0;
-      for (const auto& [from, m] : inbox) others = (others + m[0]) % n;
-      ctx.broadcast({(n - others % n) % n});
-      return;
-    }
-    ctx.terminate(0);
-  }
-};
-
-}  // namespace
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("E15 / Section 1.1 synchronous scenarios",
-               "Sync broadcast & ring elections: optimal k = n-1 resilience");
+  bench::Harness h("e15", "E15 / Section 1.1 synchronous scenarios",
+                   "Sync broadcast & ring elections: optimal k = n-1 resilience");
 
-  bench::row_header("     n   deviation              valid   FAIL   max bias");
-  SyncBroadcastLeadProtocol protocol;
+  h.row_header("     n   deviation              valid   FAIL   max bias");
   for (const int n : {8, 16, 32}) {
     // (a) n-1 colluders with blind fixed values: outcome stays uniform.
     {
-      std::vector<int> counts(static_cast<std::size_t>(n), 0);
-      const int trials = 2000;
-      int fails = 0;
-      for (int t = 0; t < trials; ++t) {
-        SyncEngine engine(n, static_cast<std::uint64_t>(t) * 31 + n);
-        std::vector<std::unique_ptr<SyncStrategy>> s;
-        for (ProcessorId p = 0; p < n; ++p) {
-          if (p == n / 2) {
-            s.push_back(protocol.make_strategy(p, n));  // lone honest
-          } else {
-            s.push_back(std::make_unique<FixedValueColluder>(static_cast<Value>(p)));
-          }
-        }
-        const Outcome o = engine.run(std::move(s));
-        if (o.failed()) {
-          ++fails;
-        } else {
-          ++counts[static_cast<std::size_t>(o.leader())];
-        }
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kSync;
+      spec.protocol = "sync-broadcast-lead";
+      spec.deviation = "sync-blind-collusion";
+      std::vector<ProcessorId> members;  // everyone except the lone honest n/2
+      for (ProcessorId p = 0; p < n; ++p) {
+        if (p != n / 2) members.push_back(p);
       }
+      spec.coalition = CoalitionSpec::custom(members);
+      spec.n = n;
+      spec.trials = 2000;
+      spec.seed = 31 * n;
+      spec.threads = 0;
+      const auto r = h.run(spec, "blind-collusion");
       double max_rate = 0;
-      for (const int c : counts) max_rate = std::max(max_rate, static_cast<double>(c) / trials);
+      for (Value j = 0; j < static_cast<Value>(n); ++j) {
+        max_rate = std::max(max_rate, r.outcomes.leader_rate(j));
+      }
       std::printf("%6d   %-22s %5.2f   %4.2f   %8.4f\n", n, "k=n-1 blind collusion",
-                  1.0 - static_cast<double>(fails) / trials,
-                  static_cast<double>(fails) / trials, max_rate - 1.0 / n);
+                  1.0 - r.outcomes.fail_rate(), r.outcomes.fail_rate(),
+                  max_rate - 1.0 / n);
     }
     // (b) one late broadcaster (the async-winning rushing move): detected.
     {
-      int fails = 0;
-      const int trials = 50;
-      for (int t = 0; t < trials; ++t) {
-        SyncEngine engine(n, static_cast<std::uint64_t>(t) * 7 + 1);
-        std::vector<std::unique_ptr<SyncStrategy>> s;
-        for (ProcessorId p = 0; p < n; ++p) {
-          if (p == 1) {
-            s.push_back(std::make_unique<LateBroadcaster>());
-          } else {
-            s.push_back(protocol.make_strategy(p, n));
-          }
-        }
-        fails += engine.run(std::move(s)).failed() ? 1 : 0;
-      }
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kSync;
+      spec.protocol = "sync-broadcast-lead";
+      spec.deviation = "sync-late-broadcast";
+      spec.coalition = CoalitionSpec::consecutive(1, 1);
+      spec.n = n;
+      spec.trials = 50;
+      spec.seed = 7 * n + 1;
+      const auto r = h.run(spec, "late-broadcast");
       std::printf("%6d   %-22s %5.2f   %4.2f   %8s\n", n, "k=1 late broadcast",
-                  1.0 - static_cast<double>(fails) / trials,
-                  static_cast<double>(fails) / trials, "-");
+                  1.0 - r.outcomes.fail_rate(), r.outcomes.fail_rate(), "-");
     }
   }
-  bench::note("expected shape: blind collusion leaves bias ~ 0 even at k = n-1;");
-  bench::note("the rushing move that wins in asynchrony is detected 100% here.");
-  bench::note("Resilience ladder, all measured: sync n-1 > async-FC n/2 >");
-  bench::note("async ring sqrt(n) [PhaseAsyncLead] > n^(1/3) [A-LEADuni] > tree k");
+  h.note("expected shape: blind collusion leaves bias ~ 0 even at k = n-1;");
+  h.note("the rushing move that wins in asynchrony is detected 100% here.");
+  h.note("Resilience ladder, all measured: sync n-1 > async-FC n/2 >");
+  h.note("async ring sqrt(n) [PhaseAsyncLead] > n^(1/3) [A-LEADuni] > tree k");
   return 0;
 }

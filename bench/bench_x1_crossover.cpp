@@ -3,51 +3,50 @@
 // sits at k ~ 2 n^(1/3) (cubic attack); PhaseAsyncLead's at k ~ sqrt(n)
 // (free-slot steering): the paper's improvement made quantitative.
 
-#include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
-#include "attacks/cubic.h"
-#include "attacks/phase_rushing.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
-#include "protocols/phase_async_lead.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
   const int n = 343;  // 7^3: cubic threshold ~ 13, sqrt threshold ~ 19
-  bench::title("X1 / crossover figure",
-               "Attack success vs k at n = 343 (cubic root 7, sqrt 18.5)");
-  bench::row_header("    k   A-LEADuni Pr[w]   PhaseAsyncLead Pr[w]   (w = 100)");
+  bench::Harness h("x1", "X1 / crossover figure",
+                   "Attack success vs k at n = 343 (cubic root 7, sqrt 18.5)");
+  h.row_header("    k   A-LEADuni Pr[w]   PhaseAsyncLead Pr[w]   (w = 100)");
 
-  ALeadUniProtocol alead;
-  PhaseAsyncLeadProtocol phase(n, 0xc805ull);
   const Value w = 100;
-
   for (const int k : {4, 8, 10, 12, 13, 14, 16, 18, 20, 22, 26, 30}) {
     // A-LEADuni: the strongest applicable attack at this k is the cubic
     // staircase (falls back to "not applicable" below its threshold).
     double alead_rate = 0.0;
     if (k >= Coalition::cubic_min_k(n)) {
-      CubicDeviation dev(Coalition::cubic_staircase(n, k), w);
-      ExperimentConfig cfg;
-      cfg.n = n;
-      cfg.trials = 15;
-      cfg.seed = 1000 + k;
-      alead_rate = run_trials(alead, &dev, cfg).outcomes.leader_rate(w);
+      ScenarioSpec spec;
+      spec.protocol = "alead-uni";
+      spec.deviation = "cubic";
+      spec.coalition = CoalitionSpec::cubic_staircase(k);
+      spec.target = w;
+      spec.n = n;
+      spec.trials = 15;
+      spec.seed = 1000 + k;
+      alead_rate = h.run(spec).outcomes.leader_rate(w);
     }
     // PhaseAsyncLead: rushing + steering (gains nothing without free slots).
-    PhaseRushingDeviation dev(Coalition::equally_spaced(n, k), w, phase, 64ull * n);
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.trials = 15;
-    cfg.seed = 2000 + k;
-    const double phase_rate = run_trials(phase, &dev, cfg).outcomes.leader_rate(w);
+    ScenarioSpec spec;
+    spec.protocol = "phase-async-lead";
+    spec.protocol_key = 0xc805ull;
+    spec.deviation = "phase-rushing";
+    spec.coalition = CoalitionSpec::equally_spaced(k);
+    spec.target = w;
+    spec.search_cap = 64ull * n;
+    spec.n = n;
+    spec.trials = 15;
+    spec.seed = 2000 + k;
+    const double phase_rate = h.run(spec).outcomes.leader_rate(w);
     std::printf("%5d   %15.3f   %20.3f\n", k, alead_rate, phase_rate);
   }
-  bench::note("expected shape: A-LEADuni column jumps to 1 at k ~ 13 (= cubic_min_k),");
-  bench::note("PhaseAsyncLead column jumps at k ~ 19+ (sqrt(n)): the protocol buys");
-  bench::note("a polynomially wider resilience band, exactly the paper's contribution");
+  h.note("expected shape: A-LEADuni column jumps to 1 at k ~ 13 (= cubic_min_k),");
+  h.note("PhaseAsyncLead column jumps at k ~ 19+ (sqrt(n)): the protocol buys");
+  h.note("a polynomially wider resilience band, exactly the paper's contribution");
   return 0;
 }

@@ -5,59 +5,59 @@
 
 #include <cstdio>
 
-#include "analysis/experiment.h"
 #include "attacks/coalition.h"
-#include "attacks/cubic.h"
-#include "attacks/phase_rushing.h"
-#include "attacks/phase_sum_attack.h"
-#include "bench_util.h"
-#include "protocols/alead_uni.h"
-#include "protocols/phase_async_lead.h"
-#include "protocols/phase_sum_lead.h"
-#include "sim/trace.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
-  bench::title("X2 / synchronization gaps",
-               "max_t (max_i Sent_i - min_i Sent_i): who stays synchronized?");
-  bench::row_header("      scenario                  n     k    max gap    k^2    2k");
+  bench::Harness h("x2", "X2 / synchronization gaps",
+                   "max_t (max_i Sent_i - min_i Sent_i): who stays synchronized?");
+  h.row_header("      scenario                  n     k    max gap    k^2    2k");
 
-  const auto run_gap = [](const RingProtocol& proto, const Deviation* dev, int n,
-                          std::uint64_t seed) {
-    ExperimentConfig cfg;
-    cfg.n = n;
-    cfg.trials = 5;
-    cfg.seed = seed;
-    return run_trials(proto, dev, cfg).max_sync_gap;
+  const auto print_gap = [](const char* label, int n, int k, std::uint64_t gap) {
+    if (k > 0) {
+      std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", label, n, k,
+                  static_cast<unsigned long long>(gap), k * k, 2 * k);
+    } else {
+      std::printf("%-28s %5d  %4s   %8llu   %5s  %4s\n", label, n, "-",
+                  static_cast<unsigned long long>(gap), "-", "-");
+    }
   };
 
   for (const int n : {216, 512, 1000}) {
-    ALeadUniProtocol alead;
     const int kc = Coalition::cubic_min_k(n);
-    std::printf("%-28s %5d  %4s   %8llu   %5s  %4s\n", "A-LEADuni honest", n, "-",
-                static_cast<unsigned long long>(run_gap(alead, nullptr, n, 1)), "-", "-");
+    const auto base = [n](const char* protocol, std::uint64_t seed) {
+      ScenarioSpec spec;
+      spec.protocol = protocol;
+      spec.n = n;
+      spec.trials = 5;
+      spec.seed = seed;
+      return spec;
+    };
 
-    CubicDeviation cubic(Coalition::cubic_staircase(n, kc), 0);
-    std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", "A-LEADuni + cubic attack", n, kc,
-                static_cast<unsigned long long>(run_gap(alead, &cubic, n, 2)), kc * kc,
-                2 * kc);
+    print_gap("A-LEADuni honest", n, 0, h.run(base("alead-uni", 1)).max_sync_gap);
 
-    PhaseAsyncLeadProtocol phase(n, 0x6a6aull + n);
-    std::printf("%-28s %5d  %4s   %8llu   %5s  %4s\n", "PhaseAsyncLead honest", n, "-",
-                static_cast<unsigned long long>(run_gap(phase, nullptr, n, 3)), "-", "-");
+    ScenarioSpec cubic = base("alead-uni", 2);
+    cubic.deviation = "cubic";
+    cubic.coalition = CoalitionSpec::cubic_staircase(kc);
+    print_gap("A-LEADuni + cubic attack", n, kc, h.run(cubic).max_sync_gap);
 
-    PhaseRushingDeviation rush(Coalition::equally_spaced(n, kc), 0, phase);
-    std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", "PhaseAsyncLead + rushing", n, kc,
-                static_cast<unsigned long long>(run_gap(phase, &rush, n, 4)), kc * kc,
-                2 * kc);
+    ScenarioSpec phase_honest = base("phase-async-lead", 3);
+    phase_honest.protocol_key = 0x6a6aull + n;
+    print_gap("PhaseAsyncLead honest", n, 0, h.run(phase_honest).max_sync_gap);
 
-    PhaseSumLeadProtocol psum(n);
-    PhaseSumDeviation e4(PhaseSumDeviation::placement(n), 0, psum);
-    std::printf("%-28s %5d  %4d   %8llu   %5d  %4d\n", "PhaseSumLead + E.4 attack", n, 4,
-                static_cast<unsigned long long>(run_gap(psum, &e4, n, 5)), 16, 8);
+    ScenarioSpec rushing = base("phase-async-lead", 4);
+    rushing.protocol_key = 0x6a6aull + n;
+    rushing.deviation = "phase-rushing";
+    rushing.coalition = CoalitionSpec::equally_spaced(kc);
+    print_gap("PhaseAsyncLead + rushing", n, kc, h.run(rushing).max_sync_gap);
+
+    ScenarioSpec sum = base("phase-sum-lead", 5);
+    sum.deviation = "phase-sum";  // canonical k = 4 placement
+    print_gap("PhaseSumLead + E.4 attack", n, 4, h.run(sum).max_sync_gap);
   }
-  bench::note("expected shape: cubic attack gap grows ~k^2 (the desync it exploits);");
-  bench::note("phase-validated protocols stay at O(k) even under deviation — the");
-  bench::note("k-synchronization PhaseAsyncLead's resilience proof rests on");
+  h.note("expected shape: cubic attack gap grows ~k^2 (the desync it exploits);");
+  h.note("phase-validated protocols stay at O(k) even under deviation — the");
+  h.note("k-synchronization PhaseAsyncLead's resilience proof rests on");
   return 0;
 }

@@ -11,58 +11,56 @@
 // Small l hands the election to constant coalitions; l = Theta(sqrt(n))
 // balances the two at the sqrt(n) the paper proves optimal.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/experiment.h"
-#include "attacks/coalition.h"
-#include "attacks/phase_late_validation.h"
-#include "attacks/phase_rushing.h"
-#include "bench_util.h"
-#include "protocols/phase_async_lead.h"
+#include "core/random_function.h"
+#include "harness.h"
 
 int main() {
   using namespace fle;
   const int n = 196;
   const int k_rush = static_cast<int>(std::sqrt(static_cast<double>(n))) + 3;  // 17
-  bench::title("X3 / ablation: the l parameter of PhaseAsyncLead (n=196)",
-               "two attack channels vs l; the protocol is as weak as the cheaper one");
-  bench::row_header(
+  bench::Harness h("x3", "X3 / ablation: the l parameter of PhaseAsyncLead (n=196)",
+                   "two attack channels vs l; the protocol is as weak as the cheaper one");
+  h.row_header(
       "     l   rushing k=17 Pr[w]   late-val k=l Pr[w]   cheapest breaking k");
 
   const Value w = 77;
   const int l_default = RandomFunction::default_l(n);
   for (const int l : {4, 8, 16, 48, 96, l_default}) {
-    PhaseParams params = PhaseParams::defaults(n);
-    params.l = l;
-    PhaseAsyncLeadProtocol protocol(params, 0xab1e + l);
+    ScenarioSpec rush;
+    rush.protocol = "phase-async-lead";
+    rush.protocol_key = 0xab1e + l;
+    rush.param_l = l;
+    rush.deviation = "phase-rushing";
+    rush.coalition = CoalitionSpec::equally_spaced(k_rush);
+    rush.target = w;
+    rush.search_cap = 96ull * n;
+    rush.n = n;
+    rush.trials = 12;
+    rush.seed = l;
+    const double rush_rate = h.run(rush).outcomes.leader_rate(w);
 
-    double rush_rate = 0.0;
-    {
-      PhaseRushingDeviation dev(Coalition::equally_spaced(n, k_rush), w, protocol,
-                                96ull * n);
-      ExperimentConfig cfg;
-      cfg.n = n;
-      cfg.trials = 12;
-      cfg.seed = l;
-      rush_rate = run_trials(protocol, &dev, cfg).outcomes.leader_rate(w);
-    }
-    double late_rate = 0.0;
-    {
-      PhaseLateValidationDeviation dev(protocol, w);
-      ExperimentConfig cfg;
-      cfg.n = n;
-      cfg.trials = 12;
-      cfg.seed = 2 * l + 1;
-      late_rate = run_trials(protocol, &dev, cfg).outcomes.leader_rate(w);
-    }
+    ScenarioSpec late;
+    late.protocol = "phase-async-lead";
+    late.protocol_key = 0xab1e + l;
+    late.param_l = l;
+    late.deviation = "phase-late-validation";  // canonical l-consecutive coalition
+    late.target = w;
+    late.n = n;
+    late.trials = 12;
+    late.seed = 2 * l + 1;
+    const double late_rate = h.run(late).outcomes.leader_rate(w);
+
     const int cheapest = std::min(rush_rate > 0.5 ? k_rush : n, late_rate > 0.5 ? l : n);
     std::printf("%6d   %18.3f   %18.3f   %19d\n", l, rush_rate, late_rate, cheapest);
   }
-  bench::note("expected shape: late-val column is 1.0 everywhere with k = l members;");
-  bench::note("rushing column turns on once l > ~k (the adversary must know the");
-  bench::note("v-hat prefix before its free slots).  The cheapest breaking coalition");
-  bench::note("is min(l, sqrt(n)+3): maximized by l = Theta(sqrt(n)) — the paper's");
-  bench::note("choice l = ceil(10 sqrt(n)) sits on the plateau.");
+  h.note("expected shape: late-val column is 1.0 everywhere with k = l members;");
+  h.note("rushing column turns on once l > ~k (the adversary must know the");
+  h.note("v-hat prefix before its free slots).  The cheapest breaking coalition");
+  h.note("is min(l, sqrt(n)+3): maximized by l = Theta(sqrt(n)) — the paper's");
+  h.note("choice l = ceil(10 sqrt(n)) sits on the plateau.");
   return 0;
 }

@@ -1,0 +1,69 @@
+#pragma once
+// Shared bench harness: the pretty-table helpers every bench prints with,
+// plus machine-readable output — each bench writes BENCH_<id>.json with one
+// JSON row per recorded scenario run (spec fields + ScenarioResult
+// aggregates), so sweeps can be consumed by tooling without scraping
+// tables.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/scenario.h"
+
+namespace fle::bench {
+
+/// Minimal JSON object builder (keys ordered as set; strings escaped).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, int value);
+  JsonObject& set(const std::string& key, bool value);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  JsonObject& raw(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// One bench run: banner + table helpers + the JSON sink.
+///
+///   Harness h("e01", "E1 / Claim B.1", "Basic-LEAD falls to one adversary");
+///   ...
+///   const auto r = h.run(spec, "n=8 attacked");   // runs run_scenario(spec)
+///   ...                                            // printf the table row
+/// The destructor writes BENCH_<id>.json next to the binary's cwd.
+class Harness {
+ public:
+  Harness(std::string file_id, std::string title, std::string claim);
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  void note(const std::string& text);
+  void row_header(const std::string& cols);
+
+  /// Runs the scenario through run_scenario() and records a JSON row with
+  /// the spec and the aggregate results.  Returns the result for printing.
+  ScenarioResult run(const ScenarioSpec& spec, const std::string& label = {});
+
+  /// Records a hand-built row (benches whose rows are not scenario runs).
+  void add_row(JsonObject row);
+
+  /// Attaches an extra derived column to the most recent row.
+  void annotate(const std::string& key, double value);
+
+ private:
+  std::string file_id_;
+  std::string title_;
+  std::string claim_;
+  std::vector<JsonObject> rows_;  ///< structured until the destructor renders
+};
+
+}  // namespace fle::bench

@@ -10,16 +10,17 @@
 //    preference makes the worst outcome for rational agents).
 // 3. Scales the coalition up to sqrt(n)+3: PhaseAsyncLead falls too,
 //    locating the paper's Theta(sqrt(n)) boundary.
+//
+// Elections run through ScenarioSpec; the attack objects are constructed
+// directly only to probe feasibility (steering_possible / free_slots).
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/experiment.h"
+#include "api/scenario.h"
 #include "attacks/coalition.h"
-#include "attacks/cubic.h"
 #include "attacks/phase_rushing.h"
-#include "protocols/alead_uni.h"
 #include "protocols/phase_async_lead.h"
 
 int main(int argc, char** argv) {
@@ -30,27 +31,36 @@ int main(int argc, char** argv) {
   std::printf("ring n=%d, coalition target w=%llu\n\n", n,
               static_cast<unsigned long long>(w));
 
+  ScenarioSpec base;
+  base.topology = TopologyKind::kRing;
+  base.target = w;
+  base.n = n;
+  base.trials = 20;
+
   // --- 1. Cubic attack vs A-LEADuni --------------------------------------
-  ALeadUniProtocol alead;
   const int kc = Coalition::cubic_min_k(n);
   const auto staircase = Coalition::cubic_staircase(n, kc);
   std::printf("[1] cubic attack vs A-LEADuni, k=%d (~2 n^(1/3))\n", kc);
   std::printf("    %s\n", staircase.render().c_str());
-  CubicDeviation cubic(staircase, w);
-  ExperimentConfig cfg;
-  cfg.n = n;
-  cfg.trials = 20;
-  const auto broken = run_trials(alead, &cubic, cfg);
+  ScenarioSpec cubic = base;
+  cubic.protocol = "alead-uni";
+  cubic.deviation = "cubic";  // default placement = the canonical staircase
+  const auto broken = run_scenario(cubic);
   std::printf("    Pr[leader = w] = %.3f, FAIL = %.3f  -> coalition owns the election\n\n",
               broken.outcomes.leader_rate(w), broken.outcomes.fail_rate());
 
   // --- 2. Same budget vs PhaseAsyncLead -----------------------------------
-  PhaseAsyncLeadProtocol phase(n, 0xfeedface);
+  PhaseAsyncLeadProtocol phase(n, 0xfeedface);  // feasibility probe
   PhaseRushingDeviation small(Coalition::equally_spaced(n, kc), w, phase);
   std::printf("[2] same coalition budget (k=%d) vs PhaseAsyncLead\n", kc);
   std::printf("    steering possible: %s (free slots: %d)\n",
               small.steering_possible() ? "yes" : "no", small.free_slots(0));
-  const auto resisted = run_trials(phase, &small, cfg);
+  ScenarioSpec resist = base;
+  resist.protocol = "phase-async-lead";
+  resist.protocol_key = 0xfeedface;
+  resist.deviation = "phase-rushing";
+  resist.coalition = CoalitionSpec::equally_spaced(kc);
+  const auto resisted = run_scenario(resist);
   std::printf("    Pr[leader = w] = %.3f, FAIL = %.3f  -> coalition gains nothing\n\n",
               resisted.outcomes.leader_rate(w), resisted.outcomes.fail_rate());
 
@@ -59,7 +69,10 @@ int main(int argc, char** argv) {
   PhaseRushingDeviation big(Coalition::equally_spaced(n, ks), w, phase, 96ull * n);
   std::printf("[3] k = sqrt(n)+3 = %d vs PhaseAsyncLead\n", ks);
   std::printf("    steering possible: %s\n", big.steering_possible() ? "yes" : "no");
-  const auto fallen = run_trials(phase, &big, cfg);
+  ScenarioSpec fall = resist;
+  fall.coalition = CoalitionSpec::equally_spaced(ks);
+  fall.search_cap = 96ull * n;
+  const auto fallen = run_scenario(fall);
   std::printf("    Pr[leader = w] = %.3f, FAIL = %.3f  -> the sqrt(n) boundary\n",
               fallen.outcomes.leader_rate(w), fallen.outcomes.fail_rate());
   return 0;

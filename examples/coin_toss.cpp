@@ -5,23 +5,34 @@
 // Tosses coins by electing leaders with PhaseAsyncLead and taking the
 // parity; then elects a leader by concatenating log2(n) independent coin
 // tosses.  Demonstrates Theorem 8.1's equivalence on live executions.
+// Elections come from one recorded scenario batch each way: the reductions
+// consume the per-trial outcomes.
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "api/scenario.h"
 #include "core/reductions.h"
-#include "protocols/phase_async_lead.h"
-#include "sim/engine.h"
 
 int main(int argc, char** argv) {
   using namespace fle;
   const int n = argc > 1 ? std::atoi(argv[1]) : 16;  // must be a power of two
-  PhaseAsyncLeadProtocol protocol(n, 0xc011);
+
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.protocol = "phase-async-lead";
+  spec.protocol_key = 0xc011;
+  spec.n = n;
+  spec.seed = 3;
+  spec.threads = 0;
+  spec.record_outcomes = true;
 
   std::printf("[coin from election] 2000 tosses on an n=%d ring\n", n);
+  spec.trials = 2000;
+  const ScenarioResult tosses = run_scenario(spec);
   int ones = 0, fails = 0;
-  for (int t = 0; t < 2000; ++t) {
-    const Outcome o = run_honest(protocol, n, static_cast<std::uint64_t>(t) * 977 + 3);
+  for (const Outcome& o : tosses.per_trial) {
     switch (coin_from_leader(o)) {
       case CoinResult::kOne:
         ++ones;
@@ -37,18 +48,21 @@ int main(int argc, char** argv) {
 
   std::printf("[election from coins] %d independent tosses per election\n",
               tosses_needed(n));
+  const int elections = 1000;
+  spec.seed = 7;
+  spec.trials = static_cast<std::size_t>(elections) * tosses_needed(n);
+  const ScenarioResult batch = run_scenario(spec);
   std::vector<int> wins(static_cast<std::size_t>(n), 0);
-  for (int t = 0; t < 1000; ++t) {
+  std::size_t next = 0;
+  for (int t = 0; t < elections; ++t) {
     std::vector<CoinResult> coins;
     for (int b = 0; b < tosses_needed(n); ++b) {
-      const Outcome o =
-          run_honest(protocol, n, static_cast<std::uint64_t>(t) * 131 + b * 29 + 7);
-      coins.push_back(coin_from_leader(o));
+      coins.push_back(coin_from_leader(batch.per_trial[next++]));
     }
     const Outcome leader = leader_from_coins(coins, n);
     if (leader.valid()) ++wins[static_cast<std::size_t>(leader.leader())];
   }
-  std::printf("  leader   wins (expect ~%.0f each)\n", 1000.0 / n);
+  std::printf("  leader   wins (expect ~%.0f each)\n", static_cast<double>(elections) / n);
   for (int j = 0; j < n; ++j) std::printf("  %6d   %4d\n", j, wins[static_cast<std::size_t>(j)]);
   return 0;
 }

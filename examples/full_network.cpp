@@ -8,12 +8,17 @@
 //    (early reconstruction).
 // 2. Saks' pass-the-baton and the majority coin in the full-information
 //    model, the classical comparators.
+//
+// Every election below is a ScenarioSpec; only the regime annotations use
+// the attack objects directly (to ask "is forging even possible here?").
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "api/scenario.h"
 #include "attacks/shamir_attacks.h"
-#include "fullinfo/baton.h"
 #include "fullinfo/majority.h"
 #include "protocols/shamir_lead.h"
 
@@ -21,67 +26,84 @@ int main(int argc, char** argv) {
   using namespace fle;
   const int n = argc > 1 ? std::atoi(argv[1]) : 16;
 
-  ShamirLeadProtocol protocol(n);
+  ShamirLeadProtocol protocol(n);  // parameter probe only; elections run below
   std::printf("[1] Shamir-LEAD on a fully-connected async network, n=%d (t=%d)\n", n,
               protocol.params().t);
-  const Outcome honest = run_honest_graph(protocol, n, 42);
-  std::printf("    honest election: leader %llu\n",
-              static_cast<unsigned long long>(honest.leader()));
+
+  ScenarioSpec shamir;
+  shamir.topology = TopologyKind::kGraph;
+  shamir.protocol = "shamir-lead";
+  shamir.n = n;
+  shamir.trials = 1;
+  shamir.seed = 42;
+  shamir.record_outcomes = true;
+  const auto show = [](const Outcome& o) {
+    return o.valid() ? "leader " + std::to_string(o.leader()) : std::string("FAIL");
+  };
+  {
+    const ScenarioResult honest = run_scenario(shamir);
+    std::printf("    honest election: %s\n", show(honest.per_trial[0]).c_str());
+  }
 
   const Value w = static_cast<Value>(n - 1);
   {
-    const int k = (n + 1) / 2 - 1;
-    ShamirForgeDeviation dev(Coalition::consecutive(n, k, 0), w, protocol);
-    GraphEngine engine(n, 7);
-    const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
-    std::printf("    forge with k=%d (= n/2-1): %s  <- resilient regime\n", k,
-                o.failed() ? "FAIL (detected)" : "valid");
+    ScenarioSpec spec = shamir;
+    spec.deviation = "shamir-forge";
+    spec.coalition = CoalitionSpec::consecutive((n + 1) / 2 - 1, 0);
+    spec.target = w;
+    const ScenarioResult r = run_scenario(spec);
+    std::printf("    forge with k=%d (= n/2-1): %s  <- resilient regime\n", spec.coalition.k,
+                r.per_trial[0].failed() ? "FAIL (detected)" : "valid");
   }
   {
-    const int k = (n + 1) / 2;
-    ShamirForgeDeviation dev(Coalition::consecutive(n, k, 0), w, protocol);
-    GraphEngine engine(n, 7);
-    const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
-    std::printf("    forge with k=%d (= n/2):   leader %llu  <- impossibility boundary\n",
-                k, o.valid() ? static_cast<unsigned long long>(o.leader()) : 0ull);
+    ScenarioSpec spec = shamir;
+    spec.deviation = "shamir-forge";
+    spec.coalition = CoalitionSpec::consecutive((n + 1) / 2, 0);
+    spec.target = w;
+    const ScenarioResult r = run_scenario(spec);
+    std::printf("    forge with k=%d (= n/2):   %s  <- impossibility boundary\n",
+                spec.coalition.k, show(r.per_trial[0]).c_str());
   }
   {
-    const int k = protocol.params().t;
-    ShamirRushingDeviation dev(Coalition::consecutive(n, k, 1), w, protocol);
-    GraphEngine engine(n, 7);
-    const Outcome o = engine.run(compose_graph_strategies(protocol, &dev, n));
-    std::printf("    rushing with k=%d (= t):   leader %llu  <- reconstruct-early regime\n",
-                k, o.valid() ? static_cast<unsigned long long>(o.leader()) : 0ull);
+    ScenarioSpec spec = shamir;
+    spec.deviation = "shamir-rushing";
+    spec.coalition = CoalitionSpec::consecutive(protocol.params().t, 1);
+    spec.target = w;
+    const ScenarioResult r = run_scenario(spec);
+    std::printf("    rushing with k=%d (= t):   %s  <- reconstruct-early regime\n",
+                spec.coalition.k, show(r.per_trial[0]).c_str());
   }
 
   std::printf("\n[2] full-information model comparators\n");
   {
-    BatonGame game(n);
-    Xoshiro256 rng(3);
-    const ProcessorId target = n - 1;
+    ScenarioSpec spec;
+    spec.topology = TopologyKind::kFullInfo;
+    spec.protocol = "baton";
+    spec.deviation = "baton-greedy";
     std::vector<ProcessorId> coalition;
     for (int i = 1; i <= n / 4; ++i) coalition.push_back(i);
-    BatonGreedyAdversary adv(coalition, target);
-    int hits = 0;
-    const int trials = 2000;
-    for (int i = 0; i < trials; ++i) {
-      hits += play_turn_game(game, coalition, &adv, rng) == static_cast<Value>(target);
-    }
+    spec.coalition = CoalitionSpec::custom(coalition);
+    spec.target = static_cast<Value>(n - 1);
+    spec.n = n;
+    spec.trials = 2000;
+    spec.seed = 3;
+    const ScenarioResult r = run_scenario(spec);
     std::printf("    pass-the-baton, k=n/4 coalition: Pr[target] = %.3f (honest %.3f)\n",
-                static_cast<double>(hits) / trials, 1.0 / (n - 1));
+                r.outcomes.leader_rate(spec.target), 1.0 / (n - 1));
   }
   {
-    MajorityCoinGame game(2 * n + 1);
-    Xoshiro256 rng(5);
-    std::vector<ProcessorId> coalition{0, 1, 2};
-    MajorityTargetAdversary adv(1);
-    int ones = 0;
-    const int trials = 4000;
-    for (int i = 0; i < trials; ++i) {
-      ones += play_turn_game(game, coalition, &adv, rng) == 1;
-    }
+    ScenarioSpec spec;
+    spec.topology = TopologyKind::kFullInfo;
+    spec.protocol = "majority-coin";
+    spec.deviation = "majority-target";
+    spec.coalition = CoalitionSpec::custom({0, 1, 2});
+    spec.target = 1;
+    spec.n = 2 * n + 1;
+    spec.trials = 4000;
+    spec.seed = 5;
+    const ScenarioResult r = run_scenario(spec);
     std::printf("    majority coin, k=3 of %d: Pr[1] = %.3f (predicted %.3f)\n", 2 * n + 1,
-                static_cast<double>(ones) / trials,
+                static_cast<double>(r.outcomes.count(1)) / static_cast<double>(r.trials),
                 0.5 + majority_bias_estimate(2 * n + 1, 3));
   }
   std::printf("\n    resilience ladder: tree k (Thm 7.2)  <  ring sqrt(n) (Thm 6.1)\n");

@@ -6,47 +6,69 @@
 // channels; the OS scheduler supplies a genuinely asynchronous oblivious
 // schedule.  Outcomes must match the deterministic simulator trial for
 // trial (paper Section 2: all oblivious schedules agree on a ring) — this
-// program checks exactly that, then shows an attack running over threads.
+// program checks exactly that by running the same ScenarioSpec on both
+// runtimes, then shows an attack running over threads.
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "api/scenario.h"
 #include "attacks/coalition.h"
-#include "attacks/cubic.h"
-#include "attacks/deviation.h"
-#include "protocols/alead_uni.h"
-#include "protocols/phase_async_lead.h"
-#include "sim/engine.h"
-#include "sim/threaded_runtime.h"
 
 int main(int argc, char** argv) {
   using namespace fle;
   const int n = argc > 1 ? std::atoi(argv[1]) : 48;
 
-  PhaseAsyncLeadProtocol protocol(n, 0x7117);
+  // The same spec on the deterministic simulator and the jthread runtime:
+  // per-trial seeds derive from the base seed, so outcomes line up trial
+  // for trial.
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.protocol = "phase-async-lead";
+  spec.protocol_key = 0x7117;
+  spec.n = n;
+  spec.trials = 10;
+  spec.seed = 0;
+  spec.record_outcomes = true;
+
+  ScenarioSpec threaded = spec;
+  threaded.topology = TopologyKind::kThreaded;
+
+  const ScenarioResult det = run_scenario(spec);
+  const ScenarioResult thr = run_scenario(threaded);
+
   std::printf("PhaseAsyncLead on %d OS threads vs deterministic engine:\n", n);
+  const auto show = [](const Outcome& o) {
+    return o.valid() ? std::to_string(o.leader()) : std::string("FAIL");
+  };
   int matches = 0;
-  const int trials = 10;
-  for (std::uint64_t seed = 0; seed < trials; ++seed) {
-    const Outcome det = run_honest(protocol, n, seed);
-    const Outcome thr = run_honest_threaded(protocol, n, seed);
-    const bool match = det == thr;
+  for (std::size_t t = 0; t < spec.trials; ++t) {
+    const bool match = det.per_trial[t] == thr.per_trial[t];
     matches += match ? 1 : 0;
-    std::printf("  seed %llu: deterministic=%llu threaded=%llu %s\n",
-                static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(det.leader()),
-                static_cast<unsigned long long>(thr.leader()), match ? "(match)" : "(MISMATCH)");
+    std::printf("  trial %zu: deterministic=%s threaded=%s %s\n", t,
+                show(det.per_trial[t]).c_str(), show(thr.per_trial[t]).c_str(),
+                match ? "(match)" : "(MISMATCH)");
   }
-  std::printf("  %d/%d matched — schedule independence on the ring\n\n", matches, trials);
+  std::printf("  %d/%zu matched — schedule independence on the ring\n\n", matches,
+              spec.trials);
 
   std::printf("Cubic attack on threads (A-LEADuni, k=%d, target 5):\n",
               Coalition::cubic_min_k(n));
-  ALeadUniProtocol alead;
-  CubicDeviation cubic(Coalition::cubic_staircase(n, Coalition::cubic_min_k(n)), 5);
-  ThreadedRuntime runtime(n, 99);
-  const Outcome o = runtime.run(compose_strategies(alead, &cubic, n));
-  std::printf("  outcome: %s%llu, total messages: %llu\n", o.valid() ? "leader " : "FAIL",
-              o.valid() ? static_cast<unsigned long long>(o.leader()) : 0ull,
-              static_cast<unsigned long long>(runtime.stats().total_sent));
+  ScenarioSpec attack;
+  attack.topology = TopologyKind::kThreaded;
+  attack.protocol = "alead-uni";
+  attack.deviation = "cubic";  // default placement = canonical cubic staircase
+  attack.target = 5;
+  attack.n = n;
+  attack.trials = 1;
+  attack.seed = 99;
+  attack.record_outcomes = true;
+  const ScenarioResult o = run_scenario(attack);
+  std::printf("  outcome: %s%llu, total messages: %llu\n",
+              o.per_trial[0].valid() ? "leader " : "FAIL",
+              o.per_trial[0].valid() ? static_cast<unsigned long long>(o.per_trial[0].leader())
+                                     : 0ull,
+              static_cast<unsigned long long>(o.max_messages));
   return 0;
 }

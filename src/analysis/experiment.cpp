@@ -1,88 +1,52 @@
 #include "analysis/experiment.h"
 
-#include <numeric>
-
-#include "core/rng.h"
-
 namespace fle {
+namespace {
 
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int n, std::uint64_t seed) {
-  switch (kind) {
-    case SchedulerKind::kRoundRobin:
-      return make_round_robin_scheduler();
-    case SchedulerKind::kRandom:
-      return make_random_scheduler(seed);
-    case SchedulerKind::kPriority: {
-      // A fixed pseudo-random permutation: oblivious but maximally unfair.
-      std::vector<int> priority(static_cast<std::size_t>(n));
-      std::iota(priority.begin(), priority.end(), 0);
-      Xoshiro256 rng(mix64(seed ^ 0x9d2c'5680'ca3f'0001ull));
-      std::shuffle(priority.begin(), priority.end(), rng);
-      return make_priority_scheduler(std::move(priority));
-    }
-  }
-  return make_round_robin_scheduler();
+ScenarioSpec spec_from_config(const ExperimentConfig& config) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.n = config.n;
+  spec.trials = config.trials;
+  spec.seed = config.seed;
+  spec.scheduler = config.scheduler;
+  spec.step_limit = config.step_limit;
+  spec.threads = config.threads;
+  return spec;
 }
+
+}  // namespace
 
 ExperimentResult run_trials(const RingProtocol& protocol, const Deviation* deviation,
                             const ExperimentConfig& config) {
-  ExperimentResult result(config.n);
-  double total_messages = 0.0;
-  double total_gap = 0.0;
-  for (std::size_t t = 0; t < config.trials; ++t) {
-    const std::uint64_t trial_seed = mix64(config.seed + 0x1000'0000ull * t + t);
-    EngineOptions options;
-    options.step_limit = config.step_limit != 0
-                             ? config.step_limit
-                             : protocol.honest_message_bound(config.n) * 2 + 4096;
-    options.scheduler = make_scheduler(config.scheduler, config.n, trial_seed);
-    RingEngine engine(config.n, trial_seed, std::move(options));
-    const Outcome outcome =
-        engine.run(compose_strategies(protocol, deviation, config.n));
-    result.outcomes.record(outcome);
-    total_messages += static_cast<double>(engine.stats().total_sent);
-    result.max_messages = std::max(result.max_messages, engine.stats().total_sent);
-    total_gap += static_cast<double>(engine.stats().max_sync_gap);
-    result.max_sync_gap = std::max(result.max_sync_gap, engine.stats().max_sync_gap);
+  // Aliasing shared_ptrs: the caller owns both instances for the call.
+  const std::shared_ptr<const RingProtocol> shared_protocol(std::shared_ptr<void>(),
+                                                            &protocol);
+  const std::shared_ptr<const Deviation> shared_deviation(std::shared_ptr<void>(), deviation);
+  RingTrialFactories factories;
+  factories.protocol = [shared_protocol](std::uint64_t) { return shared_protocol; };
+  if (deviation != nullptr) {
+    factories.deviation = [shared_deviation](const RingProtocol&, std::uint64_t) {
+      return shared_deviation;
+    };
   }
-  if (config.trials > 0) {
-    result.mean_messages = total_messages / static_cast<double>(config.trials);
-    result.mean_sync_gap = total_gap / static_cast<double>(config.trials);
-  }
-  return result;
+  return run_ring_scenario(spec_from_config(config), factories);
 }
 
 ExperimentResult run_trials_factory(
     const std::function<std::unique_ptr<RingProtocol>(std::uint64_t)>& factory,
     const std::function<std::unique_ptr<Deviation>(const RingProtocol&)>& deviation_factory,
     const ExperimentConfig& config) {
-  ExperimentResult result(config.n);
-  double total_messages = 0.0;
-  double total_gap = 0.0;
-  for (std::size_t t = 0; t < config.trials; ++t) {
-    const std::uint64_t trial_seed = mix64(config.seed + 0x2000'0000ull * t + t);
-    const auto protocol = factory(trial_seed);
-    std::unique_ptr<Deviation> deviation;
-    if (deviation_factory) deviation = deviation_factory(*protocol);
-    EngineOptions options;
-    options.step_limit = config.step_limit != 0
-                             ? config.step_limit
-                             : protocol->honest_message_bound(config.n) * 2 + 4096;
-    options.scheduler = make_scheduler(config.scheduler, config.n, trial_seed);
-    RingEngine engine(config.n, trial_seed, std::move(options));
-    const Outcome outcome =
-        engine.run(compose_strategies(*protocol, deviation.get(), config.n));
-    result.outcomes.record(outcome);
-    total_messages += static_cast<double>(engine.stats().total_sent);
-    result.max_messages = std::max(result.max_messages, engine.stats().total_sent);
-    total_gap += static_cast<double>(engine.stats().max_sync_gap);
-    result.max_sync_gap = std::max(result.max_sync_gap, engine.stats().max_sync_gap);
+  RingTrialFactories factories;
+  factories.protocol = [&factory](std::uint64_t trial_seed) {
+    return std::shared_ptr<const RingProtocol>(factory(trial_seed));
+  };
+  if (deviation_factory) {
+    factories.deviation = [&deviation_factory](const RingProtocol& protocol, std::uint64_t) {
+      return std::shared_ptr<const Deviation>(deviation_factory(protocol));
+    };
   }
-  if (config.trials > 0) {
-    result.mean_messages = total_messages / static_cast<double>(config.trials);
-    result.mean_sync_gap = total_gap / static_cast<double>(config.trials);
-  }
-  return result;
+  return run_ring_scenario(spec_from_config(config), factories);
 }
 
 }  // namespace fle

@@ -1,21 +1,21 @@
 #pragma once
-// Experiment runner: repeated executions of (protocol, deviation) pairs with
-// per-trial seeds, aggregating outcome statistics, message counts and
-// synchronization gaps.
+// Experiment runner — compatibility shim over the Scenario API.
+//
+// Historically this module owned the trial loop; that machinery now lives
+// in api/ (ScenarioSpec + run_scenario + the parallel trial executor), and
+// these entrypoints remain as thin adapters for callers that already hold
+// protocol/deviation *instances* rather than registry names.  New code
+// should construct a ScenarioSpec and call run_scenario() directly.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 
-#include "analysis/stats.h"
+#include "api/scenario.h"
 #include "attacks/deviation.h"
 #include "sim/engine.h"
 
 namespace fle {
-
-enum class SchedulerKind { kRoundRobin, kRandom, kPriority };
-
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int n, std::uint64_t seed);
 
 struct ExperimentConfig {
   int n = 0;
@@ -24,17 +24,12 @@ struct ExperimentConfig {
   SchedulerKind scheduler = SchedulerKind::kRoundRobin;
   /// 0 = derive from the protocol's honest message bound.
   std::uint64_t step_limit = 0;
+  /// Trial-batching worker threads (0 = hardware concurrency).
+  int threads = 1;
 };
 
-struct ExperimentResult {
-  OutcomeCounter outcomes;
-  double mean_messages = 0.0;       ///< mean total sends per execution
-  std::uint64_t max_messages = 0;
-  std::uint64_t max_sync_gap = 0;   ///< max over trials of ExecutionStats gap
-  double mean_sync_gap = 0.0;
-
-  explicit ExperimentResult(int n) : outcomes(n) {}
-};
+/// The unified aggregate: ExperimentResult is ScenarioResult.
+using ExperimentResult = ScenarioResult;
 
 /// Runs `config.trials` executions.  Deviation may be null (honest profile).
 ExperimentResult run_trials(const RingProtocol& protocol, const Deviation* deviation,

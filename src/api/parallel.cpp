@@ -1,0 +1,71 @@
+#include "api/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "api/scenario.h"
+#include "core/rng.h"
+
+namespace fle {
+
+std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial) {
+  // The splitmix64 stream of base_seed: state after trial+1 golden-gamma
+  // increments, finalized.  Equivalent to calling splitmix64 trial+1 times,
+  // but random-access so workers can seed any trial independently.
+  return mix64(base_seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(trial) + 1));
+}
+
+std::vector<TrialStats> run_trials_parallel(
+    std::size_t trials, int threads, std::uint64_t base_seed,
+    const std::function<TrialStats(std::size_t, std::uint64_t)>& body) {
+  std::vector<TrialStats> results(trials);
+  if (trials == 0) return results;
+
+  if (threads < 0) {
+    throw std::invalid_argument("threads must be >= 0 (0 = hardware concurrency); got " +
+                                std::to_string(threads));
+  }
+  std::size_t workers = threads > 0 ? static_cast<std::size_t>(threads)
+                                    : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, trials);
+
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      results[t] = body(t, scenario_trial_seed(base_seed, t));
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= trials) return;
+      try {
+        results[t] = body(t, scenario_trial_seed(base_seed, t));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(trials, std::memory_order_relaxed);  // drain the pool
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace fle

@@ -1,0 +1,35 @@
+#pragma once
+// Parallel trial batching: fan a scenario's independent trials out over a
+// std::thread worker pool.
+//
+// Determinism contract: trial t's seed depends only on (base seed, t); each
+// worker writes its trial's stats into a slot indexed by t; the caller
+// reduces the slots in trial order.  Outcome counts, message sums and maxes
+// are therefore bit-identical for every worker count — the property the
+// tier-1 determinism test asserts at 1/4/8 threads.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace fle {
+
+/// Per-trial measurements every runtime can produce (unused fields stay 0).
+struct TrialStats {
+  Outcome outcome;                ///< default-constructed = FAIL
+  std::uint64_t messages = 0;     ///< total sends
+  std::uint64_t sync_gap = 0;     ///< ring engine synchronization gap
+  int rounds = 0;                 ///< sync engine rounds
+};
+
+/// Runs `body(trial, trial_seed)` for every trial on `threads` workers
+/// (0 = hardware concurrency; clamped to [1, trials]) and returns the stats
+/// indexed by trial.  Worker exceptions are rethrown on the calling thread
+/// after the pool drains.
+std::vector<TrialStats> run_trials_parallel(
+    std::size_t trials, int threads, std::uint64_t base_seed,
+    const std::function<TrialStats(std::size_t trial, std::uint64_t trial_seed)>& body);
+
+}  // namespace fle

@@ -1,0 +1,102 @@
+#include "api/registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fle {
+namespace {
+
+template <typename Map>
+std::string known_names(const Map& entries) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, entry] : entries) {
+    out << (first ? "" : ", ") << name;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry;
+  return registry;
+}
+
+void ProtocolRegistry::add(ProtocolEntry entry) {
+  register_builtin_scenarios();  // builtin names are reserved; collide here, not later
+  insert(std::move(entry));
+}
+
+void ProtocolRegistry::insert(ProtocolEntry entry) {
+  if (entry.name.empty()) throw std::invalid_argument("protocol entry needs a name");
+  if (!entries_.emplace(entry.name, entry).second) {
+    throw std::invalid_argument("protocol '" + entry.name + "' already registered");
+  }
+}
+
+const ProtocolEntry& ProtocolRegistry::at(const std::string& name) const {
+  register_builtin_scenarios();
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown protocol '" + name +
+                                "'; registered: " + known_names(entries_));
+  }
+  return it->second;
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  register_builtin_scenarios();
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  register_builtin_scenarios();
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+DeviationRegistry& DeviationRegistry::instance() {
+  static DeviationRegistry registry;
+  return registry;
+}
+
+void DeviationRegistry::add(DeviationEntry entry) {
+  register_builtin_scenarios();  // builtin names are reserved; collide here, not later
+  insert(std::move(entry));
+}
+
+void DeviationRegistry::insert(DeviationEntry entry) {
+  if (entry.name.empty()) throw std::invalid_argument("deviation entry needs a name");
+  if (!entries_.emplace(entry.name, entry).second) {
+    throw std::invalid_argument("deviation '" + entry.name + "' already registered");
+  }
+}
+
+const DeviationEntry& DeviationRegistry::at(const std::string& name) const {
+  register_builtin_scenarios();
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown deviation '" + name +
+                                "'; registered: " + known_names(entries_));
+  }
+  return it->second;
+}
+
+bool DeviationRegistry::contains(const std::string& name) const {
+  register_builtin_scenarios();
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> DeviationRegistry::names() const {
+  register_builtin_scenarios();
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace fle

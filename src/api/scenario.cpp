@@ -1,0 +1,421 @@
+#include "api/scenario.h"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "api/parallel.h"
+#include "api/registry.h"
+#include "attacks/deviation.h"
+#include "sim/engine.h"
+#include "sim/graph_engine.h"
+#include "sim/sync_engine.h"
+#include "sim/threaded_runtime.h"
+
+namespace fle {
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kGraph:
+      return "graph";
+    case TopologyKind::kTree:
+      return "tree";
+    case TopologyKind::kSync:
+      return "sync";
+    case TopologyKind::kThreaded:
+      return "threaded";
+    case TopologyKind::kFullInfo:
+      return "fullinfo";
+  }
+  return "unknown";
+}
+
+std::optional<TopologyKind> parse_topology(const std::string& name) {
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "graph") return TopologyKind::kGraph;
+  if (name == "tree") return TopologyKind::kTree;
+  if (name == "sync") return TopologyKind::kSync;
+  if (name == "threaded") return TopologyKind::kThreaded;
+  if (name == "fullinfo") return TopologyKind::kFullInfo;
+  return std::nullopt;
+}
+
+CoalitionSpec CoalitionSpec::consecutive(int k, ProcessorId first) {
+  CoalitionSpec spec;
+  spec.placement = Placement::kConsecutive;
+  spec.k = k;
+  spec.first = first;
+  return spec;
+}
+
+CoalitionSpec CoalitionSpec::equally_spaced(int k, ProcessorId first) {
+  CoalitionSpec spec;
+  spec.placement = Placement::kEquallySpaced;
+  spec.k = k;
+  spec.first = first;
+  return spec;
+}
+
+CoalitionSpec CoalitionSpec::bernoulli(double density, std::uint64_t placement_seed) {
+  CoalitionSpec spec;
+  spec.placement = Placement::kBernoulli;
+  spec.density = density;
+  spec.placement_seed = placement_seed;
+  return spec;
+}
+
+CoalitionSpec CoalitionSpec::cubic_staircase(int k, ProcessorId first) {
+  CoalitionSpec spec;
+  spec.placement = Placement::kCubicStaircase;
+  spec.k = k;
+  spec.first = first;
+  return spec;
+}
+
+CoalitionSpec CoalitionSpec::custom(std::vector<ProcessorId> members) {
+  CoalitionSpec spec;
+  spec.placement = Placement::kCustom;
+  spec.members = std::move(members);
+  return spec;
+}
+
+std::optional<Coalition> build_coalition(const CoalitionSpec& spec, int n) {
+  switch (spec.placement) {
+    case CoalitionSpec::Placement::kDefault:
+      return std::nullopt;
+    case CoalitionSpec::Placement::kConsecutive:
+      return Coalition::consecutive(n, spec.k, spec.first);
+    case CoalitionSpec::Placement::kEquallySpaced:
+      return Coalition::equally_spaced(n, spec.k, spec.first);
+    case CoalitionSpec::Placement::kBernoulli:
+      return Coalition::bernoulli(n, spec.density, spec.placement_seed);
+    case CoalitionSpec::Placement::kCubicStaircase:
+      return Coalition::cubic_staircase(n, spec.k, spec.first);
+    case CoalitionSpec::Placement::kCustom:
+      return Coalition(n, spec.members);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Shared reduction: fold the per-trial stats, in trial order, into the
+/// aggregate result.  This is the only place trial data merges, so the
+/// merge order — and thus every double in the result — is independent of
+/// the worker count.
+void reduce_trials(const ScenarioSpec& spec, const std::vector<TrialStats>& stats,
+                   ScenarioResult& result) {
+  double total_messages = 0.0;
+  double total_gap = 0.0;
+  for (const TrialStats& trial : stats) {
+    result.outcomes.record(trial.outcome);
+    total_messages += static_cast<double>(trial.messages);
+    result.max_messages = std::max(result.max_messages, trial.messages);
+    total_gap += static_cast<double>(trial.sync_gap);
+    result.max_sync_gap = std::max(result.max_sync_gap, trial.sync_gap);
+    result.max_rounds = std::max(result.max_rounds, trial.rounds);
+    if (spec.record_outcomes) result.per_trial.push_back(trial.outcome);
+  }
+  result.trials = stats.size();
+  if (!stats.empty()) {
+    result.mean_messages = total_messages / static_cast<double>(stats.size());
+    result.mean_sync_gap = total_gap / static_cast<double>(stats.size());
+  }
+}
+
+/// The spec's explicit step limit, or the default slack over the protocol's
+/// honest message bound (shared by the ring and graph runtimes).
+std::uint64_t derived_step_limit(std::uint64_t requested, std::uint64_t honest_bound) {
+  return requested != 0 ? requested : honest_bound * 2 + 4096;
+}
+
+std::uint64_t ring_step_limit(const ScenarioSpec& spec, const RingProtocol& protocol) {
+  return derived_step_limit(spec.step_limit, protocol.honest_message_bound(spec.n));
+}
+
+void require_n(const ScenarioSpec& spec, int minimum) {
+  if (spec.n < minimum) {
+    throw std::invalid_argument("scenario needs n >= " + std::to_string(minimum) +
+                                " (got " + std::to_string(spec.n) + ")");
+  }
+}
+
+ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
+                                  const DeviationEntry* deviation_entry) {
+  require_n(spec, 2);
+  if (!protocol_entry.make_graph) {
+    throw std::invalid_argument("protocol '" + protocol_entry.name +
+                                "' does not run on the graph topology");
+  }
+  if (deviation_entry && !deviation_entry->make_graph) {
+    throw std::invalid_argument("deviation '" + deviation_entry->name +
+                                "' does not apply to graph protocols");
+  }
+  LinkScheduleKind schedule = LinkScheduleKind::kRoundRobin;
+  switch (spec.scheduler) {
+    case SchedulerKind::kRoundRobin:
+      schedule = LinkScheduleKind::kRoundRobin;
+      break;
+    case SchedulerKind::kRandom:
+      schedule = LinkScheduleKind::kRandom;
+      break;
+    case SchedulerKind::kPriority:
+      throw std::invalid_argument("the priority scheduler is ring-only");
+  }
+
+  ScenarioResult result(spec.n);
+  std::shared_ptr<const GraphProtocol> shared_protocol;
+  std::shared_ptr<const GraphDeviation> shared_deviation;
+  if (!protocol_entry.per_trial) {
+    shared_protocol = protocol_entry.make_graph(spec, spec.seed);
+    if (deviation_entry) {
+      shared_deviation = deviation_entry->make_graph(*shared_protocol, spec);
+    }
+  }
+
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+    std::shared_ptr<const GraphProtocol> protocol = shared_protocol;
+    std::shared_ptr<const GraphDeviation> deviation = shared_deviation;
+    if (!protocol) {
+      protocol = protocol_entry.make_graph(spec, trial_seed);
+      if (deviation_entry) deviation = deviation_entry->make_graph(*protocol, spec);
+    }
+    GraphEngineOptions options;
+    options.step_limit =
+        derived_step_limit(spec.step_limit, protocol->honest_message_bound(spec.n));
+    options.schedule = schedule;
+    options.schedule_seed = trial_seed;
+    GraphEngine engine(spec.n, trial_seed, std::move(options));
+    TrialStats stats;
+    stats.outcome = engine.run(compose_graph_strategies(*protocol, deviation.get(), spec.n));
+    stats.messages = engine.stats().total_sent;
+    return stats;
+  };
+
+  // Resolve display names before launching workers.
+  {
+    const auto named = shared_protocol ? shared_protocol
+                                       : protocol_entry.make_graph(spec, spec.seed);
+    result.protocol_name = named->name();
+    if (deviation_entry) {
+      const auto dev =
+          shared_deviation ? shared_deviation : deviation_entry->make_graph(*named, spec);
+      result.deviation_name = dev->name();
+    }
+  }
+  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  return result;
+}
+
+ScenarioResult run_sync_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
+                                 const DeviationEntry* deviation_entry) {
+  require_n(spec, 2);
+  if (!protocol_entry.make_sync) {
+    throw std::invalid_argument("protocol '" + protocol_entry.name +
+                                "' does not run on the sync topology");
+  }
+  if (deviation_entry && !deviation_entry->make_sync) {
+    throw std::invalid_argument("deviation '" + deviation_entry->name +
+                                "' does not apply to synchronous protocols");
+  }
+
+  if (spec.step_limit > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument("sync scenarios interpret step_limit as a round limit; " +
+                                std::to_string(spec.step_limit) + " does not fit in int");
+  }
+
+  ScenarioResult result(spec.n);
+  std::shared_ptr<const SyncProtocol> shared_protocol;
+  std::shared_ptr<const SyncDeviation> shared_deviation;
+  if (!protocol_entry.per_trial) {
+    shared_protocol = protocol_entry.make_sync(spec, spec.seed);
+    if (deviation_entry) {
+      shared_deviation = deviation_entry->make_sync(*shared_protocol, spec);
+    }
+  }
+
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+    std::shared_ptr<const SyncProtocol> protocol = shared_protocol;
+    std::shared_ptr<const SyncDeviation> deviation = shared_deviation;
+    if (!protocol) {
+      protocol = protocol_entry.make_sync(spec, trial_seed);
+      if (deviation_entry) deviation = deviation_entry->make_sync(*protocol, spec);
+    }
+    SyncEngineOptions options;
+    options.round_limit = spec.step_limit != 0 ? static_cast<int>(spec.step_limit)
+                                               : protocol->round_bound(spec.n);
+    SyncEngine engine(spec.n, trial_seed, options);
+    TrialStats stats;
+    stats.outcome =
+        engine.run(compose_sync_strategies(*protocol, deviation.get(), spec.n));
+    stats.messages = engine.stats().total_sent;
+    stats.rounds = engine.stats().rounds;
+    return stats;
+  };
+
+  // Resolve display names before launching workers.
+  {
+    const auto named =
+        shared_protocol ? shared_protocol : protocol_entry.make_sync(spec, spec.seed);
+    result.protocol_name = named->name();
+    if (deviation_entry) {
+      const auto dev =
+          shared_deviation ? shared_deviation : deviation_entry->make_sync(*named, spec);
+      result.deviation_name = dev->name();
+    }
+  }
+  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  return result;
+}
+
+ScenarioResult run_turn_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
+                                 const DeviationEntry* deviation_entry) {
+  require_n(spec, 2);
+  if (!protocol_entry.make_game) {
+    throw std::invalid_argument("protocol '" + protocol_entry.name +
+                                "' does not run as a turn game (topology '" +
+                                to_string(spec.topology) + "')");
+  }
+  if (deviation_entry && (!deviation_entry->make_turn || !deviation_entry->turn_coalition)) {
+    throw std::invalid_argument("deviation '" + deviation_entry->name +
+                                "' does not apply to turn games");
+  }
+  const std::shared_ptr<const TurnGame> game = protocol_entry.make_game(spec);
+  std::vector<ProcessorId> coalition;
+  if (deviation_entry) coalition = deviation_entry->turn_coalition(*game, spec);
+
+  // Turn-game outcomes live in [0, players) for elections and {0, 1} for
+  // coin games; size the counter to cover both.
+  const int domain = std::max(game->players(), std::max(spec.n, 2));
+  ScenarioResult result(domain);
+  result.protocol_name = protocol_entry.name;
+  if (deviation_entry) result.deviation_name = deviation_entry->name;
+
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+    Xoshiro256 rng(trial_seed);
+    std::unique_ptr<TurnAdversary> adversary;
+    if (deviation_entry) adversary = deviation_entry->make_turn(*game, spec);
+    TrialStats stats;
+    stats.outcome =
+        Outcome::elected(play_turn_game(*game, coalition, adversary.get(), rng));
+    return stats;
+  };
+  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
+                                 const RingTrialFactories& factories) {
+  require_n(spec, 2);
+  const auto start = std::chrono::steady_clock::now();
+  ScenarioResult result(spec.n);
+  {
+    const auto named = factories.protocol(spec.seed);
+    result.protocol_name = named->name();
+    if (factories.deviation) {
+      const auto dev = factories.deviation(*named, spec.seed);
+      if (dev) result.deviation_name = dev->name();
+    }
+  }
+
+  const bool threaded = spec.topology == TopologyKind::kThreaded;
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+    const std::shared_ptr<const RingProtocol> protocol = factories.protocol(trial_seed);
+    std::shared_ptr<const Deviation> deviation;
+    if (factories.deviation) deviation = factories.deviation(*protocol, trial_seed);
+    TrialStats stats;
+    if (threaded) {
+      ThreadedRuntimeOptions options;
+      options.send_limit = ring_step_limit(spec, *protocol);
+      ThreadedRuntime runtime(spec.n, trial_seed, options);
+      stats.outcome = runtime.run(compose_strategies(*protocol, deviation.get(), spec.n));
+      stats.messages = runtime.stats().total_sent;
+    } else {
+      EngineOptions options;
+      options.step_limit = ring_step_limit(spec, *protocol);
+      options.scheduler = make_scheduler(spec.scheduler, spec.n, trial_seed);
+      RingEngine engine(spec.n, trial_seed, std::move(options));
+      stats.outcome = engine.run(compose_strategies(*protocol, deviation.get(), spec.n));
+      stats.messages = engine.stats().total_sent;
+      stats.sync_gap = engine.stats().max_sync_gap;
+    }
+    return stats;
+  };
+  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  if (spec.protocol.empty()) {
+    throw std::invalid_argument("ScenarioSpec.protocol must name a registered protocol");
+  }
+  register_builtin_scenarios();
+  const ProtocolEntry& protocol_entry = ProtocolRegistry::instance().at(spec.protocol);
+  const DeviationEntry* deviation_entry =
+      spec.deviation.empty() ? nullptr : &DeviationRegistry::instance().at(spec.deviation);
+
+  const auto start = std::chrono::steady_clock::now();
+  ScenarioResult result(1);
+  switch (spec.topology) {
+    case TopologyKind::kRing:
+    case TopologyKind::kThreaded: {
+      if (!protocol_entry.make_ring) {
+        throw std::invalid_argument("protocol '" + protocol_entry.name +
+                                    "' does not run on the ring topology");
+      }
+      if (deviation_entry && !deviation_entry->make_ring) {
+        throw std::invalid_argument("deviation '" + deviation_entry->name +
+                                    "' does not apply to ring protocols");
+      }
+      RingTrialFactories factories;
+      if (protocol_entry.per_trial) {
+        factories.protocol = [&](std::uint64_t trial_seed) {
+          return std::shared_ptr<const RingProtocol>(
+              protocol_entry.make_ring(spec, trial_seed));
+        };
+        if (deviation_entry) {
+          factories.deviation = [&](const RingProtocol& protocol, std::uint64_t) {
+            return std::shared_ptr<const Deviation>(
+                deviation_entry->make_ring(protocol, spec));
+          };
+        }
+      } else {
+        const std::shared_ptr<const RingProtocol> shared_protocol =
+            protocol_entry.make_ring(spec, spec.seed);
+        std::shared_ptr<const Deviation> shared_deviation;
+        if (deviation_entry) {
+          shared_deviation = deviation_entry->make_ring(*shared_protocol, spec);
+        }
+        factories.protocol = [shared_protocol](std::uint64_t) { return shared_protocol; };
+        if (deviation_entry) {
+          factories.deviation = [shared_deviation](const RingProtocol&, std::uint64_t) {
+            return shared_deviation;
+          };
+        }
+      }
+      result = run_ring_scenario(spec, factories);
+      break;
+    }
+    case TopologyKind::kGraph:
+      result = run_graph_scenario(spec, protocol_entry, deviation_entry);
+      break;
+    case TopologyKind::kSync:
+      result = run_sync_scenario(spec, protocol_entry, deviation_entry);
+      break;
+    case TopologyKind::kTree:
+    case TopologyKind::kFullInfo:
+      result = run_turn_scenario(spec, protocol_entry, deviation_entry);
+      break;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace fle

@@ -1,0 +1,145 @@
+#pragma once
+// The unified Scenario API: one registry-driven entrypoint over all of the
+// repo's execution runtimes.
+//
+// A ScenarioSpec names everything an experiment needs — topology, protocol,
+// deviation + coalition placement, scheduler, ring size, trial count, base
+// seed — as plain data.  run_scenario() resolves the protocol and deviation
+// through the string-keyed registries (api/registry.h), dispatches to the
+// right runtime (RingEngine, GraphEngine, SyncEngine, ThreadedRuntime, or
+// the full-information/game-tree turn-game player), fans the trials out
+// over a worker pool (api/parallel.h) with per-trial seeds derived from the
+// base seed, and aggregates everything into one ScenarioResult.
+//
+// Determinism contract: the same ScenarioSpec yields identical outcome
+// counts for every worker-thread count — per-trial seeds depend only on
+// (base seed, trial index) and results are reduced in trial order.
+//
+// See DESIGN.md for the layer diagram and a quickstart.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "attacks/coalition.h"
+#include "core/types.h"
+#include "sim/scheduler.h"
+
+namespace fle {
+
+class RingProtocol;
+class Deviation;
+
+/// Which runtime executes the scenario.
+///
+///  * kRing      — deterministic asynchronous unidirectional ring (RingEngine)
+///  * kGraph     — general-topology asynchronous network (GraphEngine)
+///  * kTree      — extensive-form game over a tree protocol, played as a
+///                 turn game (Section 7 / Appendix F machinery)
+///  * kSync      — synchronous lockstep rounds (SyncEngine)
+///  * kThreaded  — one OS thread per processor on the ring (ThreadedRuntime)
+///  * kFullInfo  — full-information broadcast turn games (Related Work)
+enum class TopologyKind { kRing, kGraph, kTree, kSync, kThreaded, kFullInfo };
+
+const char* to_string(TopologyKind kind);
+std::optional<TopologyKind> parse_topology(const std::string& name);
+
+/// How the deviation's coalition is placed on the ring/network.
+struct CoalitionSpec {
+  enum class Placement {
+    kDefault,         ///< the deviation's canonical placement (if it has one)
+    kConsecutive,     ///< Coalition::consecutive(n, k, first)
+    kEquallySpaced,   ///< Coalition::equally_spaced(n, k, first)
+    kBernoulli,       ///< Coalition::bernoulli(n, density, placement_seed)
+    kCubicStaircase,  ///< Coalition::cubic_staircase(n, k, first)
+    kCustom,          ///< explicit member list
+  };
+
+  Placement placement = Placement::kDefault;
+  int k = 0;                           ///< coalition size (where applicable)
+  ProcessorId first = 1;               ///< first member position
+  double density = 0.0;                ///< Bernoulli density p
+  std::uint64_t placement_seed = 0;    ///< Bernoulli draw seed
+  std::vector<ProcessorId> members;    ///< kCustom member list
+
+  static CoalitionSpec consecutive(int k, ProcessorId first = 1);
+  static CoalitionSpec equally_spaced(int k, ProcessorId first = 1);
+  static CoalitionSpec bernoulli(double density, std::uint64_t placement_seed);
+  static CoalitionSpec cubic_staircase(int k, ProcessorId first = 1);
+  static CoalitionSpec custom(std::vector<ProcessorId> members);
+};
+
+/// Builds the Coalition a spec describes, or nullopt for kDefault (the
+/// deviation factory then supplies its canonical placement).
+std::optional<Coalition> build_coalition(const CoalitionSpec& spec, int n);
+
+/// A complete, value-typed description of one experiment.
+struct ScenarioSpec {
+  TopologyKind topology = TopologyKind::kRing;
+  std::string protocol;       ///< ProtocolRegistry key
+  std::string deviation;      ///< DeviationRegistry key; empty = honest
+  CoalitionSpec coalition;
+  Value target = 0;           ///< the leader the coalition tries to force
+
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  int n = 0;                  ///< processors (players for turn games)
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;     ///< base seed; per-trial seeds derive from it
+  std::uint64_t step_limit = 0;  ///< deliveries (rounds for kSync); 0 = derive
+  int threads = 1;            ///< trial-batching workers; 0 = hardware count
+  bool record_outcomes = false;  ///< keep per-trial outcomes in the result
+
+  // Protocol / deviation knobs (consumed by the registered factories that
+  // care; ignored by the rest).
+  std::uint64_t protocol_key = 0x5eed;  ///< PRF key for keyed protocols
+  int param_l = 0;            ///< PhaseAsyncLead l override (0 = paper default)
+  std::uint64_t search_cap = 0;   ///< attack preimage-search cap (0 = default)
+  int prefix = 4;             ///< random-location detection constant C
+  int rounds = 3;             ///< game rounds for tree turn games
+  std::uint64_t tamper_send = 0;  ///< which send the tamper deviations corrupt
+};
+
+/// Unified aggregate over all runtimes.  Fields that a runtime does not
+/// produce stay at their zero value (e.g. sync gaps outside the ring).
+struct ScenarioResult {
+  OutcomeCounter outcomes;
+  std::size_t trials = 0;
+  double mean_messages = 0.0;      ///< mean total sends per execution
+  std::uint64_t max_messages = 0;
+  std::uint64_t max_sync_gap = 0;  ///< max over trials (ring engine only)
+  double mean_sync_gap = 0.0;
+  int max_rounds = 0;              ///< kSync: max rounds over trials
+  double wall_seconds = 0.0;       ///< wall time of the whole batch
+  std::string protocol_name;       ///< resolved display name
+  std::string deviation_name;      ///< resolved display name (empty = honest)
+  std::vector<Outcome> per_trial;  ///< filled when spec.record_outcomes
+
+  explicit ScenarioResult(int n) : outcomes(n) {}
+};
+
+/// Seed of trial `trial` under base seed `base_seed` (a splitmix64 stream:
+/// every trial gets an independently mixed 64-bit seed).
+std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial);
+
+/// The single entrypoint: resolves the spec against the registries, runs
+/// `spec.trials` executions on `spec.threads` workers, and aggregates.
+/// Throws std::invalid_argument on unknown names or inconsistent specs.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Low-level ring/threaded trial batch used by run_scenario and by the
+/// analysis/experiment.h shim: explicit factories instead of registry keys.
+/// `protocol` is called once per trial with the trial seed (return the same
+/// shared instance every time for deterministic protocols); `deviation` may
+/// be null for the honest profile.
+struct RingTrialFactories {
+  std::function<std::shared_ptr<const RingProtocol>(std::uint64_t trial_seed)> protocol;
+  std::function<std::shared_ptr<const Deviation>(const RingProtocol&, std::uint64_t trial_seed)>
+      deviation;
+};
+ScenarioResult run_ring_scenario(const ScenarioSpec& spec, const RingTrialFactories& factories);
+
+}  // namespace fle

@@ -72,4 +72,25 @@ class Coalition {
   std::vector<char> is_member_;
 };
 
+/// Builds the strategy vector of the deviated profile (P_{V-C}, P'_C) for
+/// any runtime family: honest strategies from `protocol` everywhere except
+/// coalition members, which get `deviation`'s adversaries.  Works for every
+/// (protocol, deviation) pair exposing make_strategy / make_adversary /
+/// coalition(); the ring, graph, and sync compose_* helpers all delegate
+/// here.  Pass deviation == nullptr for the honest profile.
+template <typename Protocol, typename Deviation>
+auto compose_profile(const Protocol& protocol, const Deviation* deviation, int n)
+    -> std::vector<decltype(protocol.make_strategy(ProcessorId{0}, n))> {
+  std::vector<decltype(protocol.make_strategy(ProcessorId{0}, n))> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (deviation != nullptr && deviation->coalition().contains(p)) {
+      out.push_back(deviation->make_adversary(p, n));
+    } else {
+      out.push_back(protocol.make_strategy(p, n));
+    }
+  }
+  return out;
+}
+
 }  // namespace fle

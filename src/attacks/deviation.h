@@ -32,16 +32,7 @@ class Deviation {
 /// honest profile.
 inline std::vector<std::unique_ptr<RingStrategy>> compose_strategies(
     const RingProtocol& protocol, const Deviation* deviation, int n) {
-  std::vector<std::unique_ptr<RingStrategy>> out;
-  out.reserve(static_cast<std::size_t>(n));
-  for (ProcessorId p = 0; p < n; ++p) {
-    if (deviation != nullptr && deviation->coalition().contains(p)) {
-      out.push_back(deviation->make_adversary(p, n));
-    } else {
-      out.push_back(protocol.make_strategy(p, n));
-    }
-  }
-  return out;
+  return compose_profile(protocol, deviation, n);
 }
 
 }  // namespace fle

@@ -1,0 +1,32 @@
+#pragma once
+// Adversarial deviations on general-topology networks (paper Definition 2.2
+// lifted from the ring to arbitrary communication graphs).
+//
+// Mirrors attacks/deviation.h: a deviation binds a coalition to adversarial
+// GraphStrategy instances; everyone outside the coalition runs the
+// protocol's honest strategy.
+
+#include <memory>
+#include <vector>
+
+#include "attacks/coalition.h"
+#include "sim/graph_engine.h"
+
+namespace fle {
+
+/// Deviation interface for graph protocols (Definition 2.2 on networks).
+class GraphDeviation {
+ public:
+  virtual ~GraphDeviation() = default;
+  [[nodiscard]] virtual const Coalition& coalition() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id,
+                                                                      int n) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+inline std::vector<std::unique_ptr<GraphStrategy>> compose_graph_strategies(
+    const GraphProtocol& protocol, const GraphDeviation* deviation, int n) {
+  return compose_profile(protocol, deviation, n);
+}
+
+}  // namespace fle

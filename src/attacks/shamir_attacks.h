@@ -22,33 +22,10 @@
 #include <optional>
 
 #include "attacks/coalition.h"
+#include "attacks/graph_deviation.h"
 #include "protocols/shamir_lead.h"
 
 namespace fle {
-
-/// Deviation interface for graph protocols (Definition 2.2 on networks).
-class GraphDeviation {
- public:
-  virtual ~GraphDeviation() = default;
-  [[nodiscard]] virtual const Coalition& coalition() const = 0;
-  [[nodiscard]] virtual std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id,
-                                                                      int n) const = 0;
-  [[nodiscard]] virtual const char* name() const = 0;
-};
-
-inline std::vector<std::unique_ptr<GraphStrategy>> compose_graph_strategies(
-    const GraphProtocol& protocol, const GraphDeviation* deviation, int n) {
-  std::vector<std::unique_ptr<GraphStrategy>> out;
-  out.reserve(static_cast<std::size_t>(n));
-  for (ProcessorId p = 0; p < n; ++p) {
-    if (deviation != nullptr && deviation->coalition().contains(p)) {
-      out.push_back(deviation->make_adversary(p, n));
-    } else {
-      out.push_back(protocol.make_strategy(p, n));
-    }
-  }
-  return out;
-}
 
 /// Early-reconstruction attack; controls the outcome iff k >= t.
 class ShamirRushingDeviation final : public GraphDeviation {

@@ -21,7 +21,7 @@ int tosses_needed(int n) {
   return bits;
 }
 
-Outcome leader_from_coins(std::span<const CoinResult> coins, int n) {
+Outcome leader_from_coins(std::span<const CoinResult> coins, [[maybe_unused]] int n) {
   assert(is_power_of_two(n));
   assert(static_cast<int>(coins.size()) == tosses_needed(n));
   Value leader = 0;

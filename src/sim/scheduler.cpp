@@ -1,6 +1,8 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 
 namespace fle {
 
@@ -38,6 +40,36 @@ std::unique_ptr<Scheduler> make_random_scheduler(std::uint64_t seed) {
 
 std::unique_ptr<Scheduler> make_priority_scheduler(std::vector<int> priority) {
   return std::make_unique<PriorityScheduler>(std::move(priority));
+}
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kPriority:
+      return "priority";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int n, std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return make_round_robin_scheduler();
+    case SchedulerKind::kRandom:
+      return make_random_scheduler(seed);
+    case SchedulerKind::kPriority: {
+      // A fixed pseudo-random permutation: oblivious but maximally unfair.
+      std::vector<int> priority(static_cast<std::size_t>(n));
+      std::iota(priority.begin(), priority.end(), 0);
+      Xoshiro256 rng(mix64(seed ^ 0x9d2c'5680'ca3f'0001ull));
+      std::shuffle(priority.begin(), priority.end(), rng);
+      return make_priority_scheduler(std::move(priority));
+    }
+  }
+  return make_round_robin_scheduler();
 }
 
 }  // namespace fle

@@ -70,4 +70,14 @@ std::unique_ptr<Scheduler> make_round_robin_scheduler();
 std::unique_ptr<Scheduler> make_random_scheduler(std::uint64_t seed);
 std::unique_ptr<Scheduler> make_priority_scheduler(std::vector<int> priority);
 
+/// Named scheduler families, the form scenario specs select by.
+enum class SchedulerKind { kRoundRobin, kRandom, kPriority };
+
+const char* to_string(SchedulerKind kind);
+
+/// Builds a scheduler of the given kind for an n-ring.  `seed` feeds the
+/// random scheduler and the priority permutation; the round-robin scheduler
+/// ignores it.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int n, std::uint64_t seed);
+
 }  // namespace fle
