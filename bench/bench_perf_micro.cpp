@@ -1,19 +1,62 @@
 // Micro-benchmarks (google-benchmark): engine throughput, PRF evaluation,
-// and full-protocol execution latency.  These are sanity-of-substrate
+// full-protocol execution latency, engine construction-vs-reuse, and
+// end-to-end run_scenario throughput.  These are sanity-of-substrate
 // numbers, not paper claims.
+//
+// The *_ConstructEach / *_Reused pairs measure the PR-2 zero-allocation
+// execution model: ConstructEach builds a fresh engine and heap-allocated
+// strategy vector per trial (the pre-reuse behaviour); Reused rearms one
+// engine with reset() and rebuilds strategies in a StrategyArena.  The
+// allocations_per_trial counter (counting operator new shim below) is the
+// steady-state allocation count of the measured loop — 0 on the reused
+// ring path.
 
 #include <benchmark/benchmark.h>
 
+#include "core/counting_new.inc"
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/scenario.h"
 #include "core/random_function.h"
 #include "core/rng.h"
 #include "protocols/alead_uni.h"
 #include "protocols/basic_lead.h"
 #include "protocols/phase_async_lead.h"
+#include "protocols/shamir_lead.h"
+#include "protocols/sync_lead.h"
+#include "sim/arena.h"
 #include "sim/engine.h"
+#include "sim/graph_engine.h"
+#include "sim/sync_engine.h"
 
 namespace {
 
 using namespace fle;
+
+std::atomic<std::uint64_t>& g_allocations = counting_new::allocations;
+
+/// Attaches allocations/iteration of the timed loop to the benchmark.
+class AllocationScope {
+ public:
+  explicit AllocationScope(benchmark::State& state,
+                           const char* counter = "allocations_per_trial")
+      : state_(state),
+        counter_(counter),
+        start_(g_allocations.load(std::memory_order_relaxed)) {}
+  ~AllocationScope() {
+    const auto total = g_allocations.load(std::memory_order_relaxed) - start_;
+    state_.counters[counter_] = benchmark::Counter(
+        static_cast<double>(total) / static_cast<double>(state_.iterations()));
+  }
+
+ private:
+  benchmark::State& state_;
+  const char* counter_;
+  std::uint64_t start_;
+};
 
 void BM_Mix64(benchmark::State& state) {
   std::uint64_t x = 1;
@@ -48,10 +91,14 @@ void BM_RandomFunctionEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomFunctionEvaluate)->Arg(64)->Arg(256)->Arg(1024);
 
+// ---- ring engine: full honest executions (reused workspace via run_honest)
+
 void BM_EngineBasicLead(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   BasicLeadProtocol protocol;
   std::uint64_t seed = 0;
+  (void)run_honest(protocol, n, ++seed);  // warm the reusable workspace
+  AllocationScope allocations(state);
   for (auto _ : state) {
     const Outcome o = run_honest(protocol, n, ++seed);
     benchmark::DoNotOptimize(o);
@@ -81,6 +128,172 @@ void BM_EnginePhaseAsyncLead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2ll * n * n);
 }
 BENCHMARK(BM_EnginePhaseAsyncLead)->Arg(32)->Arg(128)->Arg(512);
+
+// ---- construction vs reuse: the zero-allocation execution model ----------
+
+/// Pre-PR trial body: fresh engine, make_unique'd strategy vector.
+void BM_RingTrialConstructEach(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BasicLeadProtocol protocol;
+  const std::uint64_t step_limit = protocol.honest_message_bound(n) * 2 + 1024;
+  std::uint64_t seed = 0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    EngineOptions options;
+    options.step_limit = step_limit;
+    RingEngine engine(n, ++seed, std::move(options));
+    std::vector<std::unique_ptr<RingStrategy>> strategies;
+    strategies.reserve(static_cast<std::size_t>(n));
+    for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
+    benchmark::DoNotOptimize(engine.run(std::move(strategies)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingTrialConstructEach)->Arg(32)->Arg(128);
+
+/// PR-2 trial body: one engine reset per trial, strategies in an arena.
+void BM_RingTrialReused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BasicLeadProtocol protocol;
+  EngineOptions options;
+  options.step_limit = protocol.honest_message_bound(n) * 2 + 1024;
+  RingEngine engine(n, 1, std::move(options));
+  StrategyArena arena;
+  std::vector<RingStrategy*> profile;
+  std::uint64_t seed = 0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    engine.reset(++seed);
+    arena.rewind();
+    profile.clear();
+    for (ProcessorId p = 0; p < n; ++p) profile.push_back(protocol.emplace_strategy(arena, p, n));
+    benchmark::DoNotOptimize(engine.run(std::span<RingStrategy* const>(profile)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingTrialReused)->Arg(32)->Arg(128);
+
+void BM_GraphTrialConstructEach(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ShamirLeadProtocol protocol(n);
+  std::uint64_t seed = 0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_honest_graph(protocol, n, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphTrialConstructEach)->Arg(8)->Arg(16);
+
+void BM_GraphTrialReused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ShamirLeadProtocol protocol(n);
+  GraphEngineOptions options;
+  options.step_limit = protocol.honest_message_bound(n) * 2 + 4096;
+  GraphEngine engine(n, 1, std::move(options));
+  StrategyArena arena;
+  std::vector<GraphStrategy*> profile;
+  std::uint64_t seed = 0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    engine.reset(++seed);
+    arena.rewind();
+    profile.clear();
+    for (ProcessorId p = 0; p < n; ++p) profile.push_back(protocol.emplace_strategy(arena, p, n));
+    benchmark::DoNotOptimize(engine.run(std::span<GraphStrategy* const>(profile)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphTrialReused)->Arg(8)->Arg(16);
+
+void BM_SyncTrialConstructEach(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SyncBroadcastLeadProtocol protocol;
+  std::uint64_t seed = 0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_honest_sync(protocol, n, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyncTrialConstructEach)->Arg(16)->Arg(64);
+
+void BM_SyncTrialReused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SyncBroadcastLeadProtocol protocol;
+  SyncEngineOptions options;
+  options.round_limit = protocol.round_bound(n);
+  SyncEngine engine(n, 1, options);
+  StrategyArena arena;
+  std::vector<SyncStrategy*> profile;
+  std::uint64_t seed = 0;
+  AllocationScope allocations(state);
+  for (auto _ : state) {
+    engine.reset(++seed);
+    arena.rewind();
+    profile.clear();
+    for (ProcessorId p = 0; p < n; ++p) profile.push_back(protocol.emplace_strategy(arena, p, n));
+    benchmark::DoNotOptimize(engine.run(std::span<SyncStrategy* const>(profile)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyncTrialReused)->Arg(16)->Arg(64);
+
+// ---- end-to-end run_scenario throughput (items/sec = trials/sec) ---------
+
+void run_scenario_throughput(benchmark::State& state, ScenarioSpec spec) {
+  AllocationScope allocations(state, "allocations_per_batch");
+  for (auto _ : state) {
+    spec.seed += 1;  // fresh trial seeds each batch, same workload shape
+    const ScenarioResult result = run_scenario(spec);
+    benchmark::DoNotOptimize(result.outcomes.trials());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(spec.trials));
+}
+
+void BM_RunScenarioRing(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.protocol = "basic-lead";
+  spec.n = static_cast<int>(state.range(0));
+  spec.trials = 100;
+  spec.threads = 1;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioRing)->Arg(32)->Arg(128);
+
+void BM_RunScenarioRingParallel(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.protocol = "basic-lead";
+  spec.n = 64;
+  spec.trials = 512;
+  spec.threads = 0;  // one worker per core
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioRingParallel);
+
+void BM_RunScenarioGraph(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kGraph;
+  spec.protocol = "shamir-lead";
+  spec.n = 8;
+  spec.trials = 50;
+  spec.threads = 1;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioGraph);
+
+void BM_RunScenarioSync(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kSync;
+  spec.protocol = "sync-broadcast-lead";
+  spec.n = 16;
+  spec.trials = 200;
+  spec.threads = 1;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioSync);
 
 }  // namespace
 

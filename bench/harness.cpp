@@ -1,9 +1,37 @@
 #include "harness.h"
 
+// Counting allocator shim: every bench binary links this library, so the
+// shim replaces the global operator new/delete for the whole process and
+// makes allocation churn measurable per scenario run.
+#include "core/counting_new.inc"
+
 #include <cstdio>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace fle::bench {
+
+std::uint64_t allocation_count() {
+  return counting_new::allocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 namespace {
 
 std::string escape(const std::string& text) {
@@ -108,7 +136,9 @@ void Harness::row_header(const std::string& cols) {
 }
 
 ScenarioResult Harness::run(const ScenarioSpec& spec, const std::string& label) {
+  const std::uint64_t allocations_before = allocation_count();
   ScenarioResult result = run_scenario(spec);
+  const std::uint64_t allocations = allocation_count() - allocations_before;
   JsonObject row;
   if (!label.empty()) row.set("label", label);
   row.set("topology", to_string(spec.topology))
@@ -132,7 +162,17 @@ ScenarioResult Harness::run(const ScenarioSpec& spec, const std::string& label) 
       .set("max_sync_gap", result.max_sync_gap)
       .set("mean_sync_gap", result.mean_sync_gap)
       .set("max_rounds", result.max_rounds)
-      .set("wall_seconds", result.wall_seconds);
+      .set("wall_seconds", result.wall_seconds)
+      .set("trials_per_second",
+           result.wall_seconds > 0.0
+               ? static_cast<double>(result.trials) / result.wall_seconds
+               : 0.0)
+      .set("allocations", allocations)
+      .set("allocations_per_trial",
+           result.trials > 0
+               ? static_cast<double>(allocations) / static_cast<double>(result.trials)
+               : 0.0)
+      .set("peak_rss_kib", peak_rss_kib());
   rows_.push_back(std::move(row));
   return result;
 }

@@ -14,6 +14,15 @@
 
 namespace fle::bench {
 
+/// Process-wide heap-allocation count (every operator new since start).
+/// The harness library overrides the global allocator with a counting
+/// malloc shim, so benches can report allocations-per-trial and the perf
+/// trajectory in BENCH_*.json can track allocation churn across PRs.
+std::uint64_t allocation_count();
+
+/// Peak resident set size in KiB (0 where the platform has no getrusage).
+std::uint64_t peak_rss_kib();
+
 /// Minimal JSON object builder (keys ordered as set; strings escaped).
 class JsonObject {
  public:

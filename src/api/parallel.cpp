@@ -22,6 +22,17 @@ std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial) {
 std::vector<TrialStats> run_trials_parallel(
     std::size_t trials, int threads, std::uint64_t base_seed,
     const std::function<TrialStats(std::size_t, std::uint64_t)>& body) {
+  return run_trials_parallel(
+      trials, threads, base_seed, [] { return std::shared_ptr<void>(); },
+      [&body](std::size_t trial, std::uint64_t trial_seed, void* /*workspace*/) {
+        return body(trial, trial_seed);
+      });
+}
+
+std::vector<TrialStats> run_trials_parallel(
+    std::size_t trials, int threads, std::uint64_t base_seed,
+    const WorkspaceFactory& make_workspace,
+    const std::function<TrialStats(std::size_t, std::uint64_t, void*)>& body) {
   std::vector<TrialStats> results(trials);
   if (trials == 0) return results;
 
@@ -34,8 +45,9 @@ std::vector<TrialStats> run_trials_parallel(
   workers = std::min(workers, trials);
 
   if (workers <= 1) {
+    const std::shared_ptr<void> workspace = make_workspace ? make_workspace() : nullptr;
     for (std::size_t t = 0; t < trials; ++t) {
-      results[t] = body(t, scenario_trial_seed(base_seed, t));
+      results[t] = body(t, scenario_trial_seed(base_seed, t), workspace.get());
     }
     return results;
   }
@@ -45,11 +57,20 @@ std::vector<TrialStats> run_trials_parallel(
   std::mutex error_mutex;
 
   const auto worker = [&] {
+    std::shared_ptr<void> workspace;
+    try {
+      if (make_workspace) workspace = make_workspace();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      next.store(trials, std::memory_order_relaxed);  // drain the pool
+      return;
+    }
     for (;;) {
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= trials) return;
       try {
-        results[t] = body(t, scenario_trial_seed(base_seed, t));
+        results[t] = body(t, scenario_trial_seed(base_seed, t), workspace.get());
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -7,9 +7,18 @@
 // reduces the slots in trial order.  Outcome counts, message sums and maxes
 // are therefore bit-identical for every worker count — the property the
 // tier-1 determinism test asserts at 1/4/8 threads.
+//
+// Workspace hook: the workspace-aware overload builds one workspace object
+// per worker thread (engines, strategy arenas, scratch vectors) and passes
+// it to every trial that worker executes, so steady-state trials reuse
+// memory instead of reallocating it (DESIGN.md §4).  Because trials are
+// independent and seeds are per-trial, which worker (and hence which
+// workspace) runs a trial cannot affect its result — the determinism
+// contract is untouched.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/types.h"
@@ -24,6 +33,9 @@ struct TrialStats {
   int rounds = 0;                 ///< sync engine rounds
 };
 
+/// Builds one per-worker workspace (may return null for stateless bodies).
+using WorkspaceFactory = std::function<std::shared_ptr<void>()>;
+
 /// Runs `body(trial, trial_seed)` for every trial on `threads` workers
 /// (0 = hardware concurrency; clamped to [1, trials]) and returns the stats
 /// indexed by trial.  Worker exceptions are rethrown on the calling thread
@@ -31,5 +43,14 @@ struct TrialStats {
 std::vector<TrialStats> run_trials_parallel(
     std::size_t trials, int threads, std::uint64_t base_seed,
     const std::function<TrialStats(std::size_t trial, std::uint64_t trial_seed)>& body);
+
+/// Workspace-aware variant: `make_workspace()` runs once on each worker
+/// thread before its first trial; the resulting pointer is handed to every
+/// `body(trial, trial_seed, workspace)` call that worker makes.
+std::vector<TrialStats> run_trials_parallel(
+    std::size_t trials, int threads, std::uint64_t base_seed,
+    const WorkspaceFactory& make_workspace,
+    const std::function<TrialStats(std::size_t trial, std::uint64_t trial_seed,
+                                   void* workspace)>& body);
 
 }  // namespace fle

@@ -7,6 +7,7 @@
 #include "api/parallel.h"
 #include "api/registry.h"
 #include "attacks/deviation.h"
+#include "sim/arena.h"
 #include "sim/engine.h"
 #include "sim/graph_engine.h"
 #include "sim/sync_engine.h"
@@ -142,6 +143,27 @@ void require_n(const ScenarioSpec& spec, int minimum) {
   }
 }
 
+/// Per-worker workspace (DESIGN.md §4): one engine + one strategy arena per
+/// worker thread, reused across every trial the worker executes.  The
+/// engine is (re)built only when its shape (step/round limit) changes —
+/// i.e. once, on the worker's first trial — and rearmed with reset()
+/// afterwards, so steady-state trials perform no engine allocations.
+template <typename Engine, typename Strategy>
+struct EngineWorkspace {
+  std::unique_ptr<Engine> engine;
+  StrategyArena arena;
+  std::vector<Strategy*> profile;
+};
+
+using RingWorkspace = EngineWorkspace<RingEngine, RingStrategy>;
+using GraphWorkspace = EngineWorkspace<GraphEngine, GraphStrategy>;
+using SyncWorkspace = EngineWorkspace<SyncEngine, SyncStrategy>;
+
+template <typename Workspace>
+WorkspaceFactory workspace_factory() {
+  return [] { return std::static_pointer_cast<void>(std::make_shared<Workspace>()); };
+}
+
 ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
                                   const DeviationEntry* deviation_entry) {
   require_n(spec, 2);
@@ -175,22 +197,31 @@ ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry&
     }
   }
 
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed,
+                        void* raw) -> TrialStats {
+    auto& ws = *static_cast<GraphWorkspace*>(raw);
     std::shared_ptr<const GraphProtocol> protocol = shared_protocol;
     std::shared_ptr<const GraphDeviation> deviation = shared_deviation;
     if (!protocol) {
       protocol = protocol_entry.make_graph(spec, trial_seed);
       if (deviation_entry) deviation = deviation_entry->make_graph(*protocol, spec);
     }
-    GraphEngineOptions options;
-    options.step_limit =
+    const std::uint64_t step_limit =
         derived_step_limit(spec.step_limit, protocol->honest_message_bound(spec.n));
-    options.schedule = schedule;
-    options.schedule_seed = trial_seed;
-    GraphEngine engine(spec.n, trial_seed, std::move(options));
+    if (!ws.engine || ws.engine->step_limit() != step_limit) {
+      GraphEngineOptions options;
+      options.step_limit = step_limit;
+      options.schedule = schedule;
+      options.schedule_seed = trial_seed;
+      ws.engine = std::make_unique<GraphEngine>(spec.n, trial_seed, std::move(options));
+    } else {
+      ws.engine->reset(trial_seed, /*schedule_seed=*/trial_seed);
+    }
+    ws.arena.rewind();
+    compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
     TrialStats stats;
-    stats.outcome = engine.run(compose_graph_strategies(*protocol, deviation.get(), spec.n));
-    stats.messages = engine.stats().total_sent;
+    stats.outcome = ws.engine->run(std::span<GraphStrategy* const>(ws.profile));
+    stats.messages = ws.engine->stats().total_sent;
     return stats;
   };
 
@@ -205,7 +236,10 @@ ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry&
       result.deviation_name = dev->name();
     }
   }
-  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  reduce_trials(spec,
+                run_trials_parallel(spec.trials, spec.threads, spec.seed,
+                                    workspace_factory<GraphWorkspace>(), body),
+                result);
   return result;
 }
 
@@ -236,22 +270,30 @@ ScenarioResult run_sync_scenario(const ScenarioSpec& spec, const ProtocolEntry& 
     }
   }
 
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed,
+                        void* raw) -> TrialStats {
+    auto& ws = *static_cast<SyncWorkspace*>(raw);
     std::shared_ptr<const SyncProtocol> protocol = shared_protocol;
     std::shared_ptr<const SyncDeviation> deviation = shared_deviation;
     if (!protocol) {
       protocol = protocol_entry.make_sync(spec, trial_seed);
       if (deviation_entry) deviation = deviation_entry->make_sync(*protocol, spec);
     }
-    SyncEngineOptions options;
-    options.round_limit = spec.step_limit != 0 ? static_cast<int>(spec.step_limit)
-                                               : protocol->round_bound(spec.n);
-    SyncEngine engine(spec.n, trial_seed, options);
+    const int round_limit = spec.step_limit != 0 ? static_cast<int>(spec.step_limit)
+                                                 : protocol->round_bound(spec.n);
+    if (!ws.engine || ws.engine->round_limit() != round_limit) {
+      SyncEngineOptions options;
+      options.round_limit = round_limit;
+      ws.engine = std::make_unique<SyncEngine>(spec.n, trial_seed, options);
+    } else {
+      ws.engine->reset(trial_seed);
+    }
+    ws.arena.rewind();
+    compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
     TrialStats stats;
-    stats.outcome =
-        engine.run(compose_sync_strategies(*protocol, deviation.get(), spec.n));
-    stats.messages = engine.stats().total_sent;
-    stats.rounds = engine.stats().rounds;
+    stats.outcome = ws.engine->run(std::span<SyncStrategy* const>(ws.profile));
+    stats.messages = ws.engine->stats().total_sent;
+    stats.rounds = ws.engine->stats().rounds;
     return stats;
   };
 
@@ -266,7 +308,10 @@ ScenarioResult run_sync_scenario(const ScenarioSpec& spec, const ProtocolEntry& 
       result.deviation_name = dev->name();
     }
   }
-  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  reduce_trials(spec,
+                run_trials_parallel(spec.trials, spec.threads, spec.seed,
+                                    workspace_factory<SyncWorkspace>(), body),
+                result);
   return result;
 }
 
@@ -323,29 +368,45 @@ ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
   }
 
   const bool threaded = spec.topology == TopologyKind::kThreaded;
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed,
+                        void* raw) -> TrialStats {
     const std::shared_ptr<const RingProtocol> protocol = factories.protocol(trial_seed);
     std::shared_ptr<const Deviation> deviation;
     if (factories.deviation) deviation = factories.deviation(*protocol, trial_seed);
     TrialStats stats;
     if (threaded) {
+      // One OS thread per processor: the runtime's whole point is fresh
+      // threads, so there is nothing to reuse.
       ThreadedRuntimeOptions options;
       options.send_limit = ring_step_limit(spec, *protocol);
       ThreadedRuntime runtime(spec.n, trial_seed, options);
       stats.outcome = runtime.run(compose_strategies(*protocol, deviation.get(), spec.n));
       stats.messages = runtime.stats().total_sent;
     } else {
-      EngineOptions options;
-      options.step_limit = ring_step_limit(spec, *protocol);
-      options.scheduler = make_scheduler(spec.scheduler, spec.n, trial_seed);
-      RingEngine engine(spec.n, trial_seed, std::move(options));
-      stats.outcome = engine.run(compose_strategies(*protocol, deviation.get(), spec.n));
-      stats.messages = engine.stats().total_sent;
-      stats.sync_gap = engine.stats().max_sync_gap;
+      auto& ws = *static_cast<RingWorkspace*>(raw);
+      const std::uint64_t step_limit = ring_step_limit(spec, *protocol);
+      if (!ws.engine || ws.engine->step_limit() != step_limit) {
+        EngineOptions options;
+        options.step_limit = step_limit;
+        options.scheduler_kind = spec.scheduler;
+        ws.engine = std::make_unique<RingEngine>(spec.n, trial_seed, std::move(options));
+      } else {
+        ws.engine->reset(trial_seed);
+      }
+      ws.arena.rewind();
+      compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
+      stats.outcome = ws.engine->run(std::span<RingStrategy* const>(ws.profile));
+      stats.messages = ws.engine->stats().total_sent;
+      stats.sync_gap = ws.engine->stats().max_sync_gap;
     }
     return stats;
   };
-  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
+  const WorkspaceFactory make_workspace =
+      threaded ? WorkspaceFactory([] { return std::shared_ptr<void>(); })
+               : workspace_factory<RingWorkspace>();
+  reduce_trials(spec,
+                run_trials_parallel(spec.trials, spec.threads, spec.seed, make_workspace, body),
+                result);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;

@@ -50,4 +50,9 @@ std::unique_ptr<RingStrategy> BasicSingleDeviation::make_adversary(ProcessorId /
   return std::make_unique<BasicSingleStrategy>(target_);
 }
 
+RingStrategy* BasicSingleDeviation::emplace_adversary(StrategyArena& arena, ProcessorId /*id*/,
+                                                      int /*n*/) const {
+  return arena.emplace<BasicSingleStrategy>(target_);
+}
+
 }  // namespace fle

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "sim/arena.h"
 
 namespace fle {
 
@@ -91,6 +92,25 @@ auto compose_profile(const Protocol& protocol, const Deviation* deviation, int n
     }
   }
   return out;
+}
+
+/// Arena flavour of compose_profile: strategies are emplaced into `arena`
+/// (via the protocols' emplace_strategy / emplace_adversary hooks) and the
+/// non-owning profile is written into `out`, whose capacity is reused across
+/// trials.  The caller owns the rewind cadence: rewind the arena before each
+/// compose, and keep the arena alive for as long as the profile runs.
+template <typename Protocol, typename Deviation, typename Strategy>
+void compose_profile_into(const Protocol& protocol, const Deviation* deviation, int n,
+                          StrategyArena& arena, std::vector<Strategy*>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (deviation != nullptr && deviation->coalition().contains(p)) {
+      out.push_back(deviation->emplace_adversary(arena, p, n));
+    } else {
+      out.push_back(protocol.emplace_strategy(arena, p, n));
+    }
+  }
 }
 
 }  // namespace fle

@@ -23,6 +23,11 @@ class Deviation {
   /// Strategy for coalition member `id`.  Only called for members.
   [[nodiscard]] virtual std::unique_ptr<RingStrategy> make_adversary(ProcessorId id,
                                                                      int n) const = 0;
+  /// Arena-aware adversary factory; see RingProtocol::emplace_strategy.
+  [[nodiscard]] virtual RingStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                        int n) const {
+    return arena.adopt(make_adversary(id, n));
+  }
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

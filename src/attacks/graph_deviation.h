@@ -21,6 +21,11 @@ class GraphDeviation {
   [[nodiscard]] virtual const Coalition& coalition() const = 0;
   [[nodiscard]] virtual std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id,
                                                                       int n) const = 0;
+  /// Arena-aware adversary factory; see RingProtocol::emplace_strategy.
+  [[nodiscard]] virtual GraphStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                         int n) const {
+    return arena.adopt(make_adversary(id, n));
+  }
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

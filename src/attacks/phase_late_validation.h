@@ -38,6 +38,7 @@ class PhaseLateValidationDeviation final : public Deviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<RingStrategy> make_adversary(ProcessorId id, int n) const override;
+  RingStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "phase-late-validation (l ablation)"; }
 
   /// The steering member (validator of round n-l).

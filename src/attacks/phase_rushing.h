@@ -35,6 +35,7 @@ class PhaseRushingDeviation final : public Deviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<RingStrategy> make_adversary(ProcessorId id, int n) const override;
+  RingStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "phase-rushing (Thm 6.1 remark)"; }
 
   /// Free data slots available to member j: max(0, k - l_j).

@@ -175,4 +175,12 @@ std::unique_ptr<RingStrategy> PhaseSumDeviation::make_adversary(ProcessorId id,
                                                   segment_lengths_);
 }
 
+RingStrategy* PhaseSumDeviation::emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                   int /*n*/) const {
+  const int j = coalition_.index_of(id);
+  if (j < 0) throw std::invalid_argument("not a coalition member");
+  return arena.emplace<PhaseSumAttackStrategy>(id, j, target_, coalition_, params_,
+                                               segment_lengths_);
+}
+
 }  // namespace fle

@@ -109,4 +109,13 @@ std::unique_ptr<RingStrategy> RandomLocationDeviation::make_adversary(ProcessorI
   return std::make_unique<RandomLocationStrategy>(target_, prefix_);
 }
 
+RingStrategy* RandomLocationDeviation::emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                         int n) const {
+  if (id == 0) {
+    // Theorem C.1: a coalition origin executes honestly.
+    return protocol_->emplace_strategy(arena, 0, n);
+  }
+  return arena.emplace<RandomLocationStrategy>(target_, prefix_);
+}
+
 }  // namespace fle

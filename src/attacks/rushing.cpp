@@ -81,4 +81,12 @@ std::unique_ptr<RingStrategy> RushingDeviation::make_adversary(ProcessorId id,
                                            segment_lengths_[static_cast<std::size_t>(j)]);
 }
 
+RingStrategy* RushingDeviation::emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                  int /*n*/) const {
+  const int j = coalition_.index_of(id);
+  if (j < 0) throw std::invalid_argument("not a coalition member");
+  return arena.emplace<RushingStrategy>(target_, coalition_.k(),
+                                        segment_lengths_[static_cast<std::size_t>(j)]);
+}
+
 }  // namespace fle

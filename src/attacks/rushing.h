@@ -24,6 +24,7 @@ class RushingDeviation final : public Deviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<RingStrategy> make_adversary(ProcessorId id, int n) const override;
+  RingStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "rushing (Lemma 4.1)"; }
 
  private:

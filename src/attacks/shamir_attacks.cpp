@@ -264,6 +264,12 @@ std::unique_ptr<GraphStrategy> ShamirRushingDeviation::make_adversary(ProcessorI
   return std::make_unique<ShamirRushingStrategy>(id, params_, target_, coalition_);
 }
 
+GraphStrategy* ShamirRushingDeviation::emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                         int /*n*/) const {
+  if (!coalition_.contains(id)) throw std::invalid_argument("not a coalition member");
+  return arena.emplace<ShamirRushingStrategy>(id, params_, target_, coalition_);
+}
+
 ShamirForgeDeviation::ShamirForgeDeviation(Coalition coalition, Value target,
                                            const ShamirLeadProtocol& protocol)
     : coalition_(std::move(coalition)), target_(target), params_(protocol.params()) {
@@ -277,6 +283,12 @@ std::unique_ptr<GraphStrategy> ShamirForgeDeviation::make_adversary(ProcessorId 
                                                                     int /*n*/) const {
   if (!coalition_.contains(id)) throw std::invalid_argument("not a coalition member");
   return std::make_unique<ShamirForgeStrategy>(id, params_, target_, coalition_);
+}
+
+GraphStrategy* ShamirForgeDeviation::emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                       int /*n*/) const {
+  if (!coalition_.contains(id)) throw std::invalid_argument("not a coalition member");
+  return arena.emplace<ShamirForgeStrategy>(id, params_, target_, coalition_);
 }
 
 }  // namespace fle

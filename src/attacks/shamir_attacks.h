@@ -35,6 +35,7 @@ class ShamirRushingDeviation final : public GraphDeviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id, int n) const override;
+  GraphStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "shamir-rushing (k >= n/2+1)"; }
 
   /// True iff the coalition holds enough shares to reconstruct early.
@@ -57,6 +58,7 @@ class ShamirForgeDeviation final : public GraphDeviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<GraphStrategy> make_adversary(ProcessorId id, int n) const override;
+  GraphStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "shamir-forge (k >= n/2)"; }
 
   /// True iff the honest points no longer pin the polynomials.

@@ -54,12 +54,24 @@ std::unique_ptr<SyncStrategy> SyncBlindCollusionDeviation::make_adversary(Proces
   return std::make_unique<FixedValueColluder>(static_cast<Value>(id));
 }
 
+SyncStrategy* SyncBlindCollusionDeviation::emplace_adversary(StrategyArena& arena,
+                                                             ProcessorId id,
+                                                             int /*n*/) const {
+  return arena.emplace<FixedValueColluder>(static_cast<Value>(id));
+}
+
 SyncLateBroadcastDeviation::SyncLateBroadcastDeviation(Coalition coalition)
     : coalition_(std::move(coalition)) {}
 
 std::unique_ptr<SyncStrategy> SyncLateBroadcastDeviation::make_adversary(ProcessorId /*id*/,
                                                                          int /*n*/) const {
   return std::make_unique<LateBroadcaster>();
+}
+
+SyncStrategy* SyncLateBroadcastDeviation::emplace_adversary(StrategyArena& arena,
+                                                            ProcessorId /*id*/,
+                                                            int /*n*/) const {
+  return arena.emplace<LateBroadcaster>();
 }
 
 }  // namespace fle

@@ -28,6 +28,11 @@ class SyncDeviation {
   [[nodiscard]] virtual const Coalition& coalition() const = 0;
   [[nodiscard]] virtual std::unique_ptr<SyncStrategy> make_adversary(ProcessorId id,
                                                                      int n) const = 0;
+  /// Arena-aware adversary factory; see RingProtocol::emplace_strategy.
+  [[nodiscard]] virtual SyncStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                        int n) const {
+    return arena.adopt(make_adversary(id, n));
+  }
   [[nodiscard]] virtual const char* name() const = 0;
 };
 
@@ -45,6 +50,7 @@ class SyncBlindCollusionDeviation final : public SyncDeviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<SyncStrategy> make_adversary(ProcessorId id, int n) const override;
+  SyncStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "sync-blind-collusion"; }
 
  private:
@@ -61,6 +67,7 @@ class SyncLateBroadcastDeviation final : public SyncDeviation {
 
   const Coalition& coalition() const override { return coalition_; }
   std::unique_ptr<SyncStrategy> make_adversary(ProcessorId id, int n) const override;
+  SyncStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "sync-late-broadcast"; }
 
  private:

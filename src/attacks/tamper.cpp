@@ -84,4 +84,11 @@ std::unique_ptr<RingStrategy> TamperDeviation::make_adversary(ProcessorId id, in
                                           target_send_);
 }
 
+RingStrategy* TamperDeviation::emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                                 int n) const {
+  // The wrapper lives in the arena; the wrapped honest strategy stays
+  // uniquely owned by the wrapper.
+  return arena.emplace<TamperStrategy>(protocol_->make_strategy(id, n), kind_, target_send_);
+}
+
 }  // namespace fle

@@ -8,6 +8,12 @@ std::unique_ptr<RingStrategy> ALeadUniProtocol::make_strategy(ProcessorId id,
   return std::make_unique<ALeadNormalStrategy>();
 }
 
+RingStrategy* ALeadUniProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                 int /*n*/) const {
+  if (id == 0) return arena.emplace<ALeadOriginStrategy>();
+  return arena.emplace<ALeadNormalStrategy>();
+}
+
 void ALeadOriginStrategy::on_init(RingContext& ctx) {
   const auto n = static_cast<Value>(ctx.ring_size());
   d_ = ctx.tape().uniform(n);

@@ -7,18 +7,24 @@ std::unique_ptr<RingStrategy> BasicLeadProtocol::make_strategy(ProcessorId /*id*
   return std::make_unique<BasicLeadStrategy>();
 }
 
+RingStrategy* BasicLeadProtocol::emplace_strategy(StrategyArena& arena, ProcessorId /*id*/,
+                                                  int /*n*/) const {
+  return arena.emplace<BasicLeadStrategy>();
+}
+
 void BasicLeadStrategy::on_init(RingContext& ctx) {
-  const auto n = static_cast<Value>(ctx.ring_size());
-  d_ = ctx.tape().uniform(n);
+  n_ = ctx.ring_size();  // cached: ring_size() is a virtual call per event
+  d_ = ctx.tape().uniform(static_cast<Value>(n_));
   ctx.send(d_);
 }
 
 void BasicLeadStrategy::on_receive(RingContext& ctx, Value v) {
-  const auto n = static_cast<Value>(ctx.ring_size());
-  v %= n;
+  const auto n = static_cast<Value>(n_);
+  if (v >= n) v %= n;  // honest traffic is already reduced; skip the divide
   ++count_;
-  sum_ = (sum_ + v) % n;
-  if (count_ < ctx.ring_size()) {
+  sum_ += v;
+  if (sum_ >= n) sum_ -= n;
+  if (count_ < n_) {
     ctx.send(v);
     return;
   }

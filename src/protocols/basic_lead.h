@@ -22,6 +22,7 @@ namespace fle {
 class BasicLeadProtocol final : public RingProtocol {
  public:
   std::unique_ptr<RingStrategy> make_strategy(ProcessorId id, int n) const override;
+  RingStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "Basic-LEAD"; }
   std::uint64_t honest_message_bound(int n) const override {
     return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
@@ -39,6 +40,7 @@ class BasicLeadStrategy final : public RingStrategy {
   Value d_ = 0;
   Value sum_ = 0;
   int count_ = 0;
+  int n_ = 0;  ///< cached ring size (set at wake-up)
 };
 
 }  // namespace fle

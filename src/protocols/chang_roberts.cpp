@@ -86,4 +86,12 @@ std::unique_ptr<RingStrategy> ChangRobertsProtocol::make_strategy(ProcessorId id
                                                 n);
 }
 
+RingStrategy* ChangRobertsProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                     int n) const {
+  if (static_cast<int>(logical_ids_.size()) != n) {
+    throw std::invalid_argument("ring size mismatch with logical id table");
+  }
+  return arena.emplace<ChangRobertsStrategy>(logical_ids_[static_cast<std::size_t>(id)], n);
+}
+
 }  // namespace fle

@@ -29,6 +29,7 @@ class ChangRobertsProtocol final : public RingProtocol {
   static ChangRobertsProtocol random(int n, std::uint64_t seed);
 
   std::unique_ptr<RingStrategy> make_strategy(ProcessorId id, int n) const override;
+  RingStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "Chang-Roberts"; }
   std::uint64_t honest_message_bound(int n) const override {
     return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) + 2ull * n;

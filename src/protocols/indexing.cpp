@@ -59,4 +59,11 @@ std::unique_ptr<RingStrategy> IndexingProtocol::make_strategy(ProcessorId id,
   return std::make_unique<IndexingStrategy>(*inner_, id == 0);
 }
 
+RingStrategy* IndexingProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                 int /*n*/) const {
+  // The wrapper lives in the arena; the inner strategy is built mid-run
+  // (once the index is learned) and stays uniquely owned.
+  return arena.emplace<IndexingStrategy>(*inner_, id == 0);
+}
+
 }  // namespace fle

@@ -23,6 +23,7 @@ class IndexingProtocol final : public RingProtocol {
       : inner_(std::move(inner)) {}
 
   std::unique_ptr<RingStrategy> make_strategy(ProcessorId id, int n) const override;
+  RingStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "Indexing+inner"; }
   std::uint64_t honest_message_bound(int n) const override {
     return inner_->honest_message_bound(n) + static_cast<std::uint64_t>(n);

@@ -94,4 +94,12 @@ std::unique_ptr<RingStrategy> PetersonProtocol::make_strategy(ProcessorId id, in
   return std::make_unique<PetersonStrategy>(logical_ids_[static_cast<std::size_t>(id)], n);
 }
 
+RingStrategy* PetersonProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                 int n) const {
+  if (static_cast<int>(logical_ids_.size()) != n) {
+    throw std::invalid_argument("ring size mismatch with logical id table");
+  }
+  return arena.emplace<PetersonStrategy>(logical_ids_[static_cast<std::size_t>(id)], n);
+}
+
 }  // namespace fle

@@ -25,6 +25,7 @@ class PetersonProtocol final : public RingProtocol {
   static PetersonProtocol random(int n, std::uint64_t seed);
 
   std::unique_ptr<RingStrategy> make_strategy(ProcessorId id, int n) const override;
+  RingStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "Peterson"; }
   std::uint64_t honest_message_bound(int n) const override {
     // 2n per phase, <= ceil(log2 n) + 1 phases, + n announcement.

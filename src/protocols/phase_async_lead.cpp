@@ -173,4 +173,11 @@ std::unique_ptr<RingStrategy> PhaseAsyncLeadProtocol::make_strategy(ProcessorId 
   return std::make_unique<PhaseNormalStrategy>(id, params_, output_fn());
 }
 
+RingStrategy* PhaseAsyncLeadProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                       int n) const {
+  if (n != params_.n) throw std::invalid_argument("ring size mismatch with PhaseParams");
+  if (id == 0) return arena.emplace<PhaseOriginStrategy>(params_, output_fn());
+  return arena.emplace<PhaseNormalStrategy>(id, params_, output_fn());
+}
+
 }  // namespace fle

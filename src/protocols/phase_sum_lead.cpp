@@ -20,4 +20,11 @@ std::unique_ptr<RingStrategy> PhaseSumLeadProtocol::make_strategy(ProcessorId id
   return std::make_unique<PhaseNormalStrategy>(id, params_, output_fn());
 }
 
+RingStrategy* PhaseSumLeadProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                     int n) const {
+  if (n != params_.n) throw std::invalid_argument("ring size mismatch with PhaseParams");
+  if (id == 0) return arena.emplace<PhaseOriginStrategy>(params_, output_fn());
+  return arena.emplace<PhaseNormalStrategy>(id, params_, output_fn());
+}
+
 }  // namespace fle

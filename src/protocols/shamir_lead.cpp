@@ -10,6 +10,12 @@ std::unique_ptr<GraphStrategy> ShamirLeadProtocol::make_strategy(ProcessorId id,
   return std::make_unique<ShamirLeadStrategy>(id, params_);
 }
 
+GraphStrategy* ShamirLeadProtocol::emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                    int n) const {
+  if (n != params_.n) throw std::invalid_argument("network size mismatch");
+  return arena.emplace<ShamirLeadStrategy>(id, params_);
+}
+
 ShamirLeadStrategy::ShamirLeadStrategy(ProcessorId id, ShamirParams params)
     : id_(id), params_(params) {
   held_.assign(static_cast<std::size_t>(params_.n), std::nullopt);

@@ -50,6 +50,7 @@ class ShamirLeadProtocol final : public GraphProtocol {
   explicit ShamirLeadProtocol(ShamirParams params) : params_(params) {}
 
   std::unique_ptr<GraphStrategy> make_strategy(ProcessorId id, int n) const override;
+  GraphStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id, int n) const override;
   const char* name() const override { return "Shamir-LEAD (fully connected)"; }
   std::uint64_t honest_message_bound(int n) const override {
     return 3ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);

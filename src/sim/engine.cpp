@@ -5,38 +5,42 @@
 
 namespace fle {
 
-/// Runtime-facing processor context; forwards into the engine.
+/// Runtime-facing processor context; forwards into the engine.  Stored by
+/// value in a contiguous vector and reused across trials (reseed() swaps in
+/// the new trial's tape without reconstructing the object).
 class RingEngine::Context final : public RingContext {
  public:
   Context(RingEngine& engine, ProcessorId id, std::uint64_t trial_seed)
-      : engine_(engine), id_(id), tape_(trial_seed, id) {}
+      : engine_(&engine), id_(id), tape_(trial_seed, id) {}
+
+  void reseed(std::uint64_t trial_seed) { tape_ = RandomTape(trial_seed, id_); }
 
   void send(Value v) override {
-    if (engine_.terminated_[static_cast<std::size_t>(id_)]) {
+    if (engine_->terminated_[static_cast<std::size_t>(id_)]) {
       throw std::logic_error("strategy sent after terminating");
     }
-    engine_.enqueue(id_, v);
+    engine_->enqueue(id_, v);
   }
 
   void terminate(Value output) override { finish(LocalOutput{false, output}); }
   void abort() override { finish(LocalOutput{true, 0}); }
 
   ProcessorId id() const override { return id_; }
-  int ring_size() const override { return engine_.n_; }
+  int ring_size() const override { return engine_->n_; }
   RandomTape& tape() override { return tape_; }
 
  private:
   void finish(LocalOutput out) {
-    auto& slot = engine_.outputs_[static_cast<std::size_t>(id_)];
+    auto& slot = engine_->outputs_[static_cast<std::size_t>(id_)];
     if (slot.has_value()) throw std::logic_error("strategy terminated twice");
     slot = out;
-    engine_.terminated_[static_cast<std::size_t>(id_)] = true;
-    engine_.gap_frozen_ = true;
-    engine_.unmark_ready(id_);
-    engine_.inbox_[static_cast<std::size_t>(id_)].clear();
+    engine_->terminated_[static_cast<std::size_t>(id_)] = true;
+    engine_->gap_frozen_ = true;
+    engine_->unmark_ready(id_);
+    engine_->inbox_[static_cast<std::size_t>(id_)].clear();
   }
 
-  RingEngine& engine_;
+  RingEngine* engine_;
   ProcessorId id_;
   RandomTape tape_;
 };
@@ -48,13 +52,55 @@ RingEngine::RingEngine(int n, std::uint64_t trial_seed, EngineOptions options)
                       ? options.step_limit
                       : 8ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) +
                             1024),
-      scheduler_(options.scheduler ? std::move(options.scheduler)
-                                   : make_round_robin_scheduler()),
-      observer_(std::move(options.observer)) {
+      scheduler_kind_(options.scheduler_kind),
+      scheduler_(std::move(options.scheduler)),
+      observer_(std::move(options.observer)),
+      sched_rng_(trial_seed) {
   if (n_ < 2) throw std::invalid_argument("ring needs at least 2 processors");
+  contexts_.reserve(static_cast<std::size_t>(n_));
+  for (ProcessorId p = 0; p < n_; ++p) contexts_.emplace_back(*this, p, trial_seed);
+  inbox_.resize(static_cast<std::size_t>(n_));
+  reset(trial_seed);
 }
 
 RingEngine::~RingEngine() = default;
+
+void RingEngine::reset(std::uint64_t trial_seed) {
+  trial_seed_ = trial_seed;
+  owned_strategies_.clear();
+  strategies_ = {};
+  for (Context& context : contexts_) context.reseed(trial_seed);
+  for (auto& box : inbox_) box.clear();
+  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
+  terminated_.assign(static_cast<std::size_t>(n_), false);
+  ready_.clear();
+  ready_pos_.assign(static_cast<std::size_t>(n_), -1);
+  stats_.sent.assign(static_cast<std::size_t>(n_), 0);
+  stats_.received.assign(static_cast<std::size_t>(n_), 0);
+  stats_.deliveries = 0;
+  stats_.total_sent = 0;
+  stats_.step_limit_hit = false;
+  stats_.max_sync_gap = 0;
+  sent_freq_.assign(1, static_cast<std::uint64_t>(n_));
+  min_sent_ = 0;
+  max_sent_ = 0;
+  gap_frozen_ = false;
+
+  // Restart the built-in schedule exactly as make_scheduler(kind, n, seed)
+  // would build it, so a reused engine and a fresh one agree bit-for-bit.
+  rr_cursor_ = 0;
+  switch (scheduler_kind_) {
+    case SchedulerKind::kRoundRobin:
+      break;
+    case SchedulerKind::kRandom:
+      sched_rng_ = Xoshiro256(trial_seed);
+      break;
+    case SchedulerKind::kPriority:
+      fill_priority_permutation(priority_, n_, trial_seed);
+      break;
+  }
+  armed_ = true;
+}
 
 void RingEngine::mark_ready(ProcessorId p) {
   auto& pos = ready_pos_[static_cast<std::size_t>(p)];
@@ -73,8 +119,35 @@ void RingEngine::unmark_ready(ProcessorId p) {
   pos = -1;
 }
 
+ProcessorId RingEngine::pick_next() {
+  if (scheduler_) return scheduler_->pick(std::span<const ProcessorId>(ready_));
+  switch (scheduler_kind_) {
+    case SchedulerKind::kRoundRobin:
+      break;  // the fast path, below
+    case SchedulerKind::kRandom:
+      return ready_[sched_rng_.below(ready_.size())];
+    case SchedulerKind::kPriority: {
+      ProcessorId best = ready_[0];
+      for (const ProcessorId p : ready_) {
+        if (priority_[static_cast<std::size_t>(p)] <
+            priority_[static_cast<std::size_t>(best)]) {
+          best = p;
+        }
+      }
+      return best;
+    }
+  }
+  // Wrapping cursor instead of cursor % size: the division dominated the
+  // pick on the hot path.  Still a fair oblivious rotation (every ready
+  // processor is served within |ready| steps of becoming ready).
+  if (rr_cursor_ >= ready_.size()) rr_cursor_ = 0;
+  return ready_[rr_cursor_++];
+}
+
 void RingEngine::enqueue(ProcessorId from, Value v) {
-  const ProcessorId to = ring_succ(from, n_);
+  // ring_succ's modulo is a division on the per-send hot path; branch instead.
+  ProcessorId to = from + 1;
+  if (to == n_) to = 0;
   ++stats_.total_sent;
   auto& sent = stats_.sent[static_cast<std::size_t>(from)];
 
@@ -101,47 +174,31 @@ void RingEngine::enqueue(ProcessorId from, Value v) {
 void RingEngine::deliver_to(ProcessorId p) {
   auto& box = inbox_[static_cast<std::size_t>(p)];
   assert(!box.empty());
-  const Value v = box.front();
-  box.pop_front();
+  const Value v = box.pop_front();
   if (box.empty()) unmark_ready(p);
   ++stats_.received[static_cast<std::size_t>(p)];
   ++stats_.deliveries;
   if (observer_) {
     observer_(stats_.deliveries, p, v, std::span<const std::uint64_t>(stats_.sent));
   }
-  strategies_[static_cast<std::size_t>(p)]->on_receive(*contexts_[static_cast<std::size_t>(p)],
+  strategies_[static_cast<std::size_t>(p)]->on_receive(contexts_[static_cast<std::size_t>(p)],
                                                        v);
 }
 
-Outcome RingEngine::run(std::vector<std::unique_ptr<RingStrategy>> strategies) {
+Outcome RingEngine::run(std::span<RingStrategy* const> strategies) {
   if (static_cast<int>(strategies.size()) != n_) {
     throw std::invalid_argument("strategy count must equal ring size");
   }
-  strategies_ = std::move(strategies);
-  contexts_.clear();
-  contexts_.reserve(static_cast<std::size_t>(n_));
-  for (ProcessorId p = 0; p < n_; ++p) {
-    contexts_.push_back(std::make_unique<Context>(*this, p, trial_seed_));
-  }
-  inbox_.assign(static_cast<std::size_t>(n_), {});
-  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
-  terminated_.assign(static_cast<std::size_t>(n_), false);
-  ready_.clear();
-  ready_pos_.assign(static_cast<std::size_t>(n_), -1);
-  stats_ = ExecutionStats{};
-  stats_.sent.assign(static_cast<std::size_t>(n_), 0);
-  stats_.received.assign(static_cast<std::size_t>(n_), 0);
-  sent_freq_.assign(1, static_cast<std::uint64_t>(n_));
-  min_sent_ = 0;
-  max_sent_ = 0;
-  gap_frozen_ = false;
+  if (!armed_) reset(trial_seed_);  // re-running without reset replays the seed
+  armed_ = false;
+  strategies_ = strategies;
 
   // Wake-up phase: every processor initializes; only strategies that choose
   // to send do so (honest protocols: origin only).
   for (ProcessorId p = 0; p < n_; ++p) {
     if (!terminated_[static_cast<std::size_t>(p)]) {
       strategies_[static_cast<std::size_t>(p)]->on_init(
-          *contexts_[static_cast<std::size_t>(p)]);
+          contexts_[static_cast<std::size_t>(p)]);
     }
   }
 
@@ -150,12 +207,22 @@ Outcome RingEngine::run(std::vector<std::unique_ptr<RingStrategy>> strategies) {
       stats_.step_limit_hit = true;
       break;
     }
-    const ProcessorId next = scheduler_->pick(std::span<const ProcessorId>(ready_));
-    deliver_to(next);
+    deliver_to(pick_next());
   }
 
   return aggregate_outcome(std::span<const std::optional<LocalOutput>>(outputs_),
                            static_cast<std::size_t>(n_));
+}
+
+Outcome RingEngine::run(std::vector<std::unique_ptr<RingStrategy>> strategies) {
+  if (!armed_) reset(trial_seed_);
+  owned_strategies_ = std::move(strategies);
+  std::vector<RingStrategy*> profile;
+  profile.reserve(owned_strategies_.size());
+  for (const auto& strategy : owned_strategies_) profile.push_back(strategy.get());
+  const Outcome outcome = run(std::span<RingStrategy* const>(profile));
+  strategies_ = {};  // the profile table dies with this call
+  return outcome;
 }
 
 Outcome run_honest(const RingProtocol& protocol, int n, std::uint64_t trial_seed,
@@ -163,11 +230,43 @@ Outcome run_honest(const RingProtocol& protocol, int n, std::uint64_t trial_seed
   if (options.step_limit == 0) {
     options.step_limit = protocol.honest_message_bound(n) * 2 + 1024;
   }
-  RingEngine engine(n, trial_seed, std::move(options));
-  std::vector<std::unique_ptr<RingStrategy>> strategies;
-  strategies.reserve(static_cast<std::size_t>(n));
-  for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
-  return engine.run(std::move(strategies));
+
+  if (options.scheduler || options.observer) {
+    // Custom hooks carry state the workspace cannot reseed; run dedicated.
+    RingEngine engine(n, trial_seed, std::move(options));
+    StrategyArena arena;
+    std::vector<RingStrategy*> profile;
+    profile.reserve(static_cast<std::size_t>(n));
+    for (ProcessorId p = 0; p < n; ++p) {
+      profile.push_back(protocol.emplace_strategy(arena, p, n));
+    }
+    return engine.run(std::span<RingStrategy* const>(profile));
+  }
+
+  // The shared fast path: one engine + arena per thread, reused via reset()
+  // whenever the engine shape (n, step limit, scheduler kind) repeats —
+  // which is every iteration of a bench or test sweep.
+  struct HonestWorkspace {
+    std::unique_ptr<RingEngine> engine;
+    StrategyArena arena;
+    std::vector<RingStrategy*> profile;
+  };
+  thread_local HonestWorkspace ws;
+
+  if (!ws.engine || ws.engine->has_custom_hooks() || ws.engine->n() != n ||
+      ws.engine->step_limit() != options.step_limit ||
+      ws.engine->scheduler_kind() != options.scheduler_kind) {
+    ws.engine = std::make_unique<RingEngine>(n, trial_seed, std::move(options));
+  } else {
+    ws.engine->reset(trial_seed);
+  }
+  ws.arena.rewind();
+  ws.profile.clear();
+  ws.profile.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) {
+    ws.profile.push_back(protocol.emplace_strategy(ws.arena, p, n));
+  }
+  return ws.engine->run(std::span<RingStrategy* const>(ws.profile));
 }
 
 }  // namespace fle

@@ -7,15 +7,25 @@
 // receipt.  An execution ends at quiescence (no deliverable messages) or at
 // a step bound; the outcome is aggregated per the paper's definition
 // (non-termination, aborts and disagreement all map to FAIL).
+//
+// Execution memory model (DESIGN.md §4): one engine instance is meant to be
+// reused for every trial a worker executes.  reset(trial_seed) rearms the
+// engine for a new execution by clearing — not reallocating — its state:
+// inboxes are flat ring buffers (sim/inbox.h), contexts live by value in a
+// contiguous vector, and stats vectors are assign()-ed in place.  Combined
+// with a StrategyArena for the strategy objects, a steady-state trial on the
+// ring path performs zero heap allocations.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/types.h"
+#include "sim/arena.h"
+#include "sim/inbox.h"
 #include "sim/scheduler.h"
 #include "sim/strategy.h"
 
@@ -44,7 +54,12 @@ using DeliveryObserver =
 struct EngineOptions {
   /// Hard bound on deliveries; 0 = derive from ring size (8n^2 + 1024).
   std::uint64_t step_limit = 0;
-  /// Scheduler; null = round-robin.
+  /// Built-in schedule family, served without a virtual call.  Random and
+  /// priority schedules are reseeded from the trial seed on every reset().
+  SchedulerKind scheduler_kind = SchedulerKind::kRoundRobin;
+  /// Custom scheduler; overrides scheduler_kind when set.  Its internal
+  /// state is NOT reseeded by reset() — reuse across trials only with
+  /// stateless or intentionally persistent schedulers.
   std::unique_ptr<Scheduler> scheduler;
   DeliveryObserver observer;
 };
@@ -58,8 +73,21 @@ class RingEngine {
   RingEngine(const RingEngine&) = delete;
   RingEngine& operator=(const RingEngine&) = delete;
 
-  /// Executes to completion.  `strategies` must contain exactly n entries;
-  /// entry i is processor i's strategy (honest or adversarial).
+  /// Rearms the engine for a fresh execution under `trial_seed`: clears
+  /// inboxes/outputs/stats in place (no reallocation in steady state),
+  /// reseeds every processor's random tape, and restarts the built-in
+  /// scheduler.  Called by the constructor; call it again between run()s to
+  /// reuse the instance.
+  void reset(std::uint64_t trial_seed);
+
+  /// Executes to completion over a non-owning strategy profile (entry i is
+  /// processor i's strategy; the caller — typically a StrategyArena — keeps
+  /// the objects alive for the duration of the call).  Running twice
+  /// without an intervening reset() replays the constructor seed.
+  Outcome run(std::span<RingStrategy* const> strategies);
+
+  /// Owning convenience overload: `strategies` must contain exactly n
+  /// entries; they are kept alive until the next reset() or destruction.
   Outcome run(std::vector<std::unique_ptr<RingStrategy>> strategies);
 
   [[nodiscard]] const ExecutionStats& stats() const { return stats_; }
@@ -68,6 +96,13 @@ class RingEngine {
     return outputs_;
   }
   [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
+  [[nodiscard]] SchedulerKind scheduler_kind() const { return scheduler_kind_; }
+  /// True when a custom scheduler or observer is installed (such engines
+  /// should not be cached by seed-only workspaces).
+  [[nodiscard]] bool has_custom_hooks() const {
+    return scheduler_ != nullptr || static_cast<bool>(observer_);
+  }
 
  private:
   class Context;
@@ -77,18 +112,28 @@ class RingEngine {
   void deliver_to(ProcessorId p);
   void mark_ready(ProcessorId p);
   void unmark_ready(ProcessorId p);
+  [[nodiscard]] ProcessorId pick_next();
 
   int n_;
   std::uint64_t trial_seed_;
   std::uint64_t step_limit_;
-  std::unique_ptr<Scheduler> scheduler_;
+  SchedulerKind scheduler_kind_;
+  std::unique_ptr<Scheduler> scheduler_;  ///< custom override; usually null
   DeliveryObserver observer_;
 
-  std::vector<std::unique_ptr<RingStrategy>> strategies_;
-  std::vector<std::unique_ptr<Context>> contexts_;
-  std::vector<std::deque<Value>> inbox_;  ///< inbox_[p]: FIFO from pred(p)
+  // Built-in scheduler state, reseeded by reset(); serving the round-robin
+  // default from here removes the virtual pick() from the delivery loop.
+  std::uint64_t rr_cursor_ = 0;
+  Xoshiro256 sched_rng_;
+  std::vector<int> priority_;
+
+  std::span<RingStrategy* const> strategies_;        ///< active profile
+  std::vector<std::unique_ptr<RingStrategy>> owned_strategies_;
+  std::vector<Context> contexts_;                    ///< by value, reused
+  std::vector<FlatQueue<Value>> inbox_;  ///< inbox_[p]: FIFO from pred(p)
   std::vector<std::optional<LocalOutput>> outputs_;
   std::vector<bool> terminated_;
+  bool armed_ = false;  ///< reset() called since the last run()
 
   // Ready-set bookkeeping: processors with pending deliveries.
   std::vector<ProcessorId> ready_;
@@ -106,6 +151,11 @@ class RingEngine {
 };
 
 /// Convenience: instantiate `protocol` honestly on every processor and run.
+/// Routed through a thread-local reusable workspace (engine + strategy
+/// arena): repeated calls with the same (n, step limit, scheduler kind) —
+/// the shape of every bench/test sweep — reuse one engine via reset() and
+/// run allocation-free in steady state.  Custom schedulers or observers
+/// fall back to a dedicated engine.
 Outcome run_honest(const RingProtocol& protocol, int n, std::uint64_t trial_seed,
                    EngineOptions options = {});
 

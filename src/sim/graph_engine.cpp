@@ -8,46 +8,48 @@ namespace fle {
 class GraphEngine::Context final : public GraphContext {
  public:
   Context(GraphEngine& engine, ProcessorId id, std::uint64_t trial_seed)
-      : engine_(engine), id_(id), tape_(trial_seed, id) {}
+      : engine_(&engine), id_(id), tape_(trial_seed, id) {}
+
+  void reseed(std::uint64_t trial_seed) { tape_ = RandomTape(trial_seed, id_); }
 
   void send(ProcessorId to, GraphMessage message) override {
-    if (engine_.terminated_[static_cast<std::size_t>(id_)]) {
+    if (engine_->terminated_[static_cast<std::size_t>(id_)]) {
       throw std::logic_error("strategy sent after terminating");
     }
-    if (to < 0 || to >= engine_.n_ || to == id_) {
+    if (to < 0 || to >= engine_->n_ || to == id_) {
       throw std::invalid_argument("invalid destination");
     }
-    if (!engine_.options_.adjacency.empty() &&
-        engine_.options_.adjacency[static_cast<std::size_t>(id_)]
-                                  [static_cast<std::size_t>(to)] == 0) {
+    if (!engine_->options_.adjacency.empty() &&
+        engine_->options_.adjacency[static_cast<std::size_t>(id_)]
+                                   [static_cast<std::size_t>(to)] == 0) {
       throw std::invalid_argument("send along a non-existent link");
     }
-    engine_.enqueue(id_, to, std::move(message));
+    engine_->enqueue(id_, to, std::move(message));
   }
 
   void terminate(Value output) override { finish(LocalOutput{false, output}); }
   void abort() override { finish(LocalOutput{true, 0}); }
 
   ProcessorId id() const override { return id_; }
-  int network_size() const override { return engine_.n_; }
+  int network_size() const override { return engine_->n_; }
   RandomTape& tape() override { return tape_; }
 
  private:
   void finish(LocalOutput out) {
-    auto& slot = engine_.outputs_[static_cast<std::size_t>(id_)];
+    auto& slot = engine_->outputs_[static_cast<std::size_t>(id_)];
     if (slot.has_value()) throw std::logic_error("strategy terminated twice");
     slot = out;
-    engine_.terminated_[static_cast<std::size_t>(id_)] = true;
+    engine_->terminated_[static_cast<std::size_t>(id_)] = true;
     // Drop all pending traffic towards a terminated processor.
-    for (ProcessorId from = 0; from < engine_.n_; ++from) {
+    for (ProcessorId from = 0; from < engine_->n_; ++from) {
       if (from == id_) continue;
-      const int link = engine_.link_index(from, id_);
-      engine_.links_[static_cast<std::size_t>(link)].clear();
-      engine_.unmark_ready(link);
+      const int link = engine_->link_index(from, id_);
+      engine_->links_[static_cast<std::size_t>(link)].clear();
+      engine_->unmark_ready(link);
     }
   }
 
-  GraphEngine& engine_;
+  GraphEngine* engine_;
   ProcessorId id_;
   RandomTape tape_;
 };
@@ -60,16 +62,45 @@ GraphEngine::GraphEngine(int n, std::uint64_t trial_seed, GraphEngineOptions opt
                       ? options_.step_limit
                       : 16ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) +
                             4096),
-      schedule_rng_(mix64(options_.schedule_seed ^ 0x5ca1'ab1e'0000'0001ull)) {
+      schedule_rng_(0) {
   if (n_ < 2) throw std::invalid_argument("network needs at least 2 processors");
   if (!options_.adjacency.empty() &&
       (options_.adjacency.size() != static_cast<std::size_t>(n_) ||
        options_.adjacency[0].size() != static_cast<std::size_t>(n_))) {
     throw std::invalid_argument("adjacency must be n x n");
   }
+  contexts_.reserve(static_cast<std::size_t>(n_));
+  for (ProcessorId p = 0; p < n_; ++p) contexts_.emplace_back(*this, p, trial_seed);
+  links_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  reset(trial_seed);
 }
 
 GraphEngine::~GraphEngine() = default;
+
+void GraphEngine::reset(std::uint64_t trial_seed) {
+  reset(trial_seed, options_.schedule_seed);
+}
+
+void GraphEngine::reset(std::uint64_t trial_seed, std::uint64_t schedule_seed) {
+  trial_seed_ = trial_seed;
+  options_.schedule_seed = schedule_seed;
+  owned_strategies_.clear();
+  strategies_ = {};
+  for (Context& context : contexts_) context.reseed(trial_seed);
+  for (auto& link : links_) link.clear();
+  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
+  terminated_.assign(static_cast<std::size_t>(n_), false);
+  ready_.clear();
+  ready_pos_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
+  stats_.sent.assign(static_cast<std::size_t>(n_), 0);
+  stats_.received.assign(static_cast<std::size_t>(n_), 0);
+  stats_.total_sent = 0;
+  stats_.deliveries = 0;
+  stats_.step_limit_hit = false;
+  schedule_rng_ = Xoshiro256(mix64(schedule_seed ^ 0x5ca1'ab1e'0000'0001ull));
+  rr_cursor_ = 0;
+  armed_ = true;
+}
 
 void GraphEngine::mark_ready(int link) {
   auto& pos = ready_pos_[static_cast<std::size_t>(link)];
@@ -100,40 +131,28 @@ void GraphEngine::enqueue(ProcessorId from, ProcessorId to, GraphMessage m) {
 void GraphEngine::deliver(int link) {
   auto& q = links_[static_cast<std::size_t>(link)];
   assert(!q.empty());
-  const GraphMessage m = std::move(q.front());
-  q.pop_front();
+  const GraphMessage m = q.pop_front();
   if (q.empty()) unmark_ready(link);
   const ProcessorId from = link / n_;
   const ProcessorId to = link % n_;
   ++stats_.received[static_cast<std::size_t>(to)];
   ++stats_.deliveries;
-  strategies_[static_cast<std::size_t>(to)]->on_receive(*contexts_[static_cast<std::size_t>(to)],
+  strategies_[static_cast<std::size_t>(to)]->on_receive(contexts_[static_cast<std::size_t>(to)],
                                                         from, m);
 }
 
-Outcome GraphEngine::run(std::vector<std::unique_ptr<GraphStrategy>> strategies) {
+Outcome GraphEngine::run(std::span<GraphStrategy* const> strategies) {
   if (static_cast<int>(strategies.size()) != n_) {
     throw std::invalid_argument("strategy count must equal network size");
   }
-  strategies_ = std::move(strategies);
-  contexts_.clear();
-  contexts_.reserve(static_cast<std::size_t>(n_));
-  for (ProcessorId p = 0; p < n_; ++p) {
-    contexts_.push_back(std::make_unique<Context>(*this, p, trial_seed_));
-  }
-  links_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), {});
-  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
-  terminated_.assign(static_cast<std::size_t>(n_), false);
-  ready_.clear();
-  ready_pos_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1);
-  stats_ = GraphExecutionStats{};
-  stats_.sent.assign(static_cast<std::size_t>(n_), 0);
-  stats_.received.assign(static_cast<std::size_t>(n_), 0);
+  if (!armed_) reset(trial_seed_, options_.schedule_seed);
+  armed_ = false;
+  strategies_ = strategies;
 
   for (ProcessorId p = 0; p < n_; ++p) {
     if (!terminated_[static_cast<std::size_t>(p)]) {
       strategies_[static_cast<std::size_t>(p)]->on_init(
-          *contexts_[static_cast<std::size_t>(p)]);
+          contexts_[static_cast<std::size_t>(p)]);
     }
   }
 
@@ -159,14 +178,26 @@ Outcome GraphEngine::run(std::vector<std::unique_ptr<GraphStrategy>> strategies)
                            static_cast<std::size_t>(n_));
 }
 
+Outcome GraphEngine::run(std::vector<std::unique_ptr<GraphStrategy>> strategies) {
+  if (!armed_) reset(trial_seed_, options_.schedule_seed);
+  owned_strategies_ = std::move(strategies);
+  std::vector<GraphStrategy*> profile;
+  profile.reserve(owned_strategies_.size());
+  for (const auto& strategy : owned_strategies_) profile.push_back(strategy.get());
+  const Outcome outcome = run(std::span<GraphStrategy* const>(profile));
+  strategies_ = {};
+  return outcome;
+}
+
 Outcome run_honest_graph(const GraphProtocol& protocol, int n, std::uint64_t trial_seed,
                          GraphEngineOptions options) {
   if (options.step_limit == 0) options.step_limit = protocol.honest_message_bound(n) * 2 + 4096;
   GraphEngine engine(n, trial_seed, std::move(options));
-  std::vector<std::unique_ptr<GraphStrategy>> strategies;
-  strategies.reserve(static_cast<std::size_t>(n));
-  for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
-  return engine.run(std::move(strategies));
+  StrategyArena arena;
+  std::vector<GraphStrategy*> profile;
+  profile.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) profile.push_back(protocol.emplace_strategy(arena, p, n));
+  return engine.run(std::span<GraphStrategy* const>(profile));
 }
 
 }  // namespace fle

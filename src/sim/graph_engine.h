@@ -7,15 +7,21 @@
 // per-link FIFO queues and a scheduler that picks among *links* — still
 // oblivious: it never sees message contents.  Messages are value vectors
 // (the paper allows unlimited-size messages).
+//
+// Like the ring engine, one instance is reusable across trials: the link
+// queues are flat ring buffers (sim/inbox.h) and reset(trial_seed) clears
+// state in place instead of reallocating (DESIGN.md §4).
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/rng.h"
 #include "core/types.h"
+#include "sim/arena.h"
+#include "sim/inbox.h"
 
 namespace fle {
 
@@ -46,6 +52,11 @@ class GraphProtocol {
   virtual ~GraphProtocol() = default;
   [[nodiscard]] virtual std::unique_ptr<GraphStrategy> make_strategy(ProcessorId id,
                                                                      int n) const = 0;
+  /// Arena-aware factory; see RingProtocol::emplace_strategy.
+  [[nodiscard]] virtual GraphStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                        int n) const {
+    return arena.adopt(make_strategy(id, n));
+  }
   [[nodiscard]] virtual const char* name() const = 0;
   [[nodiscard]] virtual std::uint64_t honest_message_bound(int n) const {
     return 8ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
@@ -79,12 +90,23 @@ class GraphEngine {
   GraphEngine(const GraphEngine&) = delete;
   GraphEngine& operator=(const GraphEngine&) = delete;
 
+  /// Rearms for a fresh execution: clears links/outputs/stats in place and
+  /// reseeds the tapes and the link schedule.  The one-argument form reuses
+  /// the options' schedule_seed; the two-argument form substitutes a new
+  /// one (run_scenario passes the trial seed for both).
+  void reset(std::uint64_t trial_seed);
+  void reset(std::uint64_t trial_seed, std::uint64_t schedule_seed);
+
+  /// Non-owning profile run; see RingEngine::run.
+  Outcome run(std::span<GraphStrategy* const> strategies);
   Outcome run(std::vector<std::unique_ptr<GraphStrategy>> strategies);
 
   [[nodiscard]] const GraphExecutionStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<std::optional<LocalOutput>>& outputs() const {
     return outputs_;
   }
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
 
  private:
   class Context;
@@ -104,10 +126,12 @@ class GraphEngine {
   std::uint64_t step_limit_;
   Xoshiro256 schedule_rng_;
   std::uint64_t rr_cursor_ = 0;
+  bool armed_ = false;
 
-  std::vector<std::unique_ptr<GraphStrategy>> strategies_;
-  std::vector<std::unique_ptr<Context>> contexts_;
-  std::vector<std::deque<GraphMessage>> links_;  ///< indexed by link_index
+  std::span<GraphStrategy* const> strategies_;
+  std::vector<std::unique_ptr<GraphStrategy>> owned_strategies_;
+  std::vector<Context> contexts_;
+  std::vector<FlatQueue<GraphMessage>> links_;  ///< indexed by link_index
   std::vector<std::optional<LocalOutput>> outputs_;
   std::vector<bool> terminated_;
 

@@ -1,0 +1,71 @@
+#pragma once
+// Flat FIFO inbox: a power-of-two ring buffer that replaces the per-link
+// std::deque on the engines' hot path.
+//
+// The unidirectional ring gives every processor exactly one inbound link, so
+// its pending messages form one contiguous FIFO; the graph engine keeps one
+// FlatQueue per link.  Unlike std::deque (which heap-allocates its chunk map
+// eagerly and on every growth), a FlatQueue allocates only when a push finds
+// the buffer full, and clear()/pop never release memory — a reused engine
+// (RingEngine::reset and friends) reaches a steady state where no delivery
+// touches the allocator.
+//
+// head_/tail_ are monotonically increasing 64-bit counters; the slot of
+// logical index i is slots_[i & mask_] with mask_ = capacity - 1 (capacity a
+// power of two), so push/pop are an assignment plus an increment.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fle {
+
+template <typename T>
+class FlatQueue {
+ public:
+  FlatQueue() = default;
+
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Drops all pending entries.  Memory (and, for non-trivial T, the slots'
+  /// own capacity) is retained for reuse.
+  void clear() { head_ = tail_ = 0; }
+
+  [[nodiscard]] T& front() { return slots_[head_ & mask_]; }
+  [[nodiscard]] const T& front() const { return slots_[head_ & mask_]; }
+
+  void push_back(T value) {
+    if (size() == slots_.size()) grow();
+    slots_[tail_++ & mask_] = std::move(value);
+  }
+
+  /// Moves the front entry out (the slot keeps its moved-from shell so its
+  /// capacity is recycled by a later push).  Precondition: !empty().
+  T pop_front() { return std::move(slots_[head_++ & mask_]); }
+
+ private:
+  void grow() {
+    const std::size_t count = size();
+    const std::size_t next_capacity = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+    std::vector<T> next(next_capacity);
+    for (std::size_t i = 0; i < count; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    mask_ = next_capacity - 1;
+    head_ = 0;
+    tail_ = count;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  std::vector<T> slots_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace fle

@@ -42,6 +42,13 @@ std::unique_ptr<Scheduler> make_priority_scheduler(std::vector<int> priority) {
   return std::make_unique<PriorityScheduler>(std::move(priority));
 }
 
+void fill_priority_permutation(std::vector<int>& priority, int n, std::uint64_t seed) {
+  priority.resize(static_cast<std::size_t>(n));
+  std::iota(priority.begin(), priority.end(), 0);
+  Xoshiro256 rng(mix64(seed ^ 0x9d2c'5680'ca3f'0001ull));
+  std::shuffle(priority.begin(), priority.end(), rng);
+}
+
 const char* to_string(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kRoundRobin:
@@ -61,11 +68,8 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, int n, std::uint64
     case SchedulerKind::kRandom:
       return make_random_scheduler(seed);
     case SchedulerKind::kPriority: {
-      // A fixed pseudo-random permutation: oblivious but maximally unfair.
-      std::vector<int> priority(static_cast<std::size_t>(n));
-      std::iota(priority.begin(), priority.end(), 0);
-      Xoshiro256 rng(mix64(seed ^ 0x9d2c'5680'ca3f'0001ull));
-      std::shuffle(priority.begin(), priority.end(), rng);
+      std::vector<int> priority;
+      fill_priority_permutation(priority, n, seed);
       return make_priority_scheduler(std::move(priority));
     }
   }

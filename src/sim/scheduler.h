@@ -70,6 +70,13 @@ std::unique_ptr<Scheduler> make_round_robin_scheduler();
 std::unique_ptr<Scheduler> make_random_scheduler(std::uint64_t seed);
 std::unique_ptr<Scheduler> make_priority_scheduler(std::vector<int> priority);
 
+/// The priority permutation make_scheduler(kPriority, n, seed) serves: a
+/// fixed pseudo-random permutation of 0..n-1 (oblivious but maximally
+/// unfair).  Shared with the engines' built-in scheduler fast path so a
+/// reused engine reseeds exactly as a fresh scheduler would; fills
+/// `priority` in place (capacity reused across trials).
+void fill_priority_permutation(std::vector<int>& priority, int n, std::uint64_t seed);
+
 /// Named scheduler families, the form scenario specs select by.
 enum class SchedulerKind { kRoundRobin, kRandom, kPriority };
 

@@ -12,6 +12,7 @@
 
 #include "core/rng.h"
 #include "core/types.h"
+#include "sim/arena.h"
 
 namespace fle {
 
@@ -59,6 +60,17 @@ class RingProtocol {
 
   [[nodiscard]] virtual std::unique_ptr<RingStrategy> make_strategy(ProcessorId id,
                                                                     int n) const = 0;
+
+  /// Arena-aware factory: constructs the strategy inside `arena` (alive
+  /// until the arena's next rewind).  The default falls back to
+  /// make_strategy and hands ownership to the arena; migrated protocols
+  /// override it with arena.emplace<ConcreteStrategy>(...) so reused
+  /// workers run allocation-free in steady state.
+  [[nodiscard]] virtual RingStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                       int n) const {
+    return arena.adopt(make_strategy(id, n));
+  }
+
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Expected total number of messages in an honest execution, used to set

@@ -8,23 +8,28 @@ namespace fle {
 class SyncEngine::Context final : public SyncContext {
  public:
   Context(SyncEngine& engine, ProcessorId id, std::uint64_t trial_seed)
-      : engine_(engine), id_(id), tape_(trial_seed, id) {}
+      : engine_(&engine), id_(id), tape_(trial_seed, id) {}
+
+  void reseed(std::uint64_t trial_seed) {
+    tape_ = RandomTape(trial_seed, id_);
+    round_ = 0;
+  }
 
   void send(ProcessorId to, GraphMessage message) override {
-    if (engine_.terminated_[static_cast<std::size_t>(id_)]) {
+    if (engine_->terminated_[static_cast<std::size_t>(id_)]) {
       throw std::logic_error("strategy sent after terminating");
     }
-    if (to < 0 || to >= engine_.n_ || to == id_) {
+    if (to < 0 || to >= engine_->n_ || to == id_) {
       throw std::invalid_argument("invalid destination");
     }
-    ++engine_.stats_.total_sent;
-    if (!engine_.terminated_[static_cast<std::size_t>(to)]) {
-      engine_.next_inbox_[static_cast<std::size_t>(to)].push_back({id_, std::move(message)});
+    ++engine_->stats_.total_sent;
+    if (!engine_->terminated_[static_cast<std::size_t>(to)]) {
+      engine_->next_inbox_[static_cast<std::size_t>(to)].push_back({id_, std::move(message)});
     }
   }
 
   void broadcast(GraphMessage message) override {
-    for (ProcessorId to = 0; to < engine_.n_; ++to) {
+    for (ProcessorId to = 0; to < engine_->n_; ++to) {
       if (to != id_) send(to, message);
     }
   }
@@ -33,7 +38,7 @@ class SyncEngine::Context final : public SyncContext {
   void abort() override { finish(LocalOutput{true, 0}); }
 
   ProcessorId id() const override { return id_; }
-  int network_size() const override { return engine_.n_; }
+  int network_size() const override { return engine_->n_; }
   int round() const override { return round_; }
   RandomTape& tape() override { return tape_; }
 
@@ -41,13 +46,13 @@ class SyncEngine::Context final : public SyncContext {
 
  private:
   void finish(LocalOutput out) {
-    auto& slot = engine_.outputs_[static_cast<std::size_t>(id_)];
+    auto& slot = engine_->outputs_[static_cast<std::size_t>(id_)];
     if (slot.has_value()) throw std::logic_error("strategy terminated twice");
     slot = out;
-    engine_.terminated_[static_cast<std::size_t>(id_)] = true;
+    engine_->terminated_[static_cast<std::size_t>(id_)] = true;
   }
 
-  SyncEngine& engine_;
+  SyncEngine* engine_;
   ProcessorId id_;
   RandomTape tape_;
   int round_ = 0;
@@ -57,24 +62,36 @@ SyncEngine::SyncEngine(int n, std::uint64_t trial_seed, SyncEngineOptions option
     : n_(n), trial_seed_(trial_seed), options_(options) {
   if (n_ < 2) throw std::invalid_argument("network needs at least 2 processors");
   if (options_.round_limit == 0) options_.round_limit = 4 * n_ + 8;
+  contexts_.reserve(static_cast<std::size_t>(n_));
+  for (ProcessorId p = 0; p < n_; ++p) contexts_.emplace_back(*this, p, trial_seed);
+  next_inbox_.resize(static_cast<std::size_t>(n_));
+  round_inbox_.resize(static_cast<std::size_t>(n_));
+  reset(trial_seed);
 }
 
 SyncEngine::~SyncEngine() = default;
 
-Outcome SyncEngine::run(std::vector<std::unique_ptr<SyncStrategy>> strategies) {
+void SyncEngine::reset(std::uint64_t trial_seed) {
+  trial_seed_ = trial_seed;
+  owned_strategies_.clear();
+  for (Context& context : contexts_) context.reseed(trial_seed);
+  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
+  terminated_.assign(static_cast<std::size_t>(n_), false);
+  for (auto& box : next_inbox_) box.clear();
+  for (auto& box : round_inbox_) box.clear();
+  quiet_rounds_ = 0;
+  stats_.total_sent = 0;
+  stats_.rounds = 0;
+  stats_.round_limit_hit = false;
+  armed_ = true;
+}
+
+Outcome SyncEngine::run(std::span<SyncStrategy* const> strategies) {
   if (static_cast<int>(strategies.size()) != n_) {
     throw std::invalid_argument("strategy count must equal network size");
   }
-  outputs_.assign(static_cast<std::size_t>(n_), std::nullopt);
-  terminated_.assign(static_cast<std::size_t>(n_), false);
-  next_inbox_.assign(static_cast<std::size_t>(n_), {});
-  stats_ = SyncExecutionStats{};
-
-  std::vector<std::unique_ptr<Context>> contexts;
-  contexts.reserve(static_cast<std::size_t>(n_));
-  for (ProcessorId p = 0; p < n_; ++p) {
-    contexts.push_back(std::make_unique<Context>(*this, p, trial_seed_));
-  }
+  if (!armed_) reset(trial_seed_);
+  armed_ = false;
 
   for (int round = 1;; ++round) {
     if (round > options_.round_limit) {
@@ -82,20 +99,21 @@ Outcome SyncEngine::run(std::vector<std::unique_ptr<SyncStrategy>> strategies) {
       break;
     }
     stats_.rounds = round;
-    // Collect this round's deliveries (sent last round), then clear the
-    // buffers so this round's sends land in the next one.
-    std::vector<SyncInbox> inbox(static_cast<std::size_t>(n_));
-    inbox.swap(next_inbox_);
+    // Collect this round's deliveries (sent last round) into the round
+    // buffer; the vacated buffers (cleared, capacity kept) collect this
+    // round's sends for the next one.
+    round_inbox_.swap(next_inbox_);
+    for (auto& box : next_inbox_) box.clear();
     bool anyone_alive = false;
     for (ProcessorId p = 0; p < n_; ++p) {
       if (terminated_[static_cast<std::size_t>(p)]) continue;
       anyone_alive = true;
-      auto& my_inbox = inbox[static_cast<std::size_t>(p)];
+      auto& my_inbox = round_inbox_[static_cast<std::size_t>(p)];
       std::sort(my_inbox.begin(), my_inbox.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      contexts[static_cast<std::size_t>(p)]->set_round(round);
+      contexts_[static_cast<std::size_t>(p)].set_round(round);
       strategies[static_cast<std::size_t>(p)]->on_round(
-          *contexts[static_cast<std::size_t>(p)], my_inbox);
+          contexts_[static_cast<std::size_t>(p)], my_inbox);
     }
     if (!anyone_alive) break;
     // Quiescence: nobody alive will ever receive anything again.
@@ -117,14 +135,24 @@ Outcome SyncEngine::run(std::vector<std::unique_ptr<SyncStrategy>> strategies) {
                            static_cast<std::size_t>(n_));
 }
 
+Outcome SyncEngine::run(std::vector<std::unique_ptr<SyncStrategy>> strategies) {
+  if (!armed_) reset(trial_seed_);
+  owned_strategies_ = std::move(strategies);
+  std::vector<SyncStrategy*> profile;
+  profile.reserve(owned_strategies_.size());
+  for (const auto& strategy : owned_strategies_) profile.push_back(strategy.get());
+  return run(std::span<SyncStrategy* const>(profile));
+}
+
 Outcome run_honest_sync(const SyncProtocol& protocol, int n, std::uint64_t trial_seed,
                         SyncEngineOptions options) {
   if (options.round_limit == 0) options.round_limit = protocol.round_bound(n);
   SyncEngine engine(n, trial_seed, options);
-  std::vector<std::unique_ptr<SyncStrategy>> strategies;
-  strategies.reserve(static_cast<std::size_t>(n));
-  for (ProcessorId p = 0; p < n; ++p) strategies.push_back(protocol.make_strategy(p, n));
-  return engine.run(std::move(strategies));
+  StrategyArena arena;
+  std::vector<SyncStrategy*> profile;
+  profile.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) profile.push_back(protocol.emplace_strategy(arena, p, n));
+  return engine.run(std::span<SyncStrategy* const>(profile));
 }
 
 }  // namespace fle

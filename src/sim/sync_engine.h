@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/rng.h"
 #include "core/types.h"
+#include "sim/arena.h"
 #include "sim/graph_engine.h"  // GraphMessage
 
 namespace fle {
@@ -53,6 +55,11 @@ class SyncProtocol {
   virtual ~SyncProtocol() = default;
   [[nodiscard]] virtual std::unique_ptr<SyncStrategy> make_strategy(ProcessorId id,
                                                                     int n) const = 0;
+  /// Arena-aware factory; see RingProtocol::emplace_strategy.
+  [[nodiscard]] virtual SyncStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                                       int n) const {
+    return arena.adopt(make_strategy(id, n));
+  }
   [[nodiscard]] virtual const char* name() const = 0;
   [[nodiscard]] virtual int round_bound(int n) const { return 4 * n + 8; }
 };
@@ -75,12 +82,20 @@ class SyncEngine {
   SyncEngine(const SyncEngine&) = delete;
   SyncEngine& operator=(const SyncEngine&) = delete;
 
+  /// Rearms for a fresh execution (DESIGN.md §4): clears the double-buffered
+  /// round inboxes in place and reseeds the tapes.
+  void reset(std::uint64_t trial_seed);
+
+  /// Non-owning profile run; see RingEngine::run.
+  Outcome run(std::span<SyncStrategy* const> strategies);
   Outcome run(std::vector<std::unique_ptr<SyncStrategy>> strategies);
 
   [[nodiscard]] const SyncExecutionStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<std::optional<LocalOutput>>& outputs() const {
     return outputs_;
   }
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int round_limit() const { return options_.round_limit; }
 
  private:
   class Context;
@@ -89,10 +104,14 @@ class SyncEngine {
   int n_;
   std::uint64_t trial_seed_;
   SyncEngineOptions options_;
+  bool armed_ = false;
 
+  std::vector<Context> contexts_;
+  std::vector<std::unique_ptr<SyncStrategy>> owned_strategies_;
   std::vector<std::optional<LocalOutput>> outputs_;
   std::vector<bool> terminated_;
-  std::vector<SyncInbox> next_inbox_;  ///< messages for the next round
+  std::vector<SyncInbox> next_inbox_;   ///< messages for the next round
+  std::vector<SyncInbox> round_inbox_;  ///< double buffer: this round's deliveries
   int quiet_rounds_ = 0;
   SyncExecutionStats stats_;
 };
