@@ -1,19 +1,28 @@
 #include "analysis/stats.h"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace fle {
 
 OutcomeCounter::OutcomeCounter(int n) : n_(n), counts_(static_cast<std::size_t>(n), 0) {}
 
 void OutcomeCounter::record(const Outcome& o) {
+  if (!o.failed() && o.leader() >= static_cast<Value>(n_)) {
+    // Engines can't produce this (aggregate_outcome maps out-of-range local
+    // outputs to FAIL), so it is a caller bug; fail loudly rather than
+    // writing past counts_ in NDEBUG builds.  Deliberately NOT
+    // invalid_argument: the fuzzer treats that type as a clean spec
+    // rejection, and this guard must surface as a violation there.
+    throw std::out_of_range("OutcomeCounter(n = " + std::to_string(n_) +
+                            ") asked to record leader " + std::to_string(o.leader()));
+  }
   ++trials_;
   if (o.failed()) {
     ++fails_;
     return;
   }
-  assert(o.leader() < static_cast<Value>(n_));
   ++counts_[static_cast<std::size_t>(o.leader())];
 }
 
@@ -23,8 +32,7 @@ double OutcomeCounter::fail_rate() const {
 
 double OutcomeCounter::leader_rate(Value leader) const {
   return trials_ == 0 ? 0.0
-                      : static_cast<double>(counts_[static_cast<std::size_t>(leader)]) /
-                            static_cast<double>(trials_);
+                      : static_cast<double>(count(leader)) / static_cast<double>(trials_);
 }
 
 OutcomeDistribution OutcomeCounter::distribution() const {
@@ -55,13 +63,17 @@ double OutcomeCounter::chi_square_uniform() const {
 }
 
 double hoeffding_radius(std::size_t trials, double alpha) {
-  if (trials == 0) return 1.0;
-  return std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(trials)));
+  // trials == 0 carries no information and alpha <= 0 demands certainty:
+  // both degenerate to the vacuous radius 1 (the whole [0,1] range) rather
+  // than dividing by zero / taking log of a non-positive number.
+  if (trials == 0 || alpha <= 0.0) return 1.0;
+  const double radius =
+      std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(trials)));
+  return std::min(radius, 1.0);
 }
 
-Interval wilson_interval(std::size_t successes, std::size_t trials) {
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
   if (trials == 0) return {0.0, 1.0};
-  const double z = 1.96;
   const double nt = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / nt;
   const double denom = 1.0 + z * z / nt;
@@ -72,6 +84,7 @@ Interval wilson_interval(std::size_t successes, std::size_t trials) {
 }
 
 double chi_square_critical_999(int dof) {
+  if (dof <= 0) return 0.0;  // no degrees of freedom, nothing to exceed
   // Wilson-Hilferty: X ~ chi2(k) => (X/k)^(1/3) approx N(1 - 2/(9k), 2/(9k)).
   const double k = static_cast<double>(dof);
   const double z = 3.0902;  // Phi^-1(0.999)

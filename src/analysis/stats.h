@@ -19,8 +19,10 @@ class OutcomeCounter {
 
   [[nodiscard]] std::size_t trials() const { return trials_; }
   [[nodiscard]] std::size_t fails() const { return fails_; }
+  /// Count for `leader`; 0 for values outside [0, n) (never recorded, so
+  /// asking is well-defined rather than undefined behaviour).
   [[nodiscard]] std::size_t count(Value leader) const {
-    return counts_[static_cast<std::size_t>(leader)];
+    return leader < static_cast<Value>(n_) ? counts_[static_cast<std::size_t>(leader)] : 0;
   }
   [[nodiscard]] double fail_rate() const;
   [[nodiscard]] double leader_rate(Value leader) const;
@@ -46,12 +48,14 @@ class OutcomeCounter {
 /// of its expectation.
 double hoeffding_radius(std::size_t trials, double alpha);
 
-/// Wilson score interval (95%) for a binomial proportion.
+/// Wilson score interval for a binomial proportion.  The default z = 1.96
+/// gives the familiar 95% interval; pass e.g. z = 3.2905 for a two-sided
+/// 0.001 interval (what the conformance gates use).
 struct Interval {
   double lo = 0.0;
   double hi = 0.0;
 };
-Interval wilson_interval(std::size_t successes, std::size_t trials);
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
 
 /// Upper-tail critical value of the chi-square distribution with `dof`
 /// degrees of freedom at significance 0.001, via the Wilson-Hilferty

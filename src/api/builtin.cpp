@@ -422,10 +422,15 @@ void register_deviations(std::vector<DeviationEntry>& out) {
     DeviationEntry entry;
     entry.name = "baton-greedy";
     entry.summary = "Greedy baton coalition burning honest non-targets (Saks)";
-    entry.turn_coalition = [](const TurnGame&, const ScenarioSpec& spec) {
+    // The adversary downcasts the game to BatonGame to replay transcripts;
+    // gate the pairing here (found by the conformance fuzzer: an unchecked
+    // cast let this adversary read garbage state from the XOR games).
+    entry.turn_coalition = [](const TurnGame& game, const ScenarioSpec& spec) {
+      require_protocol<BatonGame>("baton-greedy", "baton", game);
       return require_coalition(spec, "baton-greedy").members();
     };
-    entry.make_turn = [](const TurnGame&, const ScenarioSpec& spec) {
+    entry.make_turn = [](const TurnGame& game, const ScenarioSpec& spec) {
+      require_protocol<BatonGame>("baton-greedy", "baton", game);
       return std::make_unique<BatonGreedyAdversary>(
           require_coalition(spec, "baton-greedy").members(),
           static_cast<ProcessorId>(spec.target));
@@ -436,10 +441,12 @@ void register_deviations(std::vector<DeviationEntry>& out) {
     DeviationEntry entry;
     entry.name = "majority-target";
     entry.summary = "Optimal one-round majority deviation: vote the target bit";
-    entry.turn_coalition = [](const TurnGame&, const ScenarioSpec& spec) {
+    entry.turn_coalition = [](const TurnGame& game, const ScenarioSpec& spec) {
+      require_protocol<MajorityCoinGame>("majority-target", "majority-coin", game);
       return require_coalition(spec, "majority-target").members();
     };
-    entry.make_turn = [](const TurnGame&, const ScenarioSpec& spec) {
+    entry.make_turn = [](const TurnGame& game, const ScenarioSpec& spec) {
+      require_protocol<MajorityCoinGame>("majority-target", "majority-coin", game);
       return std::make_unique<MajorityTargetAdversary>(spec.target);
     };
     out.push_back(std::move(entry));

@@ -82,19 +82,48 @@ CoalitionSpec CoalitionSpec::custom(std::vector<ProcessorId> members) {
   return spec;
 }
 
+namespace {
+
+/// Field-naming validation for the k-parameterized placements: a coalition
+/// must leave at least one honest processor, so 0 < k < n.
+void require_coalition_k(const CoalitionSpec& spec, int n) {
+  if (spec.k <= 0 || spec.k >= n) {
+    throw std::invalid_argument("ScenarioSpec.coalition.k must satisfy 0 < k < n (got k = " +
+                                std::to_string(spec.k) + ", n = " + std::to_string(n) + ")");
+  }
+}
+
+}  // namespace
+
 std::optional<Coalition> build_coalition(const CoalitionSpec& spec, int n) {
   switch (spec.placement) {
     case CoalitionSpec::Placement::kDefault:
       return std::nullopt;
     case CoalitionSpec::Placement::kConsecutive:
+      require_coalition_k(spec, n);
       return Coalition::consecutive(n, spec.k, spec.first);
     case CoalitionSpec::Placement::kEquallySpaced:
+      require_coalition_k(spec, n);
       return Coalition::equally_spaced(n, spec.k, spec.first);
     case CoalitionSpec::Placement::kBernoulli:
+      if (spec.density < 0.0 || spec.density > 1.0) {
+        throw std::invalid_argument(
+            "ScenarioSpec.coalition.density must be a probability in [0, 1] (got " +
+            std::to_string(spec.density) + ")");
+      }
       return Coalition::bernoulli(n, spec.density, spec.placement_seed);
     case CoalitionSpec::Placement::kCubicStaircase:
+      require_coalition_k(spec, n);
       return Coalition::cubic_staircase(n, spec.k, spec.first);
     case CoalitionSpec::Placement::kCustom:
+      for (std::size_t i = 0; i < spec.members.size(); ++i) {
+        const ProcessorId member = spec.members[i];
+        if (member < 0 || member >= n) {
+          throw std::invalid_argument(
+              "ScenarioSpec.coalition.members[" + std::to_string(i) + "] = " +
+              std::to_string(member) + " out of range [0, n) with n = " + std::to_string(n));
+        }
+      }
       return Coalition(n, spec.members);
   }
   return std::nullopt;
@@ -130,10 +159,6 @@ void reduce_trials(const ScenarioSpec& spec, const std::vector<TrialStats>& stat
 /// honest message bound (shared by the ring and graph runtimes).
 std::uint64_t derived_step_limit(std::uint64_t requested, std::uint64_t honest_bound) {
   return requested != 0 ? requested : honest_bound * 2 + 4096;
-}
-
-std::uint64_t ring_step_limit(const ScenarioSpec& spec, const RingProtocol& protocol) {
-  return derived_step_limit(spec.step_limit, protocol.honest_message_bound(spec.n));
 }
 
 void require_n(const ScenarioSpec& spec, int minimum) {
@@ -353,6 +378,11 @@ ScenarioResult run_turn_scenario(const ScenarioSpec& spec, const ProtocolEntry& 
 
 }  // namespace
 
+std::uint64_t scenario_ring_step_limit(const ScenarioSpec& spec,
+                                       const RingProtocol& protocol) {
+  return derived_step_limit(spec.step_limit, protocol.honest_message_bound(spec.n));
+}
+
 ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
                                  const RingTrialFactories& factories) {
   require_n(spec, 2);
@@ -378,13 +408,13 @@ ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
       // One OS thread per processor: the runtime's whole point is fresh
       // threads, so there is nothing to reuse.
       ThreadedRuntimeOptions options;
-      options.send_limit = ring_step_limit(spec, *protocol);
+      options.send_limit = scenario_ring_step_limit(spec, *protocol);
       ThreadedRuntime runtime(spec.n, trial_seed, options);
       stats.outcome = runtime.run(compose_strategies(*protocol, deviation.get(), spec.n));
       stats.messages = runtime.stats().total_sent;
     } else {
       auto& ws = *static_cast<RingWorkspace*>(raw);
-      const std::uint64_t step_limit = ring_step_limit(spec, *protocol);
+      const std::uint64_t step_limit = scenario_ring_step_limit(spec, *protocol);
       if (!ws.engine || ws.engine->step_limit() != step_limit) {
         EngineOptions options;
         options.step_limit = step_limit;
@@ -416,6 +446,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (spec.protocol.empty()) {
     throw std::invalid_argument("ScenarioSpec.protocol must name a registered protocol");
   }
+  // Validate the spec's plain fields up front, before any factory runs, so
+  // the error names the spec field rather than whatever internal invariant
+  // a factory trips over first.
+  if (spec.n < 2) {
+    throw std::invalid_argument("ScenarioSpec.n must be >= 2 (got " +
+                                std::to_string(spec.n) + ")");
+  }
+  build_coalition(spec.coalition, spec.n);  // throws with the offending field
   register_builtin_scenarios();
   const ProtocolEntry& protocol_entry = ProtocolRegistry::instance().at(spec.protocol);
   const DeviationEntry* deviation_entry =

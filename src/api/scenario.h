@@ -125,6 +125,12 @@ struct ScenarioResult {
 /// every trial gets an independently mixed 64-bit seed).
 std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial);
 
+/// The delivery bound a ring/threaded trial of `spec` runs under: the
+/// spec's explicit step_limit, or the default slack over the protocol's
+/// honest message bound.  Public so the verify subsystem's trace checks
+/// replay executions under exactly the production limit.
+std::uint64_t scenario_ring_step_limit(const ScenarioSpec& spec, const RingProtocol& protocol);
+
 /// The single entrypoint: resolves the spec against the registries, runs
 /// `spec.trials` executions on `spec.threads` workers, and aggregates.
 /// Throws std::invalid_argument on unknown names or inconsistent specs.

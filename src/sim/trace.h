@@ -15,6 +15,30 @@
 
 namespace fle {
 
+/// Order-sensitive digest of a ring execution's delivery sequence: every
+/// delivery folds (step, receiver, value) into an FNV-1a style hash.  Two
+/// executions with equal digests made the same deliveries in the same order
+/// with the same payloads — the "exact trace equivalence" the differential
+/// conformance checks assert for deterministic schedulers (a reused engine
+/// after reset() must replay a fresh engine's trace bit for bit).
+class TraceDigest {
+ public:
+  /// Observer to install in EngineOptions::observer.  The digest object
+  /// must outlive the engine run.
+  [[nodiscard]] DeliveryObserver observer();
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+
+  void reset();
+
+ private:
+  void fold(std::uint64_t word);
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;  ///< FNV-1a 64 offset basis
+  std::uint64_t deliveries_ = 0;
+};
+
 class SyncTrace {
  public:
   /// Watch the given processors (empty = watch everybody).  `sample_every`

@@ -1,0 +1,89 @@
+#pragma once
+// Statistical fairness checkers (pillar 1 of the conformance subsystem).
+//
+// Each checker runs one or two ScenarioSpecs through run_scenario and turns
+// a paper theorem into a pass/fail verdict with an explicit statistical
+// bound (DESIGN.md §5):
+//
+//  * check_uniformity — honest executions elect a uniformly random leader
+//    (Theorems 3.1/5.1/6.1 all assert exact uniformity for honest runs).
+//    Chi-square of the empirical outcome histogram against uniform over the
+//    protocol's support, gated on chi_square_critical_999 (significance
+//    0.001, so a correct implementation flakes ~1 in 1000 runs per check —
+//    seeds are fixed, so in practice never).
+//
+//  * check_resilience — a bounded coalition gains at most eps target
+//    probability over the honest baseline (Definition 2.3's
+//    eps-k-resilience, instantiated with the indicator utility of
+//    Lemma 2.4).  The gain is bounded with Wilson intervals at two-sided
+//    significance 0.001 (z = 3.2905, matching the chi-square gates): the
+//    check passes when lower(deviated) - upper(honest) <= eps; the
+//    Hoeffding radius at alpha = 0.001 is reported for calibration.
+//
+//  * check_termination_and_messages — honest executions terminate (fail
+//    rate within an envelope, normally exactly 0) and stay within the
+//    protocol's message-complexity envelope (max over trials <= bound).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/scenario.h"
+#include "verify/verify.h"
+
+namespace fle::verify {
+
+/// Uniform support [lo, hi): which outcomes an honest run distributes over.
+/// Most protocols use [0, n); the baton game uses [1, n) (the starter never
+/// receives the baton) and coin games use [0, 2).
+struct UniformSupport {
+  Value lo = 0;
+  Value hi = 0;  ///< 0 = default to spec.n
+};
+
+struct UniformityOptions {
+  UniformSupport support;
+  double max_fail_rate = 0.0;  ///< honest executions normally never FAIL
+};
+
+/// Runs `spec` (which must describe an honest profile: empty deviation) and
+/// chi-square-tests the outcome histogram against uniform over the support.
+CheckResult check_uniformity(const ScenarioSpec& spec, const UniformityOptions& options = {});
+/// Same verdict on an already-run result (the suite runs each honest spec
+/// once and feeds the result to several checkers).
+CheckResult check_uniformity(const ScenarioSpec& spec, const ScenarioResult& result,
+                             const UniformityOptions& options = {});
+
+struct ResilienceOptions {
+  /// Allowed true gain (the eps of eps-k-resilience).  The statistical
+  /// slack of the two Wilson intervals is added on top automatically.
+  double epsilon = 0.0;
+  /// Honest baseline spec override; by default the deviated spec with the
+  /// deviation and coalition cleared.
+  std::optional<ScenarioSpec> baseline;
+};
+
+/// Runs the deviated spec and its honest baseline and bounds the coalition's
+/// utility gain for `spec.target` (indicator utility, Lemma 2.4).
+CheckResult check_resilience(const ScenarioSpec& spec, const ResilienceOptions& options = {});
+
+struct TerminationOptions {
+  double max_fail_rate = 0.0;
+  /// Message-complexity envelope: max total sends over all trials.
+  /// 0 = skip the message check (turn games produce no message stats).
+  std::uint64_t max_messages = 0;
+};
+
+/// Runs `spec` and checks the fail-rate and message-complexity envelopes.
+CheckResult check_termination_and_messages(const ScenarioSpec& spec,
+                                           const TerminationOptions& options);
+/// Same verdict on an already-run result.
+CheckResult check_termination_and_messages(const ScenarioSpec& spec,
+                                           const ScenarioResult& result,
+                                           const TerminationOptions& options);
+
+/// Formats a spec as the canonical "topology/protocol[+deviation] n=…"
+/// subject line used by every checker.
+std::string check_subject(const ScenarioSpec& spec);
+
+}  // namespace fle::verify

@@ -1,0 +1,206 @@
+#include "verify/differential.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "api/registry.h"
+#include "attacks/deviation.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "verify/checks.h"
+
+namespace fle::verify {
+
+namespace {
+
+/// Per-trial outcome comparison shared by the exact differential checks.
+CheckResult compare_per_trial(const char* check, const std::string& subject,
+                              const std::vector<Outcome>& a, const std::vector<Outcome>& b,
+                              const std::string& labels) {
+  if (a.size() != b.size()) {
+    return CheckResult::fail(check, subject,
+                             labels + ": trial counts differ (" + std::to_string(a.size()) +
+                                 " vs " + std::to_string(b.size()) + ")");
+  }
+  std::size_t mismatches = 0;
+  std::size_t first = a.size();
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    if (a[t] != b[t]) {
+      if (mismatches == 0) first = t;
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    return CheckResult::fail(check, subject,
+                             labels + ": " + std::to_string(mismatches) + "/" +
+                                 std::to_string(a.size()) +
+                                 " per-trial outcomes differ (first at trial " +
+                                 std::to_string(first) + ")");
+  }
+  return CheckResult::pass(check, subject,
+                           labels + ": " + std::to_string(a.size()) +
+                               " per-trial outcomes identical");
+}
+
+}  // namespace
+
+CheckResult check_differential_exact(ScenarioSpec spec, TopologyKind a, TopologyKind b) {
+  spec.record_outcomes = true;
+  ScenarioSpec spec_a = spec;
+  spec_a.topology = a;
+  ScenarioSpec spec_b = spec;
+  spec_b.topology = b;
+  const ScenarioResult ra = run_scenario(spec_a);
+  const ScenarioResult rb = run_scenario(spec_b);
+  return compare_per_trial(
+      "differential-exact", check_subject(spec), ra.per_trial, rb.per_trial,
+      std::string(to_string(a)) + " vs " + to_string(b));
+}
+
+CheckResult check_scheduler_invariance(ScenarioSpec spec) {
+  if (spec.topology != TopologyKind::kRing) {
+    throw std::invalid_argument("check_scheduler_invariance is ring-only (paper §2)");
+  }
+  spec.record_outcomes = true;
+  ScenarioSpec rr = spec;
+  rr.scheduler = SchedulerKind::kRoundRobin;
+  const ScenarioResult base = run_scenario(rr);
+  for (const SchedulerKind kind : {SchedulerKind::kRandom, SchedulerKind::kPriority}) {
+    ScenarioSpec other = spec;
+    other.scheduler = kind;
+    const ScenarioResult r = run_scenario(other);
+    const CheckResult cmp = compare_per_trial(
+        "scheduler-invariance", check_subject(spec), base.per_trial, r.per_trial,
+        std::string("round-robin vs ") + to_string(kind));
+    if (!cmp.passed) return cmp;
+  }
+  return CheckResult::pass("scheduler-invariance", check_subject(spec),
+                           "all oblivious schedules agree per trial");
+}
+
+CheckResult check_trace_determinism(const ScenarioSpec& spec, std::size_t traced_trials) {
+  if (spec.topology != TopologyKind::kRing) {
+    throw std::invalid_argument("check_trace_determinism is ring-only");
+  }
+  register_builtin_scenarios();
+  const ProtocolEntry& protocol_entry = ProtocolRegistry::instance().at(spec.protocol);
+  if (!protocol_entry.make_ring) {
+    throw std::invalid_argument("protocol '" + spec.protocol + "' does not run on the ring");
+  }
+  const DeviationEntry* deviation_entry =
+      spec.deviation.empty() ? nullptr : &DeviationRegistry::instance().at(spec.deviation);
+
+  TraceDigest reused_digest;
+  std::unique_ptr<RingEngine> reused;
+  std::size_t digest_mismatches = 0;
+  std::size_t outcome_mismatches = 0;
+
+  for (std::size_t t = 0; t < traced_trials; ++t) {
+    const std::uint64_t trial_seed = scenario_trial_seed(spec.seed, t);
+    const auto protocol = protocol_entry.make_ring(spec, trial_seed);
+    std::unique_ptr<Deviation> deviation;
+    if (deviation_entry) deviation = deviation_entry->make_ring(*protocol, spec);
+    const std::uint64_t step_limit = scenario_ring_step_limit(spec, *protocol);
+
+    TraceDigest fresh_digest;
+    EngineOptions fresh_options;
+    fresh_options.step_limit = step_limit;
+    fresh_options.scheduler_kind = spec.scheduler;
+    fresh_options.observer = fresh_digest.observer();
+    RingEngine fresh(spec.n, trial_seed, std::move(fresh_options));
+    const Outcome fresh_outcome =
+        fresh.run(compose_strategies(*protocol, deviation.get(), spec.n));
+
+    if (!reused) {
+      EngineOptions reused_options;
+      reused_options.step_limit = step_limit;
+      reused_options.scheduler_kind = spec.scheduler;
+      reused_options.observer = reused_digest.observer();
+      reused = std::make_unique<RingEngine>(spec.n, trial_seed, std::move(reused_options));
+    } else {
+      reused->reset(trial_seed);
+    }
+    reused_digest.reset();
+    const Outcome reused_outcome =
+        reused->run(compose_strategies(*protocol, deviation.get(), spec.n));
+
+    digest_mismatches += fresh_digest.value() != reused_digest.value() ||
+                                 fresh_digest.deliveries() != reused_digest.deliveries()
+                             ? 1
+                             : 0;
+    outcome_mismatches += fresh_outcome != reused_outcome ? 1 : 0;
+  }
+
+  const std::string subject = check_subject(spec);
+  if (digest_mismatches != 0 || outcome_mismatches != 0) {
+    return CheckResult::fail("trace-determinism", subject,
+                             "fresh vs reused engine: " + std::to_string(digest_mismatches) +
+                                 " digest and " + std::to_string(outcome_mismatches) +
+                                 " outcome mismatches over " +
+                                 std::to_string(traced_trials) + " trials");
+  }
+  return CheckResult::pass("trace-determinism", subject,
+                           std::to_string(traced_trials) +
+                               " trials: reused engine replays fresh engine traces exactly");
+}
+
+CheckResult check_differential_distribution(const ScenarioSpec& a, const ScenarioSpec& b) {
+  const ScenarioResult ra = run_scenario(a);
+  const ScenarioResult rb = run_scenario(b);
+  const std::string subject = check_subject(a) + " vs " + check_subject(b);
+
+  // Histogram cells: one per outcome value up to the larger domain, plus
+  // FAIL.  Cells with a combined count below 8 are pooled so the chi-square
+  // approximation stays valid at small trial counts.
+  const Value domain = static_cast<Value>(std::max(a.n, b.n));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cells;
+  std::uint64_t pooled_a = 0;
+  std::uint64_t pooled_b = 0;
+  const auto consider = [&](std::uint64_t ca, std::uint64_t cb) {
+    if (ca + cb == 0) return;
+    if (ca + cb < 8) {
+      pooled_a += ca;
+      pooled_b += cb;
+    } else {
+      cells.emplace_back(ca, cb);
+    }
+  };
+  for (Value j = 0; j < domain; ++j) consider(ra.outcomes.count(j), rb.outcomes.count(j));
+  consider(ra.outcomes.fails(), rb.outcomes.fails());
+  if (pooled_a + pooled_b > 0) cells.emplace_back(pooled_a, pooled_b);
+
+  if (cells.size() < 2) {
+    // Both samples concentrated on one cell: identical by construction.
+    return CheckResult::pass("differential-distribution", subject,
+                             "both samples concentrate on the same single outcome");
+  }
+
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const auto& [ca, cb] : cells) {
+    total_a += static_cast<double>(ca);
+    total_b += static_cast<double>(cb);
+  }
+  const double total = total_a + total_b;
+  double chi = 0.0;
+  for (const auto& [ca, cb] : cells) {
+    const double col = static_cast<double>(ca + cb);
+    const double ea = col * total_a / total;
+    const double eb = col * total_b / total;
+    const double da = static_cast<double>(ca) - ea;
+    const double db = static_cast<double>(cb) - eb;
+    chi += da * da / ea + db * db / eb;
+  }
+  const int dof = static_cast<int>(cells.size()) - 1;
+  const double critical = chi_square_critical_999(dof);
+  const std::string detail = "two-sample chi2 = " + format_double(chi) +
+                             " vs critical(0.999, dof=" + std::to_string(dof) +
+                             ") = " + format_double(critical);
+  return chi <= critical ? CheckResult::pass("differential-distribution", subject, detail)
+                         : CheckResult::fail("differential-distribution", subject, detail);
+}
+
+}  // namespace fle::verify

@@ -1,0 +1,50 @@
+#pragma once
+// Differential runtime checking (pillar 2 of the conformance subsystem).
+//
+// Four runtimes claim to realize the same game; these checks make them
+// prove it against each other:
+//
+//  * check_differential_exact — the same spec on two topologies whose
+//    runtimes are reductions of each other (kRing vs kThreaded: one OS
+//    thread per processor is just another oblivious schedule, paper §2)
+//    must produce *identical per-trial outcomes*.
+//
+//  * check_scheduler_invariance — on the unidirectional ring all oblivious
+//    schedules yield the same local computations (paper §2), so the same
+//    spec under round-robin / random / priority scheduling must produce
+//    identical per-trial outcomes.
+//
+//  * check_trace_determinism — exact per-trial trace equivalence for the
+//    deterministic scheduler: a reused engine (reset(trial_seed), the
+//    DESIGN.md §4 fast path) must replay a freshly constructed engine's
+//    delivery sequence bit for bit (TraceDigest over every delivery).
+//
+//  * check_differential_distribution — where only a statistical reduction
+//    exists (e.g. a ring protocol vs its synchronous counterpart, both of
+//    which the paper proves elect uniformly), the two outcome histograms
+//    must be statistically indistinguishable: a two-sample chi-square
+//    homogeneity test gated on chi_square_critical_999.
+
+#include "api/scenario.h"
+#include "verify/verify.h"
+
+namespace fle::verify {
+
+/// Runs `spec` on topologies `a` and `b` (same seed, same everything else)
+/// and asserts identical per-trial outcomes.
+CheckResult check_differential_exact(ScenarioSpec spec, TopologyKind a, TopologyKind b);
+
+/// Runs the ring spec under all three built-in schedulers and asserts
+/// identical per-trial outcomes (oblivious-schedule invariance, paper §2).
+CheckResult check_scheduler_invariance(ScenarioSpec spec);
+
+/// For the first `traced_trials` trials of the ring spec: fresh engine vs
+/// reused engine (reset between trials) must produce identical delivery
+/// digests and outcomes.  Requires a kRing spec with a built-in scheduler.
+CheckResult check_trace_determinism(const ScenarioSpec& spec, std::size_t traced_trials = 8);
+
+/// Two-sample chi-square homogeneity test over the outcome histograms of
+/// two specs (FAIL is a histogram cell).  Significance 0.001.
+CheckResult check_differential_distribution(const ScenarioSpec& a, const ScenarioSpec& b);
+
+}  // namespace fle::verify

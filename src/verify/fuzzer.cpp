@@ -1,0 +1,479 @@
+#include "verify/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <typeinfo>
+
+#include "api/registry.h"
+
+namespace fle::verify {
+
+namespace {
+
+const char* placement_name(CoalitionSpec::Placement placement) {
+  switch (placement) {
+    case CoalitionSpec::Placement::kDefault:
+      return "default";
+    case CoalitionSpec::Placement::kConsecutive:
+      return "consecutive";
+    case CoalitionSpec::Placement::kEquallySpaced:
+      return "equally-spaced";
+    case CoalitionSpec::Placement::kBernoulli:
+      return "bernoulli";
+    case CoalitionSpec::Placement::kCubicStaircase:
+      return "cubic-staircase";
+    case CoalitionSpec::Placement::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+CoalitionSpec::Placement parse_placement(const std::string& name) {
+  if (name == "default") return CoalitionSpec::Placement::kDefault;
+  if (name == "consecutive") return CoalitionSpec::Placement::kConsecutive;
+  if (name == "equally-spaced") return CoalitionSpec::Placement::kEquallySpaced;
+  if (name == "bernoulli") return CoalitionSpec::Placement::kBernoulli;
+  if (name == "cubic-staircase") return CoalitionSpec::Placement::kCubicStaircase;
+  if (name == "custom") return CoalitionSpec::Placement::kCustom;
+  throw std::invalid_argument("unknown coalition placement '" + name + "'");
+}
+
+SchedulerKind parse_scheduler(const std::string& name) {
+  if (name == "round-robin") return SchedulerKind::kRoundRobin;
+  if (name == "random") return SchedulerKind::kRandom;
+  if (name == "priority") return SchedulerKind::kPriority;
+  throw std::invalid_argument("unknown scheduler '" + name + "'");
+}
+
+/// Registered protocol names that support a topology family.
+std::vector<std::string> protocols_for(TopologyKind topology) {
+  register_builtin_scenarios();
+  std::vector<std::string> out;
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const ProtocolEntry& entry = ProtocolRegistry::instance().at(name);
+    const bool supported = [&] {
+      switch (topology) {
+        case TopologyKind::kRing:
+        case TopologyKind::kThreaded:
+          return static_cast<bool>(entry.make_ring);
+        case TopologyKind::kGraph:
+          return static_cast<bool>(entry.make_graph);
+        case TopologyKind::kSync:
+          return static_cast<bool>(entry.make_sync);
+        case TopologyKind::kTree:
+        case TopologyKind::kFullInfo:
+          return static_cast<bool>(entry.make_game);
+      }
+      return false;
+    }();
+    if (supported) out.push_back(name);
+  }
+  return out;
+}
+
+template <typename T>
+const T& pick(Xoshiro256& rng, const std::vector<T>& from) {
+  return from[static_cast<std::size_t>(rng.below(from.size()))];
+}
+
+}  // namespace
+
+ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options) {
+  register_builtin_scenarios();
+  static const std::vector<TopologyKind> kTopologies = {
+      TopologyKind::kRing,  TopologyKind::kRing,     TopologyKind::kThreaded,
+      TopologyKind::kGraph, TopologyKind::kSync,     TopologyKind::kTree,
+      TopologyKind::kFullInfo};
+
+  ScenarioSpec spec;
+  spec.topology = pick(rng, kTopologies);
+  const std::vector<std::string> protocols = protocols_for(spec.topology);
+  spec.protocol = pick(rng, protocols);
+
+  const int max_n = spec.topology == TopologyKind::kThreaded
+                        ? std::min(options.max_n, 12)  // one OS thread per processor
+                        : options.max_n;
+  spec.n = 2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_n - 1)));
+  spec.trials = 1 + rng.below(options.trials_per_spec);
+  spec.seed = rng.next();
+  spec.target = rng.below(static_cast<std::uint64_t>(spec.n));
+  spec.rounds = 2 + static_cast<int>(rng.below(4));
+  spec.threads = 1;
+  spec.record_outcomes = rng.below(4) == 0;
+  // Bound the phase attacks' preimage search so a fuzzed spec can't stall.
+  spec.search_cap = 64ull * static_cast<std::uint64_t>(spec.n);
+  if (rng.below(8) == 0) spec.step_limit = 1 + rng.below(64);  // starves some runs: FAILs
+
+  if (spec.topology == TopologyKind::kRing || spec.topology == TopologyKind::kThreaded) {
+    static const std::vector<SchedulerKind> kSchedulers = {
+        SchedulerKind::kRoundRobin, SchedulerKind::kRandom, SchedulerKind::kPriority};
+    spec.scheduler = pick(rng, kSchedulers);
+  } else if (rng.below(2) == 0) {
+    spec.scheduler = SchedulerKind::kRandom;
+  }
+
+  // Half the specs carry a deviation — sampled over *all* registered
+  // deviations, so protocol/deviation mismatches (which must be cleanly
+  // rejected) are part of the surface under test.
+  if (rng.below(2) == 0) {
+    spec.deviation = pick(rng, DeviationRegistry::instance().names());
+    const int k = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(spec.n)));
+    switch (rng.below(6)) {
+      case 0:
+        break;  // kDefault: the deviation's canonical placement
+      case 1:
+        spec.coalition = CoalitionSpec::consecutive(
+            k, static_cast<ProcessorId>(rng.below(static_cast<std::uint64_t>(spec.n))));
+        break;
+      case 2:
+        spec.coalition = CoalitionSpec::equally_spaced(k, 1);
+        break;
+      case 3:
+        spec.coalition = CoalitionSpec::bernoulli(
+            0.1 + 0.1 * static_cast<double>(rng.below(5)), rng.next());
+        break;
+      case 4:
+        spec.coalition = CoalitionSpec::cubic_staircase(k);
+        break;
+      default: {
+        // Custom member lists, occasionally out of range: the negative
+        // validation path is part of the fuzzed surface.
+        std::vector<ProcessorId> members;
+        const std::size_t count = 1 + rng.below(4);
+        for (std::size_t i = 0; i < count; ++i) {
+          members.push_back(
+              static_cast<ProcessorId>(rng.below(static_cast<std::uint64_t>(spec.n) + 1)));
+        }
+        spec.coalition = CoalitionSpec::custom(std::move(members));
+        break;
+      }
+    }
+  }
+  return spec;
+}
+
+std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
+                                               bool check_determinism, bool* rejected) {
+  if (rejected) *rejected = false;
+  std::optional<ScenarioResult> first;
+  try {
+    first.emplace(run_scenario(spec));
+  } catch (const std::invalid_argument&) {
+    if (rejected) *rejected = true;  // clean rejection: the API's contract
+    return std::nullopt;
+  } catch (const std::exception& error) {
+    return std::string("unexpected exception (") + typeid(error).name() + "): " +
+           error.what();
+  } catch (...) {
+    return "unexpected non-std exception";
+  }
+
+  const ScenarioResult& r = *first;
+  if (r.trials != spec.trials) {
+    return "result.trials = " + std::to_string(r.trials) + " != spec.trials = " +
+           std::to_string(spec.trials);
+  }
+  if (r.outcomes.trials() != spec.trials) {
+    return "outcome counter saw " + std::to_string(r.outcomes.trials()) + " of " +
+           std::to_string(spec.trials) + " trials";
+  }
+  const auto dist = r.outcomes.distribution();
+  std::size_t counted = r.outcomes.fails();
+  for (int j = 0; j < dist.n(); ++j) counted += r.outcomes.count(static_cast<Value>(j));
+  if (counted != spec.trials) {
+    return "histogram mass " + std::to_string(counted) + " != trials " +
+           std::to_string(spec.trials) + " (outcome leaked past the counter)";
+  }
+  const std::size_t expected_recorded = spec.record_outcomes ? spec.trials : 0;
+  if (r.per_trial.size() != expected_recorded) {
+    return "per_trial holds " + std::to_string(r.per_trial.size()) + " outcomes, expected " +
+           std::to_string(expected_recorded);
+  }
+  if (spec.record_outcomes) {
+    std::size_t fails = 0;
+    for (const Outcome& o : r.per_trial) fails += o.failed() ? 1 : 0;
+    if (fails != r.outcomes.fails()) {
+      return "per_trial records " + std::to_string(fails) + " FAILs, counter has " +
+             std::to_string(r.outcomes.fails());
+    }
+  }
+
+  if (check_determinism && spec.trials >= 2) {
+    ScenarioSpec rerun = spec;
+    rerun.threads = spec.threads == 3 ? 2 : 3;
+    std::optional<ScenarioResult> second;
+    try {
+      second.emplace(run_scenario(rerun));
+    } catch (const std::exception& error) {
+      return std::string("accepted at threads=") + std::to_string(spec.threads) +
+             " but threw at threads=" + std::to_string(rerun.threads) + ": " + error.what();
+    }
+    if (second->outcomes.fails() != r.outcomes.fails()) {
+      return "fails differ across worker counts: " + std::to_string(r.outcomes.fails()) +
+             " vs " + std::to_string(second->outcomes.fails());
+    }
+    for (int j = 0; j < dist.n(); ++j) {
+      const auto v = static_cast<Value>(j);
+      if (second->outcomes.count(v) != r.outcomes.count(v)) {
+        return "outcome counts differ across worker counts at leader " + std::to_string(j);
+      }
+    }
+    if (second->mean_messages != r.mean_messages ||
+        second->max_messages != r.max_messages ||
+        second->max_sync_gap != r.max_sync_gap ||
+        second->mean_sync_gap != r.mean_sync_gap || second->max_rounds != r.max_rounds) {
+      return "message/gap/round stats differ across worker counts";
+    }
+  }
+  return std::nullopt;
+}
+
+ScenarioSpec shrink_spec(ScenarioSpec spec, const FuzzOracle& oracle) {
+  // Candidate transformations, most aggressive first.  Each either returns
+  // a strictly simpler spec or nullopt when it no longer applies.
+  using Transform = std::function<std::optional<ScenarioSpec>(const ScenarioSpec&)>;
+  const std::vector<Transform> transforms = {
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.deviation.empty()) return std::nullopt;
+        ScenarioSpec c = s;
+        c.deviation.clear();
+        c.coalition = CoalitionSpec{};
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.trials <= 2) return std::nullopt;
+        ScenarioSpec c = s;
+        c.trials = std::max<std::size_t>(2, s.trials / 2);
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.n <= 2) return std::nullopt;
+        ScenarioSpec c = s;
+        c.n = std::max(2, s.n / 2);
+        c.target = std::min<Value>(c.target, static_cast<Value>(c.n) - 1);
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.n <= 2) return std::nullopt;
+        ScenarioSpec c = s;
+        c.n = s.n - 1;
+        c.target = std::min<Value>(c.target, static_cast<Value>(c.n) - 1);
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.topology != TopologyKind::kThreaded) return std::nullopt;
+        ScenarioSpec c = s;
+        c.topology = TopologyKind::kRing;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.scheduler == SchedulerKind::kRoundRobin) return std::nullopt;
+        ScenarioSpec c = s;
+        c.scheduler = SchedulerKind::kRoundRobin;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.coalition.placement == CoalitionSpec::Placement::kDefault) return std::nullopt;
+        ScenarioSpec c = s;
+        c.coalition = CoalitionSpec{};
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (!s.record_outcomes) return std::nullopt;
+        ScenarioSpec c = s;
+        c.record_outcomes = false;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.step_limit == 0) return std::nullopt;
+        ScenarioSpec c = s;
+        c.step_limit = 0;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.target == 0) return std::nullopt;
+        ScenarioSpec c = s;
+        c.target = 0;
+        return c;
+      },
+  };
+
+  int budget = 200;
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    for (const Transform& transform : transforms) {
+      if (budget <= 0) break;
+      const std::optional<ScenarioSpec> candidate = transform(spec);
+      if (!candidate) continue;
+      --budget;
+      if (oracle(*candidate).has_value()) {
+        spec = *candidate;
+        improved = true;
+      }
+    }
+  }
+  return spec;
+}
+
+FuzzReport run_fuzz_campaign(const FuzzOptions& options) {
+  FuzzReport report;
+  Xoshiro256 rng(mix64(options.seed ^ 0xf0225eedull));
+  const FuzzOracle oracle = [&](const ScenarioSpec& spec) {
+    return run_spec_invariants(spec, options.check_determinism);
+  };
+  for (std::size_t i = 0; i < options.specs; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, options);
+    bool rejected = false;
+    const std::optional<std::string> failure =
+        run_spec_invariants(spec, options.check_determinism, &rejected);
+    ++report.executed;
+    if (rejected) ++report.rejected;
+    if (!failure) continue;
+
+    const ScenarioSpec shrunk = shrink_spec(spec, oracle);
+    const std::optional<std::string> reason =
+        run_spec_invariants(shrunk, options.check_determinism);
+    report.failures.push_back(FuzzFailure{
+        shrunk, reason.value_or(*failure), format_spec(shrunk)});
+  }
+  return report;
+}
+
+CheckReport FuzzReport::as_report() const {
+  CheckReport out;
+  if (failures.empty()) {
+    out.add(CheckResult::pass(
+        "fuzz", std::to_string(executed) + " generated specs",
+        std::to_string(rejected) + " cleanly rejected, 0 invariant violations"));
+    return out;
+  }
+  for (const FuzzFailure& failure : failures) {
+    out.add(CheckResult::fail("fuzz", failure.repro, failure.reason));
+  }
+  return out;
+}
+
+std::string format_spec(const ScenarioSpec& spec) {
+  // Fields at their ScenarioSpec default are omitted; comparing against a
+  // default-constructed spec (not literal constants) keeps the omission
+  // rule — and therefore every stored repro line — valid if a default in
+  // api/scenario.h ever changes (parse_spec starts from the same default).
+  static const ScenarioSpec defaults;
+  std::ostringstream out;
+  out << "topology=" << to_string(spec.topology);
+  out << " protocol=" << spec.protocol;
+  if (!spec.deviation.empty()) out << " deviation=" << spec.deviation;
+  if (spec.coalition.placement != CoalitionSpec::Placement::kDefault) {
+    out << " placement=" << placement_name(spec.coalition.placement);
+    if (spec.coalition.placement == CoalitionSpec::Placement::kCustom) {
+      out << " members=";
+      for (std::size_t i = 0; i < spec.coalition.members.size(); ++i) {
+        if (i != 0) out << ',';
+        out << spec.coalition.members[i];
+      }
+    } else if (spec.coalition.placement == CoalitionSpec::Placement::kBernoulli) {
+      out << " density=" << spec.coalition.density
+          << " placement_seed=" << spec.coalition.placement_seed;
+    } else {
+      out << " k=" << spec.coalition.k << " first=" << spec.coalition.first;
+    }
+  }
+  if (spec.target != defaults.target) out << " target=" << spec.target;
+  if (spec.scheduler != defaults.scheduler) {
+    out << " scheduler=" << to_string(spec.scheduler);
+  }
+  out << " n=" << spec.n << " trials=" << spec.trials << " seed=" << spec.seed;
+  if (spec.step_limit != defaults.step_limit) out << " step_limit=" << spec.step_limit;
+  if (spec.threads != defaults.threads) out << " threads=" << spec.threads;
+  if (spec.record_outcomes != defaults.record_outcomes) {
+    out << " record=" << (spec.record_outcomes ? 1 : 0);
+  }
+  if (spec.protocol_key != defaults.protocol_key) {
+    out << " protocol_key=" << spec.protocol_key;
+  }
+  if (spec.param_l != defaults.param_l) out << " param_l=" << spec.param_l;
+  if (spec.search_cap != defaults.search_cap) out << " search_cap=" << spec.search_cap;
+  if (spec.prefix != defaults.prefix) out << " prefix=" << spec.prefix;
+  if (spec.rounds != defaults.rounds) out << " rounds=" << spec.rounds;
+  if (spec.tamper_send != defaults.tamper_send) out << " tamper_send=" << spec.tamper_send;
+  return out.str();
+}
+
+ScenarioSpec parse_spec(const std::string& line) {
+  ScenarioSpec spec;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("spec token '" + token + "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "topology") {
+      const auto kind = parse_topology(value);
+      if (!kind) throw std::invalid_argument("unknown topology '" + value + "'");
+      spec.topology = *kind;
+    } else if (key == "protocol") {
+      spec.protocol = value;
+    } else if (key == "deviation") {
+      spec.deviation = value;
+    } else if (key == "placement") {
+      spec.coalition.placement = parse_placement(value);
+    } else if (key == "members") {
+      spec.coalition.members.clear();
+      std::istringstream members(value);
+      std::string id;
+      while (std::getline(members, id, ',')) {
+        spec.coalition.members.push_back(std::stoi(id));
+      }
+    } else if (key == "density") {
+      spec.coalition.density = std::stod(value);
+    } else if (key == "placement_seed") {
+      spec.coalition.placement_seed = std::stoull(value);
+    } else if (key == "k") {
+      spec.coalition.k = std::stoi(value);
+    } else if (key == "first") {
+      spec.coalition.first = std::stoi(value);
+    } else if (key == "target") {
+      spec.target = std::stoull(value);
+    } else if (key == "scheduler") {
+      spec.scheduler = parse_scheduler(value);
+    } else if (key == "n") {
+      spec.n = std::stoi(value);
+    } else if (key == "trials") {
+      spec.trials = std::stoull(value);
+    } else if (key == "seed") {
+      spec.seed = std::stoull(value);
+    } else if (key == "step_limit") {
+      spec.step_limit = std::stoull(value);
+    } else if (key == "threads") {
+      spec.threads = std::stoi(value);
+    } else if (key == "record") {
+      spec.record_outcomes = value != "0";
+    } else if (key == "protocol_key") {
+      spec.protocol_key = std::stoull(value);
+    } else if (key == "param_l") {
+      spec.param_l = std::stoi(value);
+    } else if (key == "search_cap") {
+      spec.search_cap = std::stoull(value);
+    } else if (key == "prefix") {
+      spec.prefix = std::stoi(value);
+    } else if (key == "rounds") {
+      spec.rounds = std::stoi(value);
+    } else if (key == "tamper_send") {
+      spec.tamper_send = std::stoull(value);
+    } else {
+      throw std::invalid_argument("unknown spec key '" + key + "'");
+    }
+  }
+  if (spec.protocol.empty()) {
+    throw std::invalid_argument("spec line names no protocol");
+  }
+  return spec;
+}
+
+}  // namespace fle::verify

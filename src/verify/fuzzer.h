@@ -1,0 +1,84 @@
+#pragma once
+// Seeded ScenarioSpec generation, invariant fuzzing and shrinking (pillar 3
+// of the conformance subsystem).
+//
+// generate_spec samples a random (topology, protocol, deviation, coalition
+// placement, n, scheduler, …) combination from the live registries — most
+// combinations are valid, some are deliberately inconsistent; the invariant
+// under test is that run_scenario either rejects a spec cleanly
+// (std::invalid_argument) or executes it and keeps the Scenario API's
+// contracts:
+//   * result.trials == spec.trials, and every trial lands in the outcome
+//     counter (fails + sum of leader counts == trials);
+//   * per_trial is filled iff record_outcomes, with one entry per trial;
+//   * the determinism contract: a rerun with a different worker count
+//     produces bit-identical outcome counts and message stats;
+//   * no other exception type and no crash.
+//
+// Any violation is shrunk — deviation dropped, trials and n minimized,
+// scheduler and placement canonicalized — to a one-line repro string that
+// `fle_verify --repro '<line>'` replays (format_spec / parse_spec).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/scenario.h"
+#include "core/rng.h"
+#include "verify/verify.h"
+
+namespace fle::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;           ///< campaign seed: same seed, same specs
+  std::size_t specs = 200;          ///< how many specs to generate and run
+  std::size_t trials_per_spec = 6;  ///< kept tiny: coverage over depth
+  int max_n = 24;                   ///< ring sizes sampled from [2, max_n]
+  bool check_determinism = true;    ///< rerun each passing spec at 3 workers
+};
+
+/// One minimized failure.
+struct FuzzFailure {
+  ScenarioSpec spec;    ///< the shrunk spec
+  std::string reason;   ///< which invariant broke, with what values
+  std::string repro;    ///< format_spec(spec): one-line repro
+};
+
+struct FuzzReport {
+  std::size_t executed = 0;  ///< specs that ran (including clean rejections)
+  std::size_t rejected = 0;  ///< specs run_scenario rejected with invalid_argument
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool all_passed() const { return failures.empty(); }
+  [[nodiscard]] CheckReport as_report() const;
+};
+
+/// Samples one spec from the registries.  Deterministic in the rng state.
+ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options);
+
+/// Runs the invariants against one spec.  nullopt = spec passed (or was
+/// cleanly rejected); otherwise the violated invariant.  Sets `rejected`
+/// when the spec was rejected with std::invalid_argument.
+std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
+                                               bool check_determinism,
+                                               bool* rejected = nullptr);
+
+/// An oracle maps a spec to nullopt (passes) or a failure reason.
+using FuzzOracle = std::function<std::optional<std::string>(const ScenarioSpec&)>;
+
+/// Greedily minimizes a failing spec: drops the deviation, shrinks trials
+/// and n, canonicalizes coalition/scheduler/threads — accepting every step
+/// on which `oracle` still reports a failure.  Bounded oracle budget.
+ScenarioSpec shrink_spec(ScenarioSpec spec, const FuzzOracle& oracle);
+
+/// Runs the whole campaign: generate, check, shrink failures.
+FuzzReport run_fuzz_campaign(const FuzzOptions& options);
+
+/// Canonical one-line rendering of a spec: space-separated key=value pairs
+/// (defaults omitted).  parse_spec inverts it; unknown keys throw.
+std::string format_spec(const ScenarioSpec& spec);
+ScenarioSpec parse_spec(const std::string& line);
+
+}  // namespace fle::verify

@@ -1,0 +1,35 @@
+#pragma once
+// The curated conformance suite the fle_verify CLI (and the ctest `verify`
+// label) runs: every registered protocol gets uniformity + termination
+// checks on its honest profile, the paper's resilience claims get
+// Wilson-bounded gain checks, every ring protocol gets differential
+// ring-vs-threaded and scheduler-invariance checks, and a seeded fuzz
+// campaign closes the loop.  DESIGN.md §5 maps each check to the paper
+// theorem it operationalizes.
+
+#include <cstdint>
+
+#include "verify/verify.h"
+
+namespace fle::verify {
+
+struct SuiteOptions {
+  std::size_t trials = 10000;        ///< statistical checks (uniformity/resilience)
+  std::size_t exact_trials = 64;     ///< exact differential checks (per-trial)
+  std::size_t fuzz_specs = 200;      ///< fuzz campaign size
+  std::uint64_t seed = 1;
+  int threads = 0;                   ///< workers for the statistical runs
+  bool run_statistical = true;
+  bool run_differential = true;
+  bool run_fuzz = true;
+};
+
+/// Scales every budget down (~50 trials, 16 fuzz specs) so the suite
+/// finishes in seconds — the tier-2 ctest entry and quick local runs.
+SuiteOptions quick_suite_options();
+
+CheckReport run_statistical_checks(const SuiteOptions& options);
+CheckReport run_differential_checks(const SuiteOptions& options);
+CheckReport run_conformance_suite(const SuiteOptions& options);
+
+}  // namespace fle::verify

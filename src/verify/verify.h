@@ -1,0 +1,59 @@
+#pragma once
+// Conformance subsystem vocabulary: every checker in src/verify/ produces
+// CheckResults collected into a CheckReport.
+//
+// The subsystem turns the paper's statistical theorems into executable,
+// CI-gated checks over the Scenario API (DESIGN.md §5):
+//  * checks.h       — uniformity / resilience / termination-and-message
+//                     envelopes per protocol (Theorems 3.1, 5.1, 6.1)
+//  * differential.h — the same spec on different runtimes must agree
+//                     (exactly per trial, or statistically in distribution)
+//  * fuzzer.h       — seeded random ScenarioSpec generation with shrinking
+//  * suite.h        — the curated conformance suite the fle_verify CLI runs
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fle::verify {
+
+/// Shared detail formatting for measured statistics in check output.
+inline std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.5g", v);
+  return buffer;
+}
+
+/// Outcome of one conformance check.
+struct CheckResult {
+  std::string name;     ///< checker id, e.g. "uniformity"
+  std::string subject;  ///< what was checked, e.g. "ring/alead-uni n=16"
+  bool passed = false;
+  std::string detail;   ///< measured statistic vs threshold, human-readable
+
+  static CheckResult pass(std::string name, std::string subject, std::string detail) {
+    return {std::move(name), std::move(subject), true, std::move(detail)};
+  }
+  static CheckResult fail(std::string name, std::string subject, std::string detail) {
+    return {std::move(name), std::move(subject), false, std::move(detail)};
+  }
+};
+
+/// Aggregate of a suite run.
+struct CheckReport {
+  std::vector<CheckResult> results;
+
+  void add(CheckResult r) { results.push_back(std::move(r)); }
+  void merge(CheckReport other) {
+    for (auto& r : other.results) results.push_back(std::move(r));
+  }
+  [[nodiscard]] std::size_t failures() const {
+    std::size_t c = 0;
+    for (const auto& r : results) c += r.passed ? 0 : 1;
+    return c;
+  }
+  [[nodiscard]] bool all_passed() const { return failures() == 0; }
+};
+
+}  // namespace fle::verify

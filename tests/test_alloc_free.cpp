@@ -17,6 +17,8 @@
 #include "protocols/basic_lead.h"
 #include "sim/arena.h"
 #include "sim/engine.h"
+#include "sim/graph_engine.h"
+#include "sim/sync_engine.h"
 
 namespace fle {
 namespace {
@@ -107,6 +109,127 @@ TEST(ZeroAllocation, RunHonestFastPathIsAllocationFree) {
   const std::uint64_t after = allocations();
   EXPECT_TRUE(outcome.valid());
   EXPECT_EQ(after - before, 0u) << "run_honest steady state allocated";
+}
+
+// Minimal scalar-state graph protocol: a token (empty message, so the
+// payload vector never allocates) walks the ring embedded in the complete
+// graph; every processor terminates with 0 on first receipt.  Exercises the
+// engine substrate — link queues, contexts, scheduler, stats — with a
+// strategy whose own footprint is provably allocation-free.
+class GraphTokenStrategy final : public GraphStrategy {
+ public:
+  GraphTokenStrategy(ProcessorId id, int n) : id_(id), n_(n) {}
+
+  void on_init(GraphContext& ctx) override {
+    if (id_ == 0) ctx.send(ring_succ(id_, n_), GraphMessage{});
+  }
+  void on_receive(GraphContext& ctx, ProcessorId /*from*/, const GraphMessage&) override {
+    if (done_) return;
+    done_ = true;
+    if (id_ != 0) ctx.send(ring_succ(id_, n_), GraphMessage{});
+    ctx.terminate(0);
+  }
+
+ private:
+  ProcessorId id_;
+  int n_;
+  bool done_ = false;
+};
+
+class GraphTokenProtocol final : public GraphProtocol {
+ public:
+  std::unique_ptr<GraphStrategy> make_strategy(ProcessorId id, int n) const override {
+    return std::make_unique<GraphTokenStrategy>(id, n);
+  }
+  GraphStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                  int n) const override {
+    return arena.emplace<GraphTokenStrategy>(id, n);
+  }
+  const char* name() const override { return "graph-token"; }
+};
+
+TEST(ZeroAllocation, ReusedGraphTrialSubstrateIsAllocationFree) {
+  const int n = 16;
+  GraphTokenProtocol protocol;
+  GraphEngine engine(n, 1);
+  StrategyArena arena;
+  std::vector<GraphStrategy*> profile;
+
+  const auto trial = [&](std::uint64_t seed) {
+    engine.reset(seed, /*schedule_seed=*/seed);
+    arena.rewind();
+    profile.clear();
+    for (ProcessorId p = 0; p < n; ++p) {
+      profile.push_back(protocol.emplace_strategy(arena, p, n));
+    }
+    return engine.run(std::span<GraphStrategy* const>(profile));
+  };
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Outcome o = trial(seed);
+    ASSERT_TRUE(o.valid());
+    ASSERT_EQ(o.leader(), 0u);
+  }
+
+  const std::uint64_t before = allocations();
+  const Outcome outcome = trial(1234);
+  const std::uint64_t after = allocations();
+  EXPECT_TRUE(outcome.valid());
+  EXPECT_EQ(after - before, 0u) << "steady-state graph trial allocated";
+}
+
+// Sync counterpart: round 1 everyone broadcasts an empty message, round 2
+// everyone has heard from everyone and terminates with 0.
+class SyncEchoStrategy final : public SyncStrategy {
+ public:
+  void on_round(SyncContext& ctx, const SyncInbox& inbox) override {
+    if (ctx.round() == 1) {
+      ctx.broadcast(GraphMessage{});
+      return;
+    }
+    if (static_cast<int>(inbox.size()) == ctx.network_size() - 1) ctx.terminate(0);
+  }
+};
+
+class SyncEchoProtocol final : public SyncProtocol {
+ public:
+  std::unique_ptr<SyncStrategy> make_strategy(ProcessorId, int) const override {
+    return std::make_unique<SyncEchoStrategy>();
+  }
+  SyncStrategy* emplace_strategy(StrategyArena& arena, ProcessorId, int) const override {
+    return arena.emplace<SyncEchoStrategy>();
+  }
+  const char* name() const override { return "sync-echo"; }
+};
+
+TEST(ZeroAllocation, ReusedSyncTrialSubstrateIsAllocationFree) {
+  const int n = 16;
+  SyncEchoProtocol protocol;
+  SyncEngine engine(n, 1);
+  StrategyArena arena;
+  std::vector<SyncStrategy*> profile;
+
+  const auto trial = [&](std::uint64_t seed) {
+    engine.reset(seed);
+    arena.rewind();
+    profile.clear();
+    for (ProcessorId p = 0; p < n; ++p) {
+      profile.push_back(protocol.emplace_strategy(arena, p, n));
+    }
+    return engine.run(std::span<SyncStrategy* const>(profile));
+  };
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Outcome o = trial(seed);
+    ASSERT_TRUE(o.valid());
+    ASSERT_EQ(o.leader(), 0u);
+  }
+
+  const std::uint64_t before = allocations();
+  const Outcome outcome = trial(1234);
+  const std::uint64_t after = allocations();
+  EXPECT_TRUE(outcome.valid());
+  EXPECT_EQ(after - before, 0u) << "steady-state sync trial allocated";
 }
 
 TEST(ZeroAllocation, ALeadUniSteadyStateStaysBounded) {

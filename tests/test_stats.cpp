@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "analysis/stats.h"
 
@@ -69,6 +70,51 @@ TEST(Stats, ChiSquareCriticalGrowsWithDof) {
   EXPECT_GT(chi_square_critical_999(10), chi_square_critical_999(3));
   // Known value: chi2_{0.999, 10} ~ 29.6.
   EXPECT_NEAR(chi_square_critical_999(10), 29.6, 1.0);
+}
+
+// Degenerate inputs the verify subsystem can produce (empty samples, a
+// one-cell support, out-of-range leader queries) must give well-defined
+// answers, not divisions by zero or out-of-bounds reads.
+
+TEST(Stats, HoeffdingDegenerateInputsAreVacuous) {
+  EXPECT_DOUBLE_EQ(hoeffding_radius(0, 0.05), 1.0);   // no samples
+  EXPECT_DOUBLE_EQ(hoeffding_radius(0, 0.0), 1.0);    // no samples, alpha 0
+  EXPECT_DOUBLE_EQ(hoeffding_radius(100, 0.0), 1.0);  // certainty demanded
+  EXPECT_DOUBLE_EQ(hoeffding_radius(100, -1.0), 1.0);
+  // Tiny samples at tiny alpha: the radius is clamped to the trivial bound
+  // for a [0,1]-valued mean instead of exceeding it.
+  EXPECT_LE(hoeffding_radius(1, 0.001), 1.0);
+  EXPECT_TRUE(std::isfinite(hoeffding_radius(1, 0.001)));
+}
+
+TEST(Stats, ChiSquareCriticalDegenerateDof) {
+  EXPECT_DOUBLE_EQ(chi_square_critical_999(0), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square_critical_999(-4), 0.0);
+  EXPECT_TRUE(std::isfinite(chi_square_critical_999(1)));
+}
+
+TEST(OutcomeCounter, CountBoundsChecksLeaderValue) {
+  OutcomeCounter c(4);
+  c.record(Outcome::elected(2));
+  EXPECT_EQ(c.count(2), 1u);
+  EXPECT_EQ(c.count(4), 0u);   // one past the domain
+  EXPECT_EQ(c.count(~0ull), 0u);
+  EXPECT_DOUBLE_EQ(c.leader_rate(4), 0.0);
+  EXPECT_DOUBLE_EQ(c.leader_rate(~0ull), 0.0);
+}
+
+TEST(OutcomeCounter, RecordRejectsOutOfRangeLeaders) {
+  // Engines can never hand the counter an out-of-range leader
+  // (aggregate_outcome maps those to FAIL); a buggy caller must be flagged
+  // loudly — in every build type — rather than corrupt the histogram.  The
+  // type must NOT be invalid_argument: the fuzzer reads that as a clean
+  // spec rejection, and this guard exists to be seen by the fuzzer.
+  OutcomeCounter c(4);
+  EXPECT_THROW(c.record(Outcome::elected(4)), std::out_of_range);
+  EXPECT_THROW(c.record(Outcome::elected(~0ull)), std::out_of_range);
+  EXPECT_EQ(c.trials(), 0u);  // rejected records leave the counter untouched
+  c.record(Outcome::fail());  // FAIL carries no leader: always fine
+  EXPECT_EQ(c.fails(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Statistical fairness checkers (src/verify/checks.h): the uniformity,
+// resilience and termination checks must pass on executions the paper
+// proves fair — and, just as importantly, flag rigged ones.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "verify/checks.h"
+
+namespace fle::verify {
+namespace {
+
+ScenarioSpec honest_ring(const char* protocol, int n, std::size_t trials) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.n = n;
+  spec.trials = trials;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(CheckUniformity, PassesOnHonestRingProtocols) {
+  const CheckResult r = check_uniformity(honest_ring("alead-uni", 8, 1200));
+  EXPECT_TRUE(r.passed) << r.detail;
+  EXPECT_EQ(r.name, "uniformity");
+  EXPECT_NE(r.subject.find("alead-uni"), std::string::npos);
+}
+
+TEST(CheckUniformity, FlagsMassOutsideTheSupport) {
+  // An honest n=8 election spread over [0, 8) cannot fit a [0, 4) support.
+  UniformityOptions options;
+  options.support = {0, 4};
+  const CheckResult r = check_uniformity(honest_ring("alead-uni", 8, 400), options);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.detail.find("outside support"), std::string::npos) << r.detail;
+}
+
+TEST(CheckUniformity, FlagsAStructurallyMissingOutcome) {
+  // The baton starter can never win: testing against full [0, n) support
+  // must blow the chi-square up (the correct support is [1, n)).
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kFullInfo;
+  spec.protocol = "baton";
+  spec.n = 8;
+  spec.trials = 1200;
+  spec.seed = 5;
+  const CheckResult wrong = check_uniformity(spec);
+  EXPECT_FALSE(wrong.passed) << wrong.detail;
+  UniformityOptions options;
+  options.support = {1, 8};
+  const CheckResult right = check_uniformity(spec, options);
+  EXPECT_TRUE(right.passed) << right.detail;
+}
+
+TEST(CheckUniformity, RejectsDeviatedSpecs) {
+  ScenarioSpec spec = honest_ring("basic-lead", 8, 10);
+  spec.deviation = "basic-single";
+  EXPECT_THROW(check_uniformity(spec), std::invalid_argument);
+}
+
+TEST(CheckResilience, FlagsTheBasicLeadTakeover) {
+  // Claim B.1: one adversary fully controls Basic-LEAD — the gain is
+  // ~ 1 - 1/n, far beyond any eps.
+  ScenarioSpec spec = honest_ring("basic-lead", 8, 600);
+  spec.deviation = "basic-single";
+  spec.coalition = CoalitionSpec::consecutive(1, 3);
+  spec.target = 6;
+  ResilienceOptions options;
+  options.epsilon = 0.05;
+  const CheckResult r = check_resilience(spec, options);
+  EXPECT_FALSE(r.passed) << r.detail;
+  EXPECT_NE(r.detail.find("gain"), std::string::npos);
+}
+
+TEST(CheckResilience, PassesWhenTamperingIsDetected) {
+  // PhaseAsyncLead detects the flipped value and FAILs: no gain.
+  ScenarioSpec spec = honest_ring("phase-async-lead", 16, 400);
+  spec.deviation = "tamper-flip";
+  spec.coalition = CoalitionSpec::consecutive(1, 3);
+  spec.target = 5;
+  ResilienceOptions options;
+  options.epsilon = 0.01;
+  const CheckResult r = check_resilience(spec, options);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(CheckResilience, RejectsHonestSpecs) {
+  EXPECT_THROW(check_resilience(honest_ring("basic-lead", 8, 10)), std::invalid_argument);
+}
+
+TEST(CheckTermination, PassesHonestWithinEnvelope) {
+  TerminationOptions options;
+  options.max_messages = 2 * 8 * 8;  // A-LEADuni sends exactly 2n^2 total
+  const CheckResult r = check_termination_and_messages(honest_ring("alead-uni", 8, 50),
+                                                       options);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(CheckTermination, FlagsEnvelopeViolations) {
+  TerminationOptions tight;
+  tight.max_messages = 8;  // absurdly tight: must flag
+  const CheckResult messages =
+      check_termination_and_messages(honest_ring("alead-uni", 8, 20), tight);
+  EXPECT_FALSE(messages.passed);
+  EXPECT_NE(messages.detail.find("max messages"), std::string::npos) << messages.detail;
+
+  // A detected deviation FAILs every trial: the fail-rate envelope trips.
+  ScenarioSpec late;
+  late.topology = TopologyKind::kSync;
+  late.protocol = "sync-broadcast-lead";
+  late.deviation = "sync-late-broadcast";
+  late.n = 8;
+  late.trials = 20;
+  const CheckResult fails = check_termination_and_messages(late, TerminationOptions{});
+  EXPECT_FALSE(fails.passed);
+  EXPECT_NE(fails.detail.find("fail rate"), std::string::npos) << fails.detail;
+}
+
+}  // namespace
+}  // namespace fle::verify

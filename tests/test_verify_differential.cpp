@@ -1,0 +1,101 @@
+// Differential runtime checking (src/verify/differential.h): runtimes that
+// claim to realize the same game must agree — exactly per trial between
+// ring and threaded, exactly across oblivious schedules, exactly between a
+// fresh and a reused engine's traces, and statistically across protocol
+// families the paper proves uniform.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "verify/differential.h"
+
+namespace fle::verify {
+namespace {
+
+ScenarioSpec ring(const char* protocol, int n, std::size_t trials) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.n = n;
+  spec.trials = trials;
+  spec.seed = 21;
+  return spec;
+}
+
+TEST(DifferentialExact, RingAndThreadedAgreePerTrial) {
+  const CheckResult r = check_differential_exact(ring("alead-uni", 8, 12),
+                                                 TopologyKind::kRing,
+                                                 TopologyKind::kThreaded);
+  EXPECT_TRUE(r.passed) << r.detail;
+  EXPECT_NE(r.detail.find("identical"), std::string::npos);
+}
+
+TEST(DifferentialExact, DeviatedProfilesAgreeToo) {
+  ScenarioSpec spec = ring("basic-lead", 8, 10);
+  spec.deviation = "basic-single";
+  spec.coalition = CoalitionSpec::consecutive(1, 3);
+  spec.target = 6;
+  const CheckResult r =
+      check_differential_exact(spec, TopologyKind::kRing, TopologyKind::kThreaded);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(SchedulerInvariance, AllObliviousSchedulesAgree) {
+  const CheckResult r = check_scheduler_invariance(ring("phase-async-lead", 12, 10));
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(SchedulerInvariance, RejectsNonRingSpecs) {
+  ScenarioSpec spec = ring("shamir-lead", 8, 4);
+  spec.topology = TopologyKind::kGraph;
+  EXPECT_THROW(check_scheduler_invariance(spec), std::invalid_argument);
+}
+
+TEST(TraceDeterminism, ReusedEngineReplaysFreshTraces) {
+  const CheckResult r = check_trace_determinism(ring("alead-uni", 8, 8), 6);
+  EXPECT_TRUE(r.passed) << r.detail;
+  const CheckResult deviated = [&] {
+    ScenarioSpec spec = ring("basic-lead", 8, 8);
+    spec.deviation = "basic-single";
+    spec.coalition = CoalitionSpec::consecutive(1, 2);
+    spec.target = 5;
+    return check_trace_determinism(spec, 6);
+  }();
+  EXPECT_TRUE(deviated.passed) << deviated.detail;
+}
+
+TEST(DifferentialDistribution, UniformProtocolsAreIndistinguishable) {
+  // Two independent honest samples of the same uniform election.
+  ScenarioSpec a = ring("alead-uni", 8, 900);
+  ScenarioSpec b = a;
+  b.seed = a.seed + 7919;
+  const CheckResult r = check_differential_distribution(a, b);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(DifferentialDistribution, CrossRuntimeUniformityHolds) {
+  ScenarioSpec a = ring("alead-uni", 8, 900);
+  ScenarioSpec b;
+  b.topology = TopologyKind::kSync;
+  b.protocol = "sync-ring-lead";
+  b.n = 8;
+  b.trials = 900;
+  b.seed = 4242;
+  const CheckResult r = check_differential_distribution(a, b);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(DifferentialDistribution, FlagsARiggedSample) {
+  // Honest uniform vs a single-adversary takeover: trivially separable.
+  ScenarioSpec honest = ring("basic-lead", 8, 400);
+  ScenarioSpec rigged = honest;
+  rigged.deviation = "basic-single";
+  rigged.coalition = CoalitionSpec::consecutive(1, 3);
+  rigged.target = 6;
+  rigged.seed = honest.seed + 1;
+  const CheckResult r = check_differential_distribution(honest, rigged);
+  EXPECT_FALSE(r.passed) << r.detail;
+}
+
+}  // namespace
+}  // namespace fle::verify

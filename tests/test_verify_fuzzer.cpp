@@ -1,0 +1,137 @@
+// ScenarioSpec fuzzer (src/verify/fuzzer.h): deterministic generation,
+// repro-line round-trips, invariant checking, and shrinking.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "verify/fuzzer.h"
+
+namespace fle::verify {
+namespace {
+
+TEST(FuzzGenerate, SameSeedSameSpecs) {
+  FuzzOptions options;
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(format_spec(generate_spec(a, options)), format_spec(generate_spec(b, options)));
+  }
+}
+
+TEST(FuzzGenerate, SpecsStayInsideTheConfiguredBounds) {
+  FuzzOptions options;
+  options.max_n = 10;
+  options.trials_per_spec = 4;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, options);
+    EXPECT_GE(spec.n, 2);
+    EXPECT_LE(spec.n, 10);
+    EXPECT_GE(spec.trials, 1u);
+    EXPECT_LE(spec.trials, 4u);
+    EXPECT_FALSE(spec.protocol.empty());
+  }
+}
+
+TEST(FuzzRepro, FormatParseRoundTrips) {
+  FuzzOptions options;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, options);
+    const std::string line = format_spec(spec);
+    EXPECT_EQ(format_spec(parse_spec(line)), line) << line;
+  }
+}
+
+TEST(FuzzRepro, ParseRejectsMalformedLines) {
+  EXPECT_THROW(parse_spec("topology=ring protocol"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("topology=ring protocol=x bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("topology=nowhere protocol=x n=4 trials=1 seed=1"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec("topology=ring n=4 trials=1 seed=1"), std::invalid_argument);
+}
+
+TEST(FuzzInvariants, HoldOnAKnownGoodSpec) {
+  const ScenarioSpec spec =
+      parse_spec("topology=ring protocol=alead-uni n=8 trials=6 seed=11");
+  EXPECT_EQ(run_spec_invariants(spec, /*check_determinism=*/true), std::nullopt);
+}
+
+TEST(FuzzInvariants, CleanRejectionIsNotAFailure) {
+  // Graph-only protocol on a ring: run_scenario must throw
+  // std::invalid_argument, which the fuzzer records as a rejection.
+  const ScenarioSpec spec =
+      parse_spec("topology=ring protocol=shamir-lead n=8 trials=2 seed=1");
+  bool rejected = false;
+  EXPECT_EQ(run_spec_invariants(spec, true, &rejected), std::nullopt);
+  EXPECT_TRUE(rejected);
+}
+
+TEST(FuzzShrink, MinimizesAgainstASyntheticOracle) {
+  // Synthetic failure: anything with n >= 6 "fails".  The shrinker must
+  // walk n down to exactly 6 and strip every irrelevant feature.
+  const FuzzOracle oracle = [](const ScenarioSpec& spec) -> std::optional<std::string> {
+    if (spec.n >= 6) return "synthetic: n >= 6";
+    return std::nullopt;
+  };
+  ScenarioSpec big;
+  big.topology = TopologyKind::kThreaded;
+  big.protocol = "alead-uni";
+  big.deviation = "rushing";
+  big.coalition = CoalitionSpec::equally_spaced(4);
+  big.scheduler = SchedulerKind::kRandom;
+  big.n = 20;
+  big.trials = 12;
+  big.seed = 5;
+  big.target = 13;
+  big.record_outcomes = true;
+  big.step_limit = 999;
+
+  const ScenarioSpec shrunk = shrink_spec(big, oracle);
+  EXPECT_EQ(shrunk.n, 6);
+  EXPECT_TRUE(shrunk.deviation.empty());
+  EXPECT_EQ(shrunk.coalition.placement, CoalitionSpec::Placement::kDefault);
+  EXPECT_EQ(shrunk.scheduler, SchedulerKind::kRoundRobin);
+  EXPECT_EQ(shrunk.topology, TopologyKind::kRing);
+  EXPECT_EQ(shrunk.trials, 2u);
+  EXPECT_EQ(shrunk.step_limit, 0u);
+  EXPECT_EQ(shrunk.target, 0u);
+  EXPECT_FALSE(shrunk.record_outcomes);
+  EXPECT_TRUE(oracle(shrunk).has_value()) << "shrinking must preserve the failure";
+}
+
+TEST(FuzzShrink, KeepsTheDeviationWhenItCausesTheFailure) {
+  const FuzzOracle oracle = [](const ScenarioSpec& spec) -> std::optional<std::string> {
+    if (!spec.deviation.empty()) return "synthetic: deviation present";
+    return std::nullopt;
+  };
+  ScenarioSpec spec;
+  spec.protocol = "basic-lead";
+  spec.deviation = "basic-single";
+  spec.n = 16;
+  spec.trials = 8;
+  const ScenarioSpec shrunk = shrink_spec(spec, oracle);
+  EXPECT_EQ(shrunk.deviation, "basic-single");
+  EXPECT_EQ(shrunk.n, 2);
+  EXPECT_EQ(shrunk.trials, 2u);
+}
+
+TEST(FuzzCampaign, SmallBudgetRunsClean) {
+  FuzzOptions options;
+  options.seed = 2026;
+  options.specs = 40;
+  const FuzzReport report = run_fuzz_campaign(options);
+  EXPECT_EQ(report.executed, 40u);
+  for (const FuzzFailure& failure : report.failures) {
+    ADD_FAILURE() << failure.repro << " — " << failure.reason;
+  }
+  const CheckReport check = report.as_report();
+  EXPECT_TRUE(check.all_passed());
+  EXPECT_EQ(check.results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fle::verify

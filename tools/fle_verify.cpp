@@ -1,0 +1,130 @@
+// fle_verify — the conformance gate (DESIGN.md §5).
+//
+//   fle_verify                         full suite at default budgets
+//   fle_verify --quick                 seconds-scale budgets (ctest -L verify)
+//   fle_verify --trials 10000 --fuzz 200   CI budgets
+//   fle_verify --repro 'topology=ring protocol=alead-uni n=8 trials=4 seed=9'
+//                                      replay one shrunk fuzz failure
+//   fle_verify --list                  print the registered protocols/deviations
+//
+// Exit code 0 iff every check passed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "api/registry.h"
+#include "verify/fuzzer.h"
+#include "verify/suite.h"
+
+namespace {
+
+void print_report(const fle::verify::CheckReport& report) {
+  for (const auto& r : report.results) {
+    std::printf("[%s] %-26s %s\n          %s\n", r.passed ? "PASS" : "FAIL",
+                r.name.c_str(), r.subject.c_str(), r.detail.c_str());
+  }
+  std::printf("%zu checks, %zu failed\n", report.results.size(), report.failures());
+}
+
+int run_repro(const std::string& line) {
+  const fle::ScenarioSpec spec = fle::verify::parse_spec(line);
+  std::printf("replaying: %s\n", fle::verify::format_spec(spec).c_str());
+  const auto failure = fle::verify::run_spec_invariants(spec, /*check_determinism=*/true);
+  if (failure) {
+    std::printf("[FAIL] %s\n", failure->c_str());
+    return 1;
+  }
+  std::printf("[PASS] invariants hold\n");
+  return 0;
+}
+
+int list_registry() {
+  fle::register_builtin_scenarios();
+  std::printf("protocols:\n");
+  for (const auto& name : fle::ProtocolRegistry::instance().names()) {
+    std::printf("  %-22s %s\n", name.c_str(),
+                fle::ProtocolRegistry::instance().at(name).summary.c_str());
+  }
+  std::printf("deviations:\n");
+  for (const auto& name : fle::DeviationRegistry::instance().names()) {
+    std::printf("  %-22s %s\n", name.c_str(),
+                fle::DeviationRegistry::instance().at(name).summary.c_str());
+  }
+  return 0;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--trials N] [--exact N] [--fuzz N] [--seed S]\n"
+               "          [--threads T] [--no-statistical] [--no-differential]\n"
+               "          [--no-fuzz] [--repro '<spec line>'] [--list]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fle::verify::SuiteOptions options;
+  std::string repro;
+  bool quick = false;
+  // Explicit budget flags always win over --quick, whatever the flag order.
+  bool trials_set = false;
+  bool exact_set = false;
+  bool fuzz_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--trials") {
+      options.trials = std::strtoull(next(), nullptr, 10);
+      trials_set = true;
+    } else if (arg == "--exact") {
+      options.exact_trials = std::strtoull(next(), nullptr, 10);
+      exact_set = true;
+    } else if (arg == "--fuzz") {
+      options.fuzz_specs = std::strtoull(next(), nullptr, 10);
+      fuzz_set = true;
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
+    } else if (arg == "--no-statistical") {
+      options.run_statistical = false;
+    } else if (arg == "--no-differential") {
+      options.run_differential = false;
+    } else if (arg == "--no-fuzz") {
+      options.run_fuzz = false;
+    } else if (arg == "--repro") {
+      repro = next();
+    } else if (arg == "--list") {
+      return list_registry();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!repro.empty()) return run_repro(repro);
+    if (quick) {
+      const auto budgets = fle::verify::quick_suite_options();
+      if (!trials_set) options.trials = budgets.trials;
+      if (!exact_set) options.exact_trials = budgets.exact_trials;
+      if (!fuzz_set) options.fuzz_specs = budgets.fuzz_specs;
+    }
+    const fle::verify::CheckReport report = fle::verify::run_conformance_suite(options);
+    print_report(report);
+    return report.all_passed() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fle_verify: %s\n", error.what());
+    return 2;
+  }
+}
