@@ -12,10 +12,12 @@
 #include "harness.h"
 #include "protocols/phase_async_lead.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fle;
   bench::Harness h("e06", "E6 / Theorem 6.1",
-                   "PhaseAsyncLead resilience: sub-sqrt(n) coalitions gain nothing");
+                   "PhaseAsyncLead resilience: sub-sqrt(n) coalitions gain nothing",
+                   bench::BenchArgs(argc, argv));
+  if (h.merge_mode()) return h.merge_shards();
   h.row_header("     n    k   free slots   Pr[w]   FAIL   honest Pr[w]-1/n");
 
   for (const int n : {100, 256, 400, 784}) {

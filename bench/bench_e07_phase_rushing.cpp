@@ -12,10 +12,12 @@
 #include "harness.h"
 #include "protocols/phase_async_lead.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fle;
   bench::Harness h("e07", "E7 / Theorem 6.1 tightness",
-                   "PhaseAsyncLead: k = sqrt(n)+3 adversaries steer f to any target");
+                   "PhaseAsyncLead: k = sqrt(n)+3 adversaries steer f to any target",
+                   bench::BenchArgs(argc, argv));
+  if (h.merge_mode()) return h.merge_shards();
   h.row_header("     n    k   min free slots   attacked Pr[w]   FAIL");
 
   for (const int n : {64, 100, 196, 324, 529}) {

@@ -1,18 +1,25 @@
 // E8 (Appendix E.4): phase validation with a *sum* output (PhaseSumLead)
 // falls to a constant coalition of k = 4 via the validation covert channel
 // — the ablation that motivates PhaseAsyncLead's random function.
+//
+// The whole n-sweep is one executor submission (api/sweep.h).
 
 #include <cstdio>
+#include <vector>
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fle;
   bench::Harness h("e08", "E8 / Appendix E.4 (ablation: sum output instead of random f)",
-                   "PhaseSumLead: k = 4 adversaries control any ring size");
+                   "PhaseSumLead: k = 4 adversaries control any ring size",
+                   bench::BenchArgs(argc, argv));
+  if (h.merge_mode()) return h.merge_shards();
   h.row_header("      n    k   attacked Pr[w]   FAIL   sync gap");
 
-  for (const int n : {32, 64, 128, 256, 512, 1024}) {
+  const std::vector<int> sizes = {32, 64, 128, 256, 512, 1024};
+  SweepSpec sweep;
+  for (const int n : sizes) {
     ScenarioSpec spec;
     spec.protocol = "phase-sum-lead";
     spec.deviation = "phase-sum";  // canonical k = 4 placement
@@ -20,9 +27,14 @@ int main() {
     spec.n = n;
     spec.trials = 25;
     spec.seed = 5 * n;
-    const auto r = h.run(spec);
-    std::printf("%7d    4   %14.4f   %4.2f   %8llu\n", n,
-                r.outcomes.leader_rate(spec.target), r.outcomes.fail_rate(),
+    sweep.add(spec);
+  }
+  const auto results = h.run_sweep(sweep);
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::printf("%7d    4   %14.4f   %4.2f   %8llu\n", sizes[i],
+                r.outcomes.leader_rate(sweep.scenarios[i].target), r.outcomes.fail_rate(),
                 static_cast<unsigned long long>(r.max_sync_gap));
   }
   h.note("expected shape: Pr[w] = 1 with k fixed at 4 for every n — contrast with");

@@ -11,10 +11,12 @@
 #include "core/reductions.h"
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fle;
   bench::Harness h("e11", "E11 / Theorem 8.1",
-                   "Leader election <-> coin toss reductions");
+                   "Leader election <-> coin toss reductions",
+                   bench::BenchArgs(argc, argv));
+  if (h.merge_mode()) return h.merge_shards();
 
   h.row_header("     n   trials   Pr[coin=1] (from election parity)   |bias|");
   for (const int n : {8, 16, 64}) {

@@ -11,10 +11,12 @@
 #include "fullinfo/majority.h"
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fle;
   bench::Harness h("e14", "E14 / full-information comparators (Saks, Ben-Or & Linial)",
-                   "Bias vs coalition size in the broadcast model");
+                   "Bias vs coalition size in the broadcast model",
+                   bench::BenchArgs(argc, argv));
+  if (h.merge_mode()) return h.merge_shards();
 
   h.row_header("baton n=64:    k   Pr[target wins]   honest 1/(n-1)");
   {

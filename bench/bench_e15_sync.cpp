@@ -10,10 +10,12 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fle;
   bench::Harness h("e15", "E15 / Section 1.1 synchronous scenarios",
-                   "Sync broadcast & ring elections: optimal k = n-1 resilience");
+                   "Sync broadcast & ring elections: optimal k = n-1 resilience",
+                   bench::BenchArgs(argc, argv));
+  if (h.merge_mode()) return h.merge_shards();
 
   h.row_header("     n   deviation              valid   FAIL   max bias");
   for (const int n : {8, 16, 32}) {

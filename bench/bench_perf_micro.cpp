@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/scenario.h"
+#include "api/sweep.h"
 #include "core/random_function.h"
 #include "core/rng.h"
 #include "protocols/alead_uni.h"
@@ -294,6 +295,70 @@ void BM_RunScenarioSync(benchmark::State& state) {
   run_scenario_throughput(state, spec);
 }
 BENCHMARK(BM_RunScenarioSync);
+
+// ---- sweep vs serial: cross-scenario work stealing (items/sec = trials) --
+//
+// The PR-4 acceptance workload, shaped like the drivers that motivated the
+// sweep layer: hundreds of fuzz-spec-sized scenarios (a couple of trials
+// each — smaller than the worker count, so scenario-at-a-time execution
+// strands workers AND pays a full submission round-trip per scenario) plus
+// a few larger table rows.  Serial = one run_scenario call per scenario;
+// Batched = the identical scenarios as ONE run_sweep submission sharing
+// the executor's chunk queue.  Same trials, same seeds, same results — the
+// items/sec ratio is the sweep layer's win (>= 1.5x even on one core,
+// where only the submission amortization shows; larger on multicore,
+// where the stranded workers come back too).
+
+SweepSpec mixed_sweep_spec() {
+  SweepSpec sweep;
+  sweep.threads = 8;
+  for (int i = 0; i < 320; ++i) {
+    ScenarioSpec spec;
+    spec.protocol = "basic-lead";
+    spec.n = 8;
+    spec.trials = 2;
+    spec.seed = 100 + static_cast<std::uint64_t>(i);
+    sweep.add(spec);
+  }
+  for (int i = 0; i < 4; ++i) {
+    ScenarioSpec spec;
+    spec.protocol = "basic-lead";
+    spec.n = 64;
+    spec.trials = 8;
+    spec.seed = 900 + static_cast<std::uint64_t>(i);
+    sweep.add(spec);
+  }
+  return sweep;
+}
+
+std::int64_t sweep_trials(const SweepSpec& sweep) {
+  std::int64_t total = 0;
+  for (const ScenarioSpec& spec : sweep.scenarios) {
+    total += static_cast<std::int64_t>(spec.trials);
+  }
+  return total;
+}
+
+void BM_MixedSweepSerial(benchmark::State& state) {
+  const SweepSpec sweep = mixed_sweep_spec();
+  for (auto _ : state) {
+    for (ScenarioSpec spec : sweep.scenarios) {
+      spec.threads = sweep.threads;
+      benchmark::DoNotOptimize(run_scenario(spec).outcomes.trials());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * sweep_trials(sweep));
+}
+BENCHMARK(BM_MixedSweepSerial)->UseRealTime();
+
+void BM_MixedSweepBatched(benchmark::State& state) {
+  const SweepSpec sweep = mixed_sweep_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sweep(sweep).size());
+  }
+  state.SetItemsProcessed(state.iterations() * sweep_trials(sweep));
+}
+BENCHMARK(BM_MixedSweepBatched)->UseRealTime();
 
 }  // namespace
 

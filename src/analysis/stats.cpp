@@ -26,6 +26,17 @@ void OutcomeCounter::record(const Outcome& o) {
   ++counts_[static_cast<std::size_t>(o.leader())];
 }
 
+void OutcomeCounter::merge(const OutcomeCounter& other) {
+  if (n_ != other.n_) {
+    throw std::invalid_argument("OutcomeCounter.merge: outcome domains differ (" +
+                                std::to_string(n_) + " vs " + std::to_string(other.n_) +
+                                ")");
+  }
+  trials_ += other.trials_;
+  fails_ += other.fails_;
+  for (std::size_t j = 0; j < counts_.size(); ++j) counts_[j] += other.counts_[j];
+}
+
 double OutcomeCounter::fail_rate() const {
   return trials_ == 0 ? 0.0 : static_cast<double>(fails_) / static_cast<double>(trials_);
 }

@@ -17,6 +17,14 @@ class OutcomeCounter {
 
   void record(const Outcome& o);
 
+  /// Adds another counter over the same outcome domain (sharded scenario
+  /// results, api/scenario.h ScenarioResult::merge).  Throws
+  /// std::invalid_argument naming the domain on a size mismatch.
+  void merge(const OutcomeCounter& other);
+
+  /// The outcome domain: counts cover leaders in [0, domain()).
+  [[nodiscard]] int domain() const { return n_; }
+
   [[nodiscard]] std::size_t trials() const { return trials_; }
   [[nodiscard]] std::size_t fails() const { return fails_; }
   /// Count for `leader`; 0 for values outside [0, n) (never recorded, so

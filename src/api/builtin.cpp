@@ -48,7 +48,17 @@ namespace {
 
 PhaseParams phase_params(const ScenarioSpec& spec) {
   PhaseParams params = PhaseParams::defaults(spec.n);
-  if (spec.param_l > 0) params.l = spec.param_l;
+  if (spec.param_l != 0) {
+    // Downstream only asserts this (RandomFunction), and asserts vanish
+    // under NDEBUG — gate it here with a field-naming error so fuzzed
+    // specs are rejected cleanly instead of mis-sizing validation spans.
+    if (spec.param_l < 1 || spec.param_l >= spec.n) {
+      throw std::invalid_argument(
+          "ScenarioSpec.param_l must satisfy 1 <= l < n (got l = " +
+          std::to_string(spec.param_l) + ", n = " + std::to_string(spec.n) + ")");
+    }
+    params.l = spec.param_l;
+  }
   return params;
 }
 

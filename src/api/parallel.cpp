@@ -1,13 +1,15 @@
 #include "api/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
-#include "api/scenario.h"
 #include "core/rng.h"
 
 namespace fle {
@@ -19,11 +21,226 @@ std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial) {
   return mix64(base_seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(trial) + 1));
 }
 
+namespace {
+
+/// Per-thread persistent workspace cache (pool workers and submitting
+/// threads alike).  Keyed by (family, n); entries live until the thread
+/// exits.  The cap bounds pathological sweeps over hundreds of distinct
+/// ring sizes — on overflow the whole cache is dropped and rebuilt on
+/// demand, which costs a re-warm, never correctness.
+constexpr std::size_t kWorkspaceCacheCap = 64;
+thread_local std::map<std::pair<int, int>, std::shared_ptr<void>> t_workspace_cache;
+
+/// True on executor pool threads and inside a running submission on the
+/// submitting thread: a nested Executor::run must execute inline.
+thread_local bool t_inside_executor = false;
+
+std::shared_ptr<void> cached_workspace(const WorkspaceKey& key,
+                                       const WorkspaceFactory& make) {
+  auto& slot = t_workspace_cache[{key.family, key.n}];
+  if (!slot) {
+    if (t_workspace_cache.size() > kWorkspaceCacheCap) {
+      t_workspace_cache.clear();
+      return t_workspace_cache[{key.family, key.n}] = make();
+    }
+    slot = make();
+  }
+  return slot;
+}
+
+}  // namespace
+
+struct Executor::Submission {
+  std::vector<Job> jobs;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> jobs_done{0};
+  std::atomic<bool> failed{false};
+  std::size_t max_workers = 1;
+  std::size_t joined = 1;  ///< worker slots handed out (slot 0 = submitter)
+  std::size_t active = 0;  ///< pool workers currently inside execute_jobs
+  /// Per-submission workspaces for zero-key batches: [worker_slot][batch].
+  std::vector<std::vector<std::shared_ptr<void>>> scratch;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+struct Executor::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::mutex submit_mutex;  ///< serializes submissions from different threads
+  std::vector<std::thread> pool;
+  Submission* current = nullptr;
+  std::uint64_t generation = 0;
+  bool stop = false;
+};
+
+Executor::Executor() : impl_(std::make_unique<Impl>()) {}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& thread : impl_->pool) thread.join();
+}
+
+Executor& Executor::shared() {
+  static Executor instance;
+  return instance;
+}
+
+void Executor::ensure_pool(std::size_t workers) {
+  // Bound the pool: beyond this, extra requested workers just share the
+  // queue slots (results are worker-count independent anyway).
+  constexpr std::size_t kPoolCap = 64;
+  workers = std::min(workers, kPoolCap);
+  while (impl_->pool.size() < workers) {
+    impl_->pool.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Executor::execute_jobs(Submission& submission, std::size_t worker_slot) {
+  for (;;) {
+    const std::size_t j = submission.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (j >= submission.jobs.size()) return;
+    const Job& job = submission.jobs[j];
+    // After a failure the queue is drained without executing: counts stay
+    // exact, the error is rethrown by the submitter.
+    if (!submission.failed.load(std::memory_order_relaxed)) {
+      try {
+        Batch& batch = *job.batch;
+        std::shared_ptr<void> keepalive;
+        void* workspace = nullptr;
+        if (batch.make_workspace) {
+          if (batch.workspace.family != 0) {
+            keepalive = cached_workspace(batch.workspace, batch.make_workspace);
+          } else {
+            auto& slot = submission.scratch[worker_slot][job.batch_index];
+            if (!slot) slot = batch.make_workspace();
+            keepalive = slot;
+          }
+          workspace = keepalive.get();
+        }
+        for (std::size_t t = job.begin; t < job.end; ++t) {
+          const std::size_t global = batch.trial_offset + t;
+          (*batch.out)[t] =
+              batch.body(global, scenario_trial_seed(batch.base_seed, global), workspace);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(submission.error_mutex);
+        if (!submission.error) submission.error = std::current_exception();
+        submission.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    submission.jobs_done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Executor::worker_main() {
+  t_inside_executor = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Submission* submission = nullptr;
+    std::size_t slot = 0;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->work_cv.wait(lock, [&] {
+        return impl_->stop || (impl_->current != nullptr && impl_->generation != seen);
+      });
+      if (impl_->stop) return;
+      seen = impl_->generation;
+      submission = impl_->current;
+      if (submission->joined >= submission->max_workers) continue;
+      slot = submission->joined++;
+      ++submission->active;
+    }
+    execute_jobs(*submission, slot);
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mutex);
+      --submission->active;
+    }
+    impl_->done_cv.notify_all();
+  }
+}
+
+void Executor::run(std::span<Batch> batches, int threads, std::size_t chunk) {
+  if (threads < 0) {
+    throw std::invalid_argument("threads must be >= 0 (0 = hardware concurrency); got " +
+                                std::to_string(threads));
+  }
+  std::size_t total_trials = 0;
+  for (const Batch& batch : batches) total_trials += batch.trials;
+  if (total_trials == 0) return;
+
+  std::size_t want = threads > 0 ? static_cast<std::size_t>(threads)
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  want = std::min(want, total_trials);
+
+  Submission submission;
+  submission.max_workers = want;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    Batch& batch = batches[b];
+    if (batch.trials == 0) continue;
+    if (batch.out == nullptr || batch.out->size() != batch.trials) {
+      throw std::invalid_argument(
+          "Executor::Batch.out must be pre-sized to Batch.trials");
+    }
+    // Auto chunking: enough jobs for every worker to get several, capped so
+    // tiny scenarios still split and huge ones don't flood the queue.
+    std::size_t job_size = chunk;
+    if (job_size == 0) {
+      job_size = std::clamp<std::size_t>(batch.trials / (want * 4), 1, 1024);
+    }
+    for (std::size_t begin = 0; begin < batch.trials; begin += job_size) {
+      submission.jobs.push_back(
+          Job{&batch, b, begin, std::min(begin + job_size, batch.trials)});
+    }
+  }
+  if (submission.jobs.empty()) return;
+  want = std::min(want, submission.jobs.size());
+  submission.max_workers = want;
+  submission.scratch.assign(want, std::vector<std::shared_ptr<void>>(batches.size()));
+
+  // Inline paths: single worker, or a body re-entering the executor (a pool
+  // worker or an already-submitting thread) — execute on this thread.
+  if (want <= 1 || t_inside_executor) {
+    execute_jobs(submission, 0);
+    if (submission.error) std::rethrow_exception(submission.error);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    ensure_pool(want - 1);  // the submitter takes slot 0
+    impl_->current = &submission;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  t_inside_executor = true;
+  execute_jobs(submission, 0);
+  t_inside_executor = false;
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] {
+      return submission.jobs_done.load(std::memory_order_acquire) >=
+                 submission.jobs.size() &&
+             submission.active == 0;
+    });
+    impl_->current = nullptr;
+  }
+  if (submission.error) std::rethrow_exception(submission.error);
+}
+
 std::vector<TrialStats> run_trials_parallel(
     std::size_t trials, int threads, std::uint64_t base_seed,
     const std::function<TrialStats(std::size_t, std::uint64_t)>& body) {
   return run_trials_parallel(
-      trials, threads, base_seed, [] { return std::shared_ptr<void>(); },
+      trials, threads, base_seed, WorkspaceFactory{},
       [&body](std::size_t trial, std::uint64_t trial_seed, void* /*workspace*/) {
         return body(trial, trial_seed);
       });
@@ -35,57 +252,14 @@ std::vector<TrialStats> run_trials_parallel(
     const std::function<TrialStats(std::size_t, std::uint64_t, void*)>& body) {
   std::vector<TrialStats> results(trials);
   if (trials == 0) return results;
-
-  if (threads < 0) {
-    throw std::invalid_argument("threads must be >= 0 (0 = hardware concurrency); got " +
-                                std::to_string(threads));
-  }
-  std::size_t workers = threads > 0 ? static_cast<std::size_t>(threads)
-                                    : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, trials);
-
-  if (workers <= 1) {
-    const std::shared_ptr<void> workspace = make_workspace ? make_workspace() : nullptr;
-    for (std::size_t t = 0; t < trials; ++t) {
-      results[t] = body(t, scenario_trial_seed(base_seed, t), workspace.get());
-    }
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  const auto worker = [&] {
-    std::shared_ptr<void> workspace;
-    try {
-      if (make_workspace) workspace = make_workspace();
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      next.store(trials, std::memory_order_relaxed);  // drain the pool
-      return;
-    }
-    for (;;) {
-      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= trials) return;
-      try {
-        results[t] = body(t, scenario_trial_seed(base_seed, t), workspace.get());
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        next.store(trials, std::memory_order_relaxed);  // drain the pool
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  Executor::Batch batch;
+  batch.trials = trials;
+  batch.trial_offset = 0;
+  batch.base_seed = base_seed;
+  batch.make_workspace = make_workspace;
+  batch.body = body;
+  batch.out = &results;
+  Executor::shared().run(std::span<Executor::Batch>(&batch, 1), threads);
   return results;
 }
 

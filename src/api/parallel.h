@@ -1,24 +1,37 @@
 #pragma once
-// Parallel trial batching: fan a scenario's independent trials out over a
-// std::thread worker pool.
+// The trial executor: one persistent worker pool serving every scenario in
+// the process.
 //
-// Determinism contract: trial t's seed depends only on (base seed, t); each
-// worker writes its trial's stats into a slot indexed by t; the caller
-// reduces the slots in trial order.  Outcome counts, message sums and maxes
-// are therefore bit-identical for every worker count — the property the
-// tier-1 determinism test asserts at 1/4/8 threads.
+// PR 1 spawned a fresh std::thread pool per run_scenario call; PR 4 replaces
+// that with a single long-lived Executor.  A submission is a set of Batches
+// (one per scenario); every batch's trials are decomposed into chunk jobs
+// served from ONE shared queue, so a worker that drains a small scenario
+// immediately steals chunks from whichever scenario still has work — the
+// cross-scenario balancing run_sweep (api/sweep.h) is built on.
 //
-// Workspace hook: the workspace-aware overload builds one workspace object
-// per worker thread (engines, strategy arenas, scratch vectors) and passes
-// it to every trial that worker executes, so steady-state trials reuse
-// memory instead of reallocating it (DESIGN.md §4).  Because trials are
+// Determinism contract (unchanged from PR 1, DESIGN.md §3): trial t's seed
+// depends only on (base seed, t) where t is the trial's GLOBAL index —
+// batches carry a trial_offset so a sharded scenario (ScenarioSpec
+// trial_offset/trial_count) seeds exactly like the corresponding window of
+// the monolithic run.  Each trial writes into its own slot of the batch's
+// output vector and the caller reduces slots in trial order, so outcome
+// counts and message stats are bit-identical for every worker count and
+// every chunk size.
+//
+// Workspace caching (DESIGN.md §4/§6): a batch may name a WorkspaceKey —
+// (engine family, ring size).  Every executor thread keeps a persistent
+// cache of workspaces keyed that way, so two scenarios with the same shape
+// reuse one engine + strategy arena per worker even across run_scenario /
+// run_sweep calls.  A zero key means "per-submission workspace" (one fresh
+// object per worker per batch — the PR-2 behaviour, kept for the
+// run_trials_parallel compatibility wrappers).  Because trials are
 // independent and seeds are per-trial, which worker (and hence which
-// workspace) runs a trial cannot affect its result — the determinism
-// contract is untouched.
+// workspace) runs a trial cannot affect its result.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/types.h"
@@ -36,16 +49,87 @@ struct TrialStats {
 /// Builds one per-worker workspace (may return null for stateless bodies).
 using WorkspaceFactory = std::function<std::shared_ptr<void>()>;
 
-/// Runs `body(trial, trial_seed)` for every trial on `threads` workers
-/// (0 = hardware concurrency; clamped to [1, trials]) and returns the stats
-/// indexed by trial.  Worker exceptions are rethrown on the calling thread
-/// after the pool drains.
+/// Cache key for per-thread workspace reuse across scenarios.  `family`
+/// identifies the workspace type (the scenario layer uses 1 = ring,
+/// 2 = graph, 3 = sync); family 0 disables caching (per-submission
+/// workspaces).  Scenarios sharing a key MUST use workspace objects of the
+/// same dynamic type, sized only by `n`.
+struct WorkspaceKey {
+  int family = 0;
+  int n = 0;
+};
+
+/// The persistent trial executor.  One process-wide instance (shared())
+/// serves every run_scenario and run_sweep call; worker threads are spawned
+/// lazily up to the largest parallelism any submission asked for.
+class Executor {
+ public:
+  /// Trial body: global trial index, its seed, this worker's workspace
+  /// (null when the batch has no workspace factory).
+  using TrialBody =
+      std::function<TrialStats(std::size_t trial, std::uint64_t trial_seed, void* workspace)>;
+
+  /// One scenario's trial range, ready to execute.
+  struct Batch {
+    std::size_t trials = 0;        ///< how many trials to run
+    std::size_t trial_offset = 0;  ///< global index of the first trial
+    std::uint64_t base_seed = 0;   ///< seeds: scenario_trial_seed(base_seed, global)
+    WorkspaceKey workspace;        ///< cache key; family 0 = per-submission
+    WorkspaceFactory make_workspace;
+    TrialBody body;
+    std::vector<TrialStats>* out = nullptr;  ///< pre-sized to `trials`; slot = local index
+  };
+
+  Executor();
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// The process-wide executor every scenario runs on.
+  static Executor& shared();
+
+  /// Runs every batch to completion on up to `threads` workers (0 = one per
+  /// hardware core; the calling thread always participates).  Batches are
+  /// split into jobs of `chunk` trials (0 = automatic) served from one
+  /// shared queue.  The first exception thrown by a trial body or workspace
+  /// factory is rethrown here after the queue drains.  Submissions from
+  /// other threads are serialized; a body that re-enters run() executes its
+  /// batches inline on the calling thread (no deadlock, no extra
+  /// parallelism).
+  void run(std::span<Batch> batches, int threads, std::size_t chunk = 0);
+
+ private:
+  struct Job {
+    Batch* batch = nullptr;
+    std::size_t batch_index = 0;
+    std::size_t begin = 0;  ///< local trial indices [begin, end)
+    std::size_t end = 0;
+  };
+  struct Submission;
+
+  void worker_main();
+  static void execute_jobs(Submission& submission, std::size_t worker_slot);
+  void ensure_pool(std::size_t workers);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Seed of trial `trial` under base seed `base_seed` (a splitmix64 stream:
+/// every trial gets an independently mixed 64-bit seed).
+std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial);
+
+/// Compatibility wrapper over Executor::shared(): runs `body(trial,
+/// trial_seed)` for trials [0, trials) on `threads` workers and returns the
+/// stats indexed by trial.
 std::vector<TrialStats> run_trials_parallel(
     std::size_t trials, int threads, std::uint64_t base_seed,
     const std::function<TrialStats(std::size_t trial, std::uint64_t trial_seed)>& body);
 
-/// Workspace-aware variant: `make_workspace()` runs once on each worker
-/// thread before its first trial; the resulting pointer is handed to every
+/// Workspace-aware variant: `make_workspace()` runs once per worker for
+/// this call (uncached — pass a WorkspaceKey through the Executor API for
+/// cross-call caching) and the resulting pointer is handed to every
 /// `body(trial, trial_seed, workspace)` call that worker makes.
 std::vector<TrialStats> run_trials_parallel(
     std::size_t trials, int threads, std::uint64_t base_seed,

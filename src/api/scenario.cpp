@@ -6,6 +6,7 @@
 
 #include "api/parallel.h"
 #include "api/registry.h"
+#include "api/sweep.h"
 #include "attacks/deviation.h"
 #include "sim/arena.h"
 #include "sim/engine.h"
@@ -129,30 +130,134 @@ std::optional<Coalition> build_coalition(const CoalitionSpec& spec, int n) {
   return std::nullopt;
 }
 
+TrialWindow scenario_trial_window(const ScenarioSpec& spec) {
+  if (spec.trial_offset > spec.trials) {
+    throw std::invalid_argument(
+        "ScenarioSpec.trial_offset = " + std::to_string(spec.trial_offset) +
+        " exceeds trials = " + std::to_string(spec.trials));
+  }
+  const std::size_t rest = spec.trials - spec.trial_offset;
+  if (spec.trial_count == 0) return {spec.trial_offset, rest};
+  if (spec.trial_count > rest) {
+    throw std::invalid_argument(
+        "ScenarioSpec.trial_count = " + std::to_string(spec.trial_count) +
+        " overruns trials = " + std::to_string(spec.trials) +
+        " (trial_offset = " + std::to_string(spec.trial_offset) + ")");
+  }
+  return {spec.trial_offset, spec.trial_count};
+}
+
+void ScenarioResult::merge(const ScenarioResult& other) {
+  const auto mismatch = [](const std::string& field, const std::string& a,
+                           const std::string& b) {
+    throw std::invalid_argument("ScenarioResult.merge: " + field + " mismatch ('" + a +
+                                "' vs '" + b + "')");
+  };
+  if (protocol_name != other.protocol_name) {
+    mismatch("protocol_name", protocol_name, other.protocol_name);
+  }
+  if (deviation_name != other.deviation_name) {
+    mismatch("deviation_name", deviation_name, other.deviation_name);
+  }
+  if (outcomes.domain() != other.outcomes.domain()) {
+    mismatch("outcomes domain (n)", std::to_string(outcomes.domain()),
+             std::to_string(other.outcomes.domain()));
+  }
+  if (base_seed != other.base_seed) {
+    mismatch("base_seed", std::to_string(base_seed), std::to_string(other.base_seed));
+  }
+  if (spec_trials != other.spec_trials) {
+    mismatch("spec_trials", std::to_string(spec_trials), std::to_string(other.spec_trials));
+  }
+  if (outcomes_recorded != other.outcomes_recorded) {
+    mismatch("outcomes_recorded", outcomes_recorded ? "true" : "false",
+             other.outcomes_recorded ? "true" : "false");
+  }
+  if (trial_offset + trials != other.trial_offset) {
+    throw std::invalid_argument(
+        "ScenarioResult.merge: shards are not contiguous — this result covers trials [" +
+        std::to_string(trial_offset) + ", " + std::to_string(trial_offset + trials) +
+        ") but other.trial_offset = " + std::to_string(other.trial_offset) +
+        " (merge shards in trial_offset order)");
+  }
+
+  outcomes.merge(other.outcomes);
+  trials += other.trials;
+  total_messages += other.total_messages;
+  max_messages = std::max(max_messages, other.max_messages);
+  total_sync_gap += other.total_sync_gap;
+  max_sync_gap = std::max(max_sync_gap, other.max_sync_gap);
+  max_rounds = std::max(max_rounds, other.max_rounds);
+  wall_seconds += other.wall_seconds;
+  per_trial.insert(per_trial.end(), other.per_trial.begin(), other.per_trial.end());
+  if (trials > 0) {
+    mean_messages = static_cast<double>(total_messages) / static_cast<double>(trials);
+    mean_sync_gap = static_cast<double>(total_sync_gap) / static_cast<double>(trials);
+  }
+}
+
 namespace {
+
+/// One scenario, prepared for the executor: normalized spec copy, trial
+/// window, the trial body (owning its factories via by-value captures plus
+/// a pointer back to this heap-stable job), and the result skeleton with
+/// display names resolved.  run_scenario builds one; run_sweep builds many
+/// and submits them together.
+struct ScenarioJob {
+  ScenarioSpec spec;
+  TrialWindow window;
+  ScenarioResult result{1};
+  std::vector<TrialStats> stats;
+  WorkspaceKey workspace_key{};
+  WorkspaceFactory make_workspace;
+  Executor::TrialBody body;
+};
+
+/// Workspace cache families (api/parallel.h WorkspaceKey); scenarios with
+/// the same (family, n) share cached engines per executor thread.
+constexpr int kRingFamily = 1;
+constexpr int kGraphFamily = 2;
+constexpr int kSyncFamily = 3;
 
 /// Shared reduction: fold the per-trial stats, in trial order, into the
 /// aggregate result.  This is the only place trial data merges, so the
-/// merge order — and thus every double in the result — is independent of
-/// the worker count.
-void reduce_trials(const ScenarioSpec& spec, const std::vector<TrialStats>& stats,
-                   ScenarioResult& result) {
-  double total_messages = 0.0;
-  double total_gap = 0.0;
-  for (const TrialStats& trial : stats) {
+/// merge order — and thus every derived mean — is independent of the worker
+/// count and the chunking.  Sums are exact integer totals so shard results
+/// merge() bit-identically.
+void reduce_job(ScenarioJob& job) {
+  ScenarioResult& result = job.result;
+  for (const TrialStats& trial : job.stats) {
     result.outcomes.record(trial.outcome);
-    total_messages += static_cast<double>(trial.messages);
+    result.total_messages += trial.messages;
     result.max_messages = std::max(result.max_messages, trial.messages);
-    total_gap += static_cast<double>(trial.sync_gap);
+    result.total_sync_gap += trial.sync_gap;
     result.max_sync_gap = std::max(result.max_sync_gap, trial.sync_gap);
     result.max_rounds = std::max(result.max_rounds, trial.rounds);
-    if (spec.record_outcomes) result.per_trial.push_back(trial.outcome);
+    if (job.spec.record_outcomes) result.per_trial.push_back(trial.outcome);
   }
-  result.trials = stats.size();
-  if (!stats.empty()) {
-    result.mean_messages = total_messages / static_cast<double>(stats.size());
-    result.mean_sync_gap = total_gap / static_cast<double>(stats.size());
+  result.trials = job.stats.size();
+  result.trial_offset = job.window.first;
+  result.spec_trials = job.spec.trials;
+  result.base_seed = job.spec.seed;
+  result.outcomes_recorded = job.spec.record_outcomes;
+  if (!job.stats.empty()) {
+    result.mean_messages =
+        static_cast<double>(result.total_messages) / static_cast<double>(result.trials);
+    result.mean_sync_gap =
+        static_cast<double>(result.total_sync_gap) / static_cast<double>(result.trials);
   }
+}
+
+Executor::Batch batch_of(ScenarioJob& job) {
+  Executor::Batch batch;
+  batch.trials = job.window.count;
+  batch.trial_offset = job.window.first;
+  batch.base_seed = job.spec.seed;
+  batch.workspace = job.workspace_key;
+  batch.make_workspace = job.make_workspace;
+  batch.body = job.body;
+  batch.out = &job.stats;
+  return batch;
 }
 
 /// The spec's explicit step limit, or the default slack over the protocol's
@@ -168,11 +273,12 @@ void require_n(const ScenarioSpec& spec, int minimum) {
   }
 }
 
-/// Per-worker workspace (DESIGN.md §4): one engine + one strategy arena per
-/// worker thread, reused across every trial the worker executes.  The
-/// engine is (re)built only when its shape (step/round limit) changes —
-/// i.e. once, on the worker's first trial — and rearmed with reset()
-/// afterwards, so steady-state trials perform no engine allocations.
+/// Per-worker workspace (DESIGN.md §4): one engine + one strategy arena,
+/// cached per executor thread under (family, n) and reused across every
+/// trial — and, since PR 4, across scenarios of the same shape.  The engine
+/// is (re)built only when its shape (step/round limit, scheduler) changes
+/// and rearmed with reset() otherwise, so steady-state trials perform no
+/// engine allocations.
 template <typename Engine, typename Strategy>
 struct EngineWorkspace {
   std::unique_ptr<Engine> engine;
@@ -189,11 +295,108 @@ WorkspaceFactory workspace_factory() {
   return [] { return std::static_pointer_cast<void>(std::make_shared<Workspace>()); };
 }
 
-ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
-                                  const DeviationEntry* deviation_entry) {
+void fill_ring_job(ScenarioJob& job, RingTrialFactories factories) {
+  const ScenarioSpec& spec = job.spec;
   require_n(spec, 2);
-  if (!protocol_entry.make_graph) {
-    throw std::invalid_argument("protocol '" + protocol_entry.name +
+  job.result = ScenarioResult(spec.n);
+  {
+    const auto named = factories.protocol(spec.seed);
+    job.result.protocol_name = named->name();
+    if (factories.deviation) {
+      const auto dev = factories.deviation(*named, spec.seed);
+      if (dev) job.result.deviation_name = dev->name();
+    }
+  }
+
+  const bool threaded = spec.topology == TopologyKind::kThreaded;
+  ScenarioJob* j = &job;
+  job.body = [j, factories = std::move(factories), threaded](
+                 std::size_t /*trial*/, std::uint64_t trial_seed, void* raw) -> TrialStats {
+    const ScenarioSpec& spec = j->spec;
+    const std::shared_ptr<const RingProtocol> protocol = factories.protocol(trial_seed);
+    std::shared_ptr<const Deviation> deviation;
+    if (factories.deviation) deviation = factories.deviation(*protocol, trial_seed);
+    TrialStats stats;
+    if (threaded) {
+      // One OS thread per processor: the runtime's whole point is fresh
+      // threads, so there is nothing to reuse.
+      ThreadedRuntimeOptions options;
+      options.send_limit = scenario_ring_step_limit(spec, *protocol);
+      ThreadedRuntime runtime(spec.n, trial_seed, options);
+      stats.outcome = runtime.run(compose_strategies(*protocol, deviation.get(), spec.n));
+      stats.messages = runtime.stats().total_sent;
+    } else {
+      auto& ws = *static_cast<RingWorkspace*>(raw);
+      const std::uint64_t step_limit = scenario_ring_step_limit(spec, *protocol);
+      // The workspace may come from another scenario with the same (ring, n)
+      // key: rebuild whenever the engine shape differs, not just on first use.
+      if (!ws.engine || ws.engine->step_limit() != step_limit ||
+          ws.engine->scheduler_kind() != spec.scheduler) {
+        EngineOptions options;
+        options.step_limit = step_limit;
+        options.scheduler_kind = spec.scheduler;
+        ws.engine = std::make_unique<RingEngine>(spec.n, trial_seed, std::move(options));
+      } else {
+        ws.engine->reset(trial_seed);
+      }
+      ws.arena.rewind();
+      compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
+      stats.outcome = ws.engine->run(std::span<RingStrategy* const>(ws.profile));
+      stats.messages = ws.engine->stats().total_sent;
+      stats.sync_gap = ws.engine->stats().max_sync_gap;
+    }
+    return stats;
+  };
+  if (!threaded) {
+    job.workspace_key = WorkspaceKey{kRingFamily, spec.n};
+    job.make_workspace = workspace_factory<RingWorkspace>();
+  }
+}
+
+void fill_registry_ring_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
+                            const DeviationEntry* deviation_entry) {
+  if (!protocol_entry->make_ring) {
+    throw std::invalid_argument("protocol '" + protocol_entry->name +
+                                "' does not run on the ring topology");
+  }
+  if (deviation_entry && !deviation_entry->make_ring) {
+    throw std::invalid_argument("deviation '" + deviation_entry->name +
+                                "' does not apply to ring protocols");
+  }
+  ScenarioJob* j = &job;
+  RingTrialFactories factories;
+  if (protocol_entry->per_trial) {
+    factories.protocol = [j, protocol_entry](std::uint64_t trial_seed) {
+      return std::shared_ptr<const RingProtocol>(protocol_entry->make_ring(j->spec, trial_seed));
+    };
+    if (deviation_entry) {
+      factories.deviation = [j, deviation_entry](const RingProtocol& protocol, std::uint64_t) {
+        return std::shared_ptr<const Deviation>(deviation_entry->make_ring(protocol, j->spec));
+      };
+    }
+  } else {
+    const std::shared_ptr<const RingProtocol> shared_protocol =
+        protocol_entry->make_ring(job.spec, job.spec.seed);
+    std::shared_ptr<const Deviation> shared_deviation;
+    if (deviation_entry) {
+      shared_deviation = deviation_entry->make_ring(*shared_protocol, job.spec);
+    }
+    factories.protocol = [shared_protocol](std::uint64_t) { return shared_protocol; };
+    if (deviation_entry) {
+      factories.deviation = [shared_deviation](const RingProtocol&, std::uint64_t) {
+        return shared_deviation;
+      };
+    }
+  }
+  fill_ring_job(job, std::move(factories));
+}
+
+void fill_graph_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
+                    const DeviationEntry* deviation_entry) {
+  const ScenarioSpec& spec = job.spec;
+  require_n(spec, 2);
+  if (!protocol_entry->make_graph) {
+    throw std::invalid_argument("protocol '" + protocol_entry->name +
                                 "' does not run on the graph topology");
   }
   if (deviation_entry && !deviation_entry->make_graph) {
@@ -212,28 +415,44 @@ ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry&
       throw std::invalid_argument("the priority scheduler is ring-only");
   }
 
-  ScenarioResult result(spec.n);
+  job.result = ScenarioResult(spec.n);
   std::shared_ptr<const GraphProtocol> shared_protocol;
   std::shared_ptr<const GraphDeviation> shared_deviation;
-  if (!protocol_entry.per_trial) {
-    shared_protocol = protocol_entry.make_graph(spec, spec.seed);
+  if (!protocol_entry->per_trial) {
+    shared_protocol = protocol_entry->make_graph(spec, spec.seed);
     if (deviation_entry) {
       shared_deviation = deviation_entry->make_graph(*shared_protocol, spec);
     }
   }
 
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed,
+  // Resolve display names before launching workers.
+  {
+    const auto named =
+        shared_protocol ? shared_protocol : protocol_entry->make_graph(spec, spec.seed);
+    job.result.protocol_name = named->name();
+    if (deviation_entry) {
+      const auto dev =
+          shared_deviation ? shared_deviation : deviation_entry->make_graph(*named, spec);
+      job.result.deviation_name = dev->name();
+    }
+  }
+
+  ScenarioJob* j = &job;
+  job.body = [j, protocol_entry, deviation_entry, shared_protocol, shared_deviation,
+              schedule](std::size_t /*trial*/, std::uint64_t trial_seed,
                         void* raw) -> TrialStats {
+    const ScenarioSpec& spec = j->spec;
     auto& ws = *static_cast<GraphWorkspace*>(raw);
     std::shared_ptr<const GraphProtocol> protocol = shared_protocol;
     std::shared_ptr<const GraphDeviation> deviation = shared_deviation;
     if (!protocol) {
-      protocol = protocol_entry.make_graph(spec, trial_seed);
+      protocol = protocol_entry->make_graph(spec, trial_seed);
       if (deviation_entry) deviation = deviation_entry->make_graph(*protocol, spec);
     }
     const std::uint64_t step_limit =
         derived_step_limit(spec.step_limit, protocol->honest_message_bound(spec.n));
-    if (!ws.engine || ws.engine->step_limit() != step_limit) {
+    if (!ws.engine || ws.engine->step_limit() != step_limit ||
+        ws.engine->schedule_kind() != schedule) {
       GraphEngineOptions options;
       options.step_limit = step_limit;
       options.schedule = schedule;
@@ -249,59 +468,58 @@ ScenarioResult run_graph_scenario(const ScenarioSpec& spec, const ProtocolEntry&
     stats.messages = ws.engine->stats().total_sent;
     return stats;
   };
-
-  // Resolve display names before launching workers.
-  {
-    const auto named = shared_protocol ? shared_protocol
-                                       : protocol_entry.make_graph(spec, spec.seed);
-    result.protocol_name = named->name();
-    if (deviation_entry) {
-      const auto dev =
-          shared_deviation ? shared_deviation : deviation_entry->make_graph(*named, spec);
-      result.deviation_name = dev->name();
-    }
-  }
-  reduce_trials(spec,
-                run_trials_parallel(spec.trials, spec.threads, spec.seed,
-                                    workspace_factory<GraphWorkspace>(), body),
-                result);
-  return result;
+  job.workspace_key = WorkspaceKey{kGraphFamily, spec.n};
+  job.make_workspace = workspace_factory<GraphWorkspace>();
 }
 
-ScenarioResult run_sync_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
-                                 const DeviationEntry* deviation_entry) {
+void fill_sync_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
+                   const DeviationEntry* deviation_entry) {
+  const ScenarioSpec& spec = job.spec;
   require_n(spec, 2);
-  if (!protocol_entry.make_sync) {
-    throw std::invalid_argument("protocol '" + protocol_entry.name +
+  if (!protocol_entry->make_sync) {
+    throw std::invalid_argument("protocol '" + protocol_entry->name +
                                 "' does not run on the sync topology");
   }
   if (deviation_entry && !deviation_entry->make_sync) {
     throw std::invalid_argument("deviation '" + deviation_entry->name +
                                 "' does not apply to synchronous protocols");
   }
-
   if (spec.step_limit > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
     throw std::invalid_argument("sync scenarios interpret step_limit as a round limit; " +
                                 std::to_string(spec.step_limit) + " does not fit in int");
   }
 
-  ScenarioResult result(spec.n);
+  job.result = ScenarioResult(spec.n);
   std::shared_ptr<const SyncProtocol> shared_protocol;
   std::shared_ptr<const SyncDeviation> shared_deviation;
-  if (!protocol_entry.per_trial) {
-    shared_protocol = protocol_entry.make_sync(spec, spec.seed);
+  if (!protocol_entry->per_trial) {
+    shared_protocol = protocol_entry->make_sync(spec, spec.seed);
     if (deviation_entry) {
       shared_deviation = deviation_entry->make_sync(*shared_protocol, spec);
     }
   }
 
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed,
-                        void* raw) -> TrialStats {
+  // Resolve display names before launching workers.
+  {
+    const auto named =
+        shared_protocol ? shared_protocol : protocol_entry->make_sync(spec, spec.seed);
+    job.result.protocol_name = named->name();
+    if (deviation_entry) {
+      const auto dev =
+          shared_deviation ? shared_deviation : deviation_entry->make_sync(*named, spec);
+      job.result.deviation_name = dev->name();
+    }
+  }
+
+  ScenarioJob* j = &job;
+  job.body = [j, protocol_entry, deviation_entry, shared_protocol, shared_deviation](
+                 std::size_t /*trial*/, std::uint64_t trial_seed, void* raw) -> TrialStats {
+    const ScenarioSpec& spec = j->spec;
     auto& ws = *static_cast<SyncWorkspace*>(raw);
     std::shared_ptr<const SyncProtocol> protocol = shared_protocol;
     std::shared_ptr<const SyncDeviation> deviation = shared_deviation;
     if (!protocol) {
-      protocol = protocol_entry.make_sync(spec, trial_seed);
+      protocol = protocol_entry->make_sync(spec, trial_seed);
       if (deviation_entry) deviation = deviation_entry->make_sync(*protocol, spec);
     }
     const int round_limit = spec.step_limit != 0 ? static_cast<int>(spec.step_limit)
@@ -321,30 +539,16 @@ ScenarioResult run_sync_scenario(const ScenarioSpec& spec, const ProtocolEntry& 
     stats.rounds = ws.engine->stats().rounds;
     return stats;
   };
-
-  // Resolve display names before launching workers.
-  {
-    const auto named =
-        shared_protocol ? shared_protocol : protocol_entry.make_sync(spec, spec.seed);
-    result.protocol_name = named->name();
-    if (deviation_entry) {
-      const auto dev =
-          shared_deviation ? shared_deviation : deviation_entry->make_sync(*named, spec);
-      result.deviation_name = dev->name();
-    }
-  }
-  reduce_trials(spec,
-                run_trials_parallel(spec.trials, spec.threads, spec.seed,
-                                    workspace_factory<SyncWorkspace>(), body),
-                result);
-  return result;
+  job.workspace_key = WorkspaceKey{kSyncFamily, spec.n};
+  job.make_workspace = workspace_factory<SyncWorkspace>();
 }
 
-ScenarioResult run_turn_scenario(const ScenarioSpec& spec, const ProtocolEntry& protocol_entry,
-                                 const DeviationEntry* deviation_entry) {
+void fill_turn_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
+                   const DeviationEntry* deviation_entry) {
+  const ScenarioSpec& spec = job.spec;
   require_n(spec, 2);
-  if (!protocol_entry.make_game) {
-    throw std::invalid_argument("protocol '" + protocol_entry.name +
+  if (!protocol_entry->make_game) {
+    throw std::invalid_argument("protocol '" + protocol_entry->name +
                                 "' does not run as a turn game (topology '" +
                                 to_string(spec.topology) + "')");
   }
@@ -352,97 +556,33 @@ ScenarioResult run_turn_scenario(const ScenarioSpec& spec, const ProtocolEntry& 
     throw std::invalid_argument("deviation '" + deviation_entry->name +
                                 "' does not apply to turn games");
   }
-  const std::shared_ptr<const TurnGame> game = protocol_entry.make_game(spec);
+  const std::shared_ptr<const TurnGame> game = protocol_entry->make_game(spec);
   std::vector<ProcessorId> coalition;
   if (deviation_entry) coalition = deviation_entry->turn_coalition(*game, spec);
 
   // Turn-game outcomes live in [0, players) for elections and {0, 1} for
   // coin games; size the counter to cover both.
   const int domain = std::max(game->players(), std::max(spec.n, 2));
-  ScenarioResult result(domain);
-  result.protocol_name = protocol_entry.name;
-  if (deviation_entry) result.deviation_name = deviation_entry->name;
+  job.result = ScenarioResult(domain);
+  job.result.protocol_name = protocol_entry->name;
+  if (deviation_entry) job.result.deviation_name = deviation_entry->name;
 
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed) -> TrialStats {
+  ScenarioJob* j = &job;
+  job.body = [j, deviation_entry, game, coalition = std::move(coalition)](
+                 std::size_t /*trial*/, std::uint64_t trial_seed,
+                 void* /*workspace*/) -> TrialStats {
     Xoshiro256 rng(trial_seed);
     std::unique_ptr<TurnAdversary> adversary;
-    if (deviation_entry) adversary = deviation_entry->make_turn(*game, spec);
+    if (deviation_entry) adversary = deviation_entry->make_turn(*game, j->spec);
     TrialStats stats;
-    stats.outcome =
-        Outcome::elected(play_turn_game(*game, coalition, adversary.get(), rng));
+    stats.outcome = Outcome::elected(play_turn_game(*game, coalition, adversary.get(), rng));
     return stats;
   };
-  reduce_trials(spec, run_trials_parallel(spec.trials, spec.threads, spec.seed, body), result);
-  return result;
 }
 
-}  // namespace
-
-std::uint64_t scenario_ring_step_limit(const ScenarioSpec& spec,
-                                       const RingProtocol& protocol) {
-  return derived_step_limit(spec.step_limit, protocol.honest_message_bound(spec.n));
-}
-
-ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
-                                 const RingTrialFactories& factories) {
-  require_n(spec, 2);
-  const auto start = std::chrono::steady_clock::now();
-  ScenarioResult result(spec.n);
-  {
-    const auto named = factories.protocol(spec.seed);
-    result.protocol_name = named->name();
-    if (factories.deviation) {
-      const auto dev = factories.deviation(*named, spec.seed);
-      if (dev) result.deviation_name = dev->name();
-    }
-  }
-
-  const bool threaded = spec.topology == TopologyKind::kThreaded;
-  const auto body = [&](std::size_t /*trial*/, std::uint64_t trial_seed,
-                        void* raw) -> TrialStats {
-    const std::shared_ptr<const RingProtocol> protocol = factories.protocol(trial_seed);
-    std::shared_ptr<const Deviation> deviation;
-    if (factories.deviation) deviation = factories.deviation(*protocol, trial_seed);
-    TrialStats stats;
-    if (threaded) {
-      // One OS thread per processor: the runtime's whole point is fresh
-      // threads, so there is nothing to reuse.
-      ThreadedRuntimeOptions options;
-      options.send_limit = scenario_ring_step_limit(spec, *protocol);
-      ThreadedRuntime runtime(spec.n, trial_seed, options);
-      stats.outcome = runtime.run(compose_strategies(*protocol, deviation.get(), spec.n));
-      stats.messages = runtime.stats().total_sent;
-    } else {
-      auto& ws = *static_cast<RingWorkspace*>(raw);
-      const std::uint64_t step_limit = scenario_ring_step_limit(spec, *protocol);
-      if (!ws.engine || ws.engine->step_limit() != step_limit) {
-        EngineOptions options;
-        options.step_limit = step_limit;
-        options.scheduler_kind = spec.scheduler;
-        ws.engine = std::make_unique<RingEngine>(spec.n, trial_seed, std::move(options));
-      } else {
-        ws.engine->reset(trial_seed);
-      }
-      ws.arena.rewind();
-      compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
-      stats.outcome = ws.engine->run(std::span<RingStrategy* const>(ws.profile));
-      stats.messages = ws.engine->stats().total_sent;
-      stats.sync_gap = ws.engine->stats().max_sync_gap;
-    }
-    return stats;
-  };
-  const WorkspaceFactory make_workspace =
-      threaded ? WorkspaceFactory([] { return std::shared_ptr<void>(); })
-               : workspace_factory<RingWorkspace>();
-  reduce_trials(spec,
-                run_trials_parallel(spec.trials, spec.threads, spec.seed, make_workspace, body),
-                result);
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return result;
-}
-
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+/// Validates the spec's plain fields, resolves the registries, and builds
+/// the executor-ready job.  Shared by run_scenario and run_sweep.
+std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec) {
   if (spec.protocol.empty()) {
     throw std::invalid_argument("ScenarioSpec.protocol must name a registered protocol");
   }
@@ -455,66 +595,96 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   }
   build_coalition(spec.coalition, spec.n);  // throws with the offending field
   register_builtin_scenarios();
-  const ProtocolEntry& protocol_entry = ProtocolRegistry::instance().at(spec.protocol);
+  const ProtocolEntry* protocol_entry = &ProtocolRegistry::instance().at(spec.protocol);
   const DeviationEntry* deviation_entry =
       spec.deviation.empty() ? nullptr : &DeviationRegistry::instance().at(spec.deviation);
 
-  const auto start = std::chrono::steady_clock::now();
-  ScenarioResult result(1);
+  auto job = std::make_unique<ScenarioJob>();
+  job->spec = spec;
+  job->window = scenario_trial_window(spec);
+  job->stats.resize(job->window.count);
   switch (spec.topology) {
     case TopologyKind::kRing:
-    case TopologyKind::kThreaded: {
-      if (!protocol_entry.make_ring) {
-        throw std::invalid_argument("protocol '" + protocol_entry.name +
-                                    "' does not run on the ring topology");
-      }
-      if (deviation_entry && !deviation_entry->make_ring) {
-        throw std::invalid_argument("deviation '" + deviation_entry->name +
-                                    "' does not apply to ring protocols");
-      }
-      RingTrialFactories factories;
-      if (protocol_entry.per_trial) {
-        factories.protocol = [&](std::uint64_t trial_seed) {
-          return std::shared_ptr<const RingProtocol>(
-              protocol_entry.make_ring(spec, trial_seed));
-        };
-        if (deviation_entry) {
-          factories.deviation = [&](const RingProtocol& protocol, std::uint64_t) {
-            return std::shared_ptr<const Deviation>(
-                deviation_entry->make_ring(protocol, spec));
-          };
-        }
-      } else {
-        const std::shared_ptr<const RingProtocol> shared_protocol =
-            protocol_entry.make_ring(spec, spec.seed);
-        std::shared_ptr<const Deviation> shared_deviation;
-        if (deviation_entry) {
-          shared_deviation = deviation_entry->make_ring(*shared_protocol, spec);
-        }
-        factories.protocol = [shared_protocol](std::uint64_t) { return shared_protocol; };
-        if (deviation_entry) {
-          factories.deviation = [shared_deviation](const RingProtocol&, std::uint64_t) {
-            return shared_deviation;
-          };
-        }
-      }
-      result = run_ring_scenario(spec, factories);
+    case TopologyKind::kThreaded:
+      fill_registry_ring_job(*job, protocol_entry, deviation_entry);
       break;
-    }
     case TopologyKind::kGraph:
-      result = run_graph_scenario(spec, protocol_entry, deviation_entry);
+      fill_graph_job(*job, protocol_entry, deviation_entry);
       break;
     case TopologyKind::kSync:
-      result = run_sync_scenario(spec, protocol_entry, deviation_entry);
+      fill_sync_job(*job, protocol_entry, deviation_entry);
       break;
     case TopologyKind::kTree:
     case TopologyKind::kFullInfo:
-      result = run_turn_scenario(spec, protocol_entry, deviation_entry);
+      fill_turn_job(*job, protocol_entry, deviation_entry);
       break;
   }
-  result.wall_seconds =
+  return job;
+}
+
+}  // namespace
+
+std::uint64_t scenario_ring_step_limit(const ScenarioSpec& spec,
+                                       const RingProtocol& protocol) {
+  return derived_step_limit(spec.step_limit, protocol.honest_message_bound(spec.n));
+}
+
+ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
+                                 const RingTrialFactories& factories) {
+  const auto start = std::chrono::steady_clock::now();
+  ScenarioJob job;
+  job.spec = spec;
+  job.window = scenario_trial_window(spec);
+  job.stats.resize(job.window.count);
+  fill_ring_job(job, factories);
+  Executor::Batch batch = batch_of(job);
+  Executor::shared().run(std::span<Executor::Batch>(&batch, 1), spec.threads);
+  reduce_job(job);
+  job.result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return result;
+  return std::move(job.result);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::unique_ptr<ScenarioJob> job = prepare_scenario_job(spec);
+  Executor::Batch batch = batch_of(*job);
+  Executor::shared().run(std::span<Executor::Batch>(&batch, 1), spec.threads);
+  reduce_job(*job);
+  job->result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return std::move(job->result);
+}
+
+std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<ScenarioJob>> jobs;
+  jobs.reserve(sweep.scenarios.size());
+  for (std::size_t i = 0; i < sweep.scenarios.size(); ++i) {
+    try {
+      jobs.push_back(prepare_scenario_job(sweep.scenarios[i]));
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("SweepSpec.scenarios[" + std::to_string(i) +
+                                  "]: " + error.what());
+    }
+  }
+  std::vector<Executor::Batch> batches;
+  batches.reserve(jobs.size());
+  for (const auto& job : jobs) batches.push_back(batch_of(*job));
+  Executor::shared().run(std::span<Executor::Batch>(batches), sweep.threads, sweep.chunk);
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::vector<ScenarioResult> results;
+  results.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    reduce_job(*job);
+    // Scenarios share the submission, so each result reports the sweep's
+    // wall time (per-scenario attribution is meaningless under stealing).
+    job->result.wall_seconds = elapsed;
+    results.push_back(std::move(job->result));
+  }
+  return results;
 }
 
 }  // namespace fle

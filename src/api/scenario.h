@@ -8,12 +8,19 @@
 // through the string-keyed registries (api/registry.h), dispatches to the
 // right runtime (RingEngine, GraphEngine, SyncEngine, ThreadedRuntime, or
 // the full-information/game-tree turn-game player), fans the trials out
-// over a worker pool (api/parallel.h) with per-trial seeds derived from the
-// base seed, and aggregates everything into one ScenarioResult.
+// over the persistent executor (api/parallel.h) with per-trial seeds
+// derived from the base seed, and aggregates everything into one
+// ScenarioResult.  run_sweep (api/sweep.h) does the same for many scenarios
+// at once on one shared work queue.
 //
 // Determinism contract: the same ScenarioSpec yields identical outcome
 // counts for every worker-thread count — per-trial seeds depend only on
-// (base seed, trial index) and results are reduced in trial order.
+// (base seed, global trial index) and results are reduced in trial order.
+//
+// Sharding: trial_offset/trial_count select a window of the scenario's
+// trials, so one scenario can be split across processes; the per-shard
+// ScenarioResults merge() back into exactly the monolithic result (seeds
+// are position-independent, aggregates are kept as exact integer totals).
 //
 // See DESIGN.md for the layer diagram and a quickstart.
 
@@ -87,7 +94,13 @@ struct ScenarioSpec {
 
   SchedulerKind scheduler = SchedulerKind::kRoundRobin;
   int n = 0;                  ///< processors (players for turn games)
-  std::size_t trials = 100;
+  std::size_t trials = 100;   ///< the scenario's FULL logical trial count
+  /// Sharding window: this process runs global trials
+  /// [trial_offset, trial_offset + trial_count), where trial_count = 0
+  /// means "through trial `trials`".  Seeds depend on the global index
+  /// only, so shard results merge() into exactly the monolithic run.
+  std::size_t trial_offset = 0;
+  std::size_t trial_count = 0;
   std::uint64_t seed = 1;     ///< base seed; per-trial seeds derive from it
   std::uint64_t step_limit = 0;  ///< deliveries (rounds for kSync); 0 = derive
   int threads = 1;            ///< trial-batching workers; 0 = hardware count
@@ -103,22 +116,49 @@ struct ScenarioSpec {
   std::uint64_t tamper_send = 0;  ///< which send the tamper deviations corrupt
 };
 
+/// The window of global trial indices a spec executes.
+struct TrialWindow {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+/// Resolves spec.trial_offset/trial_count against spec.trials.  Throws
+/// std::invalid_argument naming the offending field when the window does
+/// not fit inside [0, spec.trials].
+TrialWindow scenario_trial_window(const ScenarioSpec& spec);
+
 /// Unified aggregate over all runtimes.  Fields that a runtime does not
 /// produce stay at their zero value (e.g. sync gaps outside the ring).
+/// Sums are kept as exact integer totals (the means derive from them), so
+/// shard results merge() bit-identically into the monolithic run.
 struct ScenarioResult {
   OutcomeCounter outcomes;
-  std::size_t trials = 0;
-  double mean_messages = 0.0;      ///< mean total sends per execution
+  std::size_t trials = 0;          ///< trials aggregated here (window size)
+  std::size_t trial_offset = 0;    ///< global index of the first trial here
+  std::size_t spec_trials = 0;     ///< the scenario's full trial count
+  std::uint64_t base_seed = 0;     ///< the spec's base seed (merge guard)
+  std::uint64_t total_messages = 0;  ///< exact sum of sends over trials
+  double mean_messages = 0.0;      ///< total_messages / trials
   std::uint64_t max_messages = 0;
+  std::uint64_t total_sync_gap = 0;  ///< exact sum (ring engine only)
   std::uint64_t max_sync_gap = 0;  ///< max over trials (ring engine only)
   double mean_sync_gap = 0.0;
   int max_rounds = 0;              ///< kSync: max rounds over trials
   double wall_seconds = 0.0;       ///< wall time of the whole batch
   std::string protocol_name;       ///< resolved display name
   std::string deviation_name;      ///< resolved display name (empty = honest)
-  std::vector<Outcome> per_trial;  ///< filled when spec.record_outcomes
+  bool outcomes_recorded = false;  ///< spec.record_outcomes
+  std::vector<Outcome> per_trial;  ///< filled when outcomes_recorded
 
   explicit ScenarioResult(int n) : outcomes(n) {}
+
+  /// Folds `other` — the NEXT contiguous shard of the same scenario — into
+  /// this result: outcome counts and integer totals add, maxima combine,
+  /// means are recomputed, per-trial outcomes concatenate.  Shards must be
+  /// merged in trial_offset order.  Throws std::invalid_argument naming the
+  /// mismatched field (protocol_name, deviation_name, outcome domain,
+  /// base_seed, spec_trials, trial_offset contiguity, outcomes_recorded).
+  void merge(const ScenarioResult& other);
 };
 
 /// Seed of trial `trial` under base seed `base_seed` (a splitmix64 stream:
@@ -131,9 +171,10 @@ std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial);
 /// replay executions under exactly the production limit.
 std::uint64_t scenario_ring_step_limit(const ScenarioSpec& spec, const RingProtocol& protocol);
 
-/// The single entrypoint: resolves the spec against the registries, runs
-/// `spec.trials` executions on `spec.threads` workers, and aggregates.
-/// Throws std::invalid_argument on unknown names or inconsistent specs.
+/// The single-scenario entrypoint: resolves the spec against the
+/// registries, runs its trial window on `spec.threads` workers of the
+/// shared executor, and aggregates.  Throws std::invalid_argument on
+/// unknown names or inconsistent specs.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// Low-level ring/threaded trial batch used by run_scenario and by the

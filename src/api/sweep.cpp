@@ -1,0 +1,55 @@
+#include "api/sweep.h"
+
+namespace fle {
+
+namespace {
+
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, const T& base_value) {
+  if (!axis.empty()) return axis;
+  return {base_value};
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> SweepGrid::expand() const {
+  const std::vector<std::string> protocol_axis = axis_or(protocols, base.protocol);
+  const std::vector<std::string> deviation_axis = axis_or(deviations, base.deviation);
+  const std::vector<int> n_axis = axis_or(n_values, base.n);
+  const std::vector<int> k_axis = axis_or(coalition_ks, base.coalition.k);
+  const std::vector<std::uint64_t> seed_axis = axis_or(seeds, base.seed);
+
+  std::vector<ScenarioSpec> out;
+  out.reserve(protocol_axis.size() * deviation_axis.size() * n_axis.size() *
+              k_axis.size() * seed_axis.size());
+  for (const std::string& protocol : protocol_axis) {
+    for (const std::string& deviation : deviation_axis) {
+      for (const int n : n_axis) {
+        for (const int k : k_axis) {
+          for (const std::uint64_t seed : seed_axis) {
+            ScenarioSpec spec = base;
+            spec.protocol = protocol;
+            spec.deviation = deviation;
+            spec.n = n;
+            spec.coalition.k = k;
+            spec.seed = seed;
+            out.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepSpec SweepGrid::as_sweep(int threads) const {
+  SweepSpec sweep;
+  sweep.scenarios = expand();
+  sweep.threads = threads;
+  return sweep;
+}
+
+// run_sweep lives in scenario.cpp next to the per-topology job builders it
+// shares with run_scenario.
+
+}  // namespace fle

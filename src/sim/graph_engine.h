@@ -107,6 +107,9 @@ class GraphEngine {
   }
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
+  /// The link-schedule family; workspace caches check it before reusing an
+  /// engine across scenarios (api/scenario.cpp).
+  [[nodiscard]] LinkScheduleKind schedule_kind() const { return options_.schedule; }
 
  private:
   class Context;

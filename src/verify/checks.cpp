@@ -92,8 +92,15 @@ CheckResult check_resilience(const ScenarioSpec& spec, const ResilienceOptions& 
     throw std::invalid_argument("check_resilience baseline must be honest");
   }
 
-  const ScenarioResult deviated = run_scenario(spec);
-  const ScenarioResult baseline = run_scenario(honest);
+  return check_resilience(spec, run_scenario(spec), run_scenario(honest), options);
+}
+
+CheckResult check_resilience(const ScenarioSpec& spec, const ScenarioResult& deviated,
+                             const ScenarioResult& baseline,
+                             const ResilienceOptions& options) {
+  if (spec.deviation.empty()) {
+    throw std::invalid_argument("check_resilience needs a deviated spec");
+  }
   const std::string subject = check_subject(spec);
 
   // Indicator utility for the coalition's target (Lemma 2.4): the gain is
@@ -119,6 +126,74 @@ CheckResult check_resilience(const ScenarioSpec& spec, const ResilienceOptions& 
   return gain_lower <= options.epsilon
              ? CheckResult::pass("resilience", subject, detail)
              : CheckResult::fail("resilience", subject, detail);
+}
+
+CheckResult check_attack_floor(const ScenarioSpec& spec, const AttackFloorOptions& options) {
+  if (spec.deviation.empty()) {
+    throw std::invalid_argument("check_attack_floor needs a deviated spec");
+  }
+  if (options.min_target_rate <= 0.0 || options.min_target_rate > 1.0) {
+    throw std::invalid_argument("AttackFloorOptions.min_target_rate must be in (0, 1]");
+  }
+  return check_attack_floor(spec, run_scenario(spec), options);
+}
+
+CheckResult check_attack_floor(const ScenarioSpec& spec, const ScenarioResult& result,
+                               const AttackFloorOptions& options) {
+  if (spec.deviation.empty()) {
+    throw std::invalid_argument("check_attack_floor needs a deviated spec");
+  }
+  if (options.min_target_rate <= 0.0 || options.min_target_rate > 1.0) {
+    throw std::invalid_argument("AttackFloorOptions.min_target_rate must be in (0, 1]");
+  }
+  const std::string subject = check_subject(spec);
+  const std::size_t hits = result.outcomes.count(spec.target);
+  const double rate =
+      result.trials > 0
+          ? static_cast<double>(hits) / static_cast<double>(result.trials)
+          : 0.0;
+
+  if (options.min_target_rate >= 1.0) {
+    // The theorem is exact (Pr[target] = 1): any miss disproves it.
+    const std::string detail = "Pr[target] = " + format_double(rate) + " (" +
+                               std::to_string(hits) + "/" + std::to_string(result.trials) +
+                               "), theorem floor = 1";
+    return hits == result.trials && result.trials > 0
+               ? CheckResult::pass("attack-floor", subject, detail)
+               : CheckResult::fail("attack-floor", subject, detail);
+  }
+
+  // Fractional floor: fail only when the Wilson interval puts the true
+  // rate confidently below it (z = 3.2905, two-sided significance 0.001,
+  // matching every other gate here).
+  const Interval ci = wilson_interval(hits, result.trials, 3.2905);
+  const std::string detail = "Pr[target] = " + format_double(rate) + " (wilson [" +
+                             format_double(ci.lo) + ", " + format_double(ci.hi) +
+                             "]), theorem floor = " + format_double(options.min_target_rate);
+  return ci.hi >= options.min_target_rate
+             ? CheckResult::pass("attack-floor", subject, detail)
+             : CheckResult::fail("attack-floor", subject, detail);
+}
+
+CheckResult check_sync_gap(const ScenarioSpec& spec, const SyncGapOptions& options) {
+  if (options.max_gap == 0) {
+    throw std::invalid_argument("SyncGapOptions.max_gap must be non-zero");
+  }
+  return check_sync_gap(spec, run_scenario(spec), options);
+}
+
+CheckResult check_sync_gap(const ScenarioSpec& spec, const ScenarioResult& result,
+                           const SyncGapOptions& options) {
+  if (options.max_gap == 0) {
+    throw std::invalid_argument("SyncGapOptions.max_gap must be non-zero");
+  }
+  const std::string subject = check_subject(spec);
+  const std::string detail = "max sync gap " + std::to_string(result.max_sync_gap) +
+                             " vs envelope " + std::to_string(options.max_gap) +
+                             " (mean " + format_double(result.mean_sync_gap) + ")";
+  return result.max_sync_gap <= options.max_gap
+             ? CheckResult::pass("sync-gap", subject, detail)
+             : CheckResult::fail("sync-gap", subject, detail);
 }
 
 CheckResult check_termination_and_messages(const ScenarioSpec& spec,

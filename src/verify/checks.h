@@ -23,6 +23,20 @@
 //  * check_termination_and_messages — honest executions terminate (fail
 //    rate within an envelope, normally exactly 0) and stay within the
 //    protocol's message-complexity envelope (max over trials <= bound).
+//
+//  * check_attack_floor — the converse of check_resilience: where the paper
+//    PROVES an attack reaches a gain (Lemma 4.1 / Theorem 4.2 rushing,
+//    Theorem 4.3 cubic, Appendix E.4 phase-sum, Claim B.1 — all with
+//    Pr[leader = target] = 1 under their preconditions), the
+//    implementation must reach it too.  A floor of 1 is gated exactly
+//    (every trial must elect the target); fractional floors are gated by
+//    the Wilson upper bound (fail only when the attack is confidently
+//    below the floor at significance 0.001).
+//
+//  * check_sync_gap — Lemmas D.3/D.5 envelopes on the synchronization gap:
+//    honest A-LEADuni stays lock-step, the cubic attack desynchronizes by
+//    at most ~2k², and phase-validated protocols pin everyone to O(k) even
+//    under deviation.  Gates ScenarioResult::max_sync_gap (ring engine).
 
 #include <cstdint>
 #include <optional>
@@ -66,6 +80,11 @@ struct ResilienceOptions {
 /// Runs the deviated spec and its honest baseline and bounds the coalition's
 /// utility gain for `spec.target` (indicator utility, Lemma 2.4).
 CheckResult check_resilience(const ScenarioSpec& spec, const ResilienceOptions& options = {});
+/// Same verdict on already-run deviated/baseline results (the suite runs
+/// both executions inside one sweep, or merges them from shard files).
+CheckResult check_resilience(const ScenarioSpec& spec, const ScenarioResult& deviated,
+                             const ScenarioResult& baseline,
+                             const ResilienceOptions& options = {});
 
 struct TerminationOptions {
   double max_fail_rate = 0.0;
@@ -81,6 +100,33 @@ CheckResult check_termination_and_messages(const ScenarioSpec& spec,
 CheckResult check_termination_and_messages(const ScenarioSpec& spec,
                                            const ScenarioResult& result,
                                            const TerminationOptions& options);
+
+struct AttackFloorOptions {
+  /// The theorem's guaranteed Pr[leader = target].  1.0 (the common case:
+  /// Lemma 4.1, Theorem 4.3, Appendix E.4, Claim B.1 are all exact) is
+  /// gated exactly; floors below 1 are gated with a Wilson upper bound at
+  /// two-sided significance 0.001.
+  double min_target_rate = 1.0;
+};
+
+/// Runs the deviated spec and asserts the attack reaches its proven gain
+/// for `spec.target`.  Throws std::invalid_argument on an honest spec.
+CheckResult check_attack_floor(const ScenarioSpec& spec, const AttackFloorOptions& options = {});
+/// Same verdict on an already-run result.
+CheckResult check_attack_floor(const ScenarioSpec& spec, const ScenarioResult& result,
+                               const AttackFloorOptions& options = {});
+
+struct SyncGapOptions {
+  /// Envelope on max_sync_gap over all trials (Lemmas D.3/D.5).  Must be
+  /// non-zero; 0 trips validation rather than silently passing everything.
+  std::uint64_t max_gap = 0;
+};
+
+/// Runs `spec` on the ring and gates the synchronization gap.
+CheckResult check_sync_gap(const ScenarioSpec& spec, const SyncGapOptions& options);
+/// Same verdict on an already-run result.
+CheckResult check_sync_gap(const ScenarioSpec& spec, const ScenarioResult& result,
+                           const SyncGapOptions& options);
 
 /// Formats a spec as the canonical "topology/protocol[+deviation] n=…"
 /// subject line used by every checker.

@@ -7,6 +7,7 @@
 #include <typeinfo>
 
 #include "api/registry.h"
+#include "verify/checks.h"
 
 namespace fle::verify {
 
@@ -105,6 +106,20 @@ ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options) {
   // Bound the phase attacks' preimage search so a fuzzed spec can't stall.
   spec.search_cap = 64ull * static_cast<std::uint64_t>(spec.n);
   if (rng.below(8) == 0) spec.step_limit = 1 + rng.below(64);  // starves some runs: FAILs
+  // Protocol knobs: keyed-PRF family member and the PhaseAsyncLead l
+  // override, sampled past its valid range [1, n) so the rejection path is
+  // part of the surface.
+  if (rng.below(4) == 0) spec.protocol_key = rng.next();
+  if (rng.below(4) == 0) {
+    spec.param_l = static_cast<int>(rng.below(static_cast<std::uint64_t>(spec.n) + 2));
+  }
+  // Sharding windows: valid sub-windows must run (and merge bit-identically
+  // — tests/test_sweep.cpp), windows past `trials` must be cleanly
+  // rejected naming trial_offset/trial_count.
+  if (rng.below(4) == 0) {
+    spec.trial_offset = rng.below(spec.trials + 2);
+    if (rng.below(2) == 0) spec.trial_count = rng.below(spec.trials + 2);
+  }
 
   if (spec.topology == TopologyKind::kRing || spec.topology == TopologyKind::kThreaded) {
     static const std::vector<SchedulerKind> kSchedulers = {
@@ -171,22 +186,25 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
   }
 
   const ScenarioResult& r = *first;
-  if (r.trials != spec.trials) {
-    return "result.trials = " + std::to_string(r.trials) + " != spec.trials = " +
-           std::to_string(spec.trials);
+  // run_scenario accepted the spec, so the window resolves (a bad window
+  // throws the same invalid_argument run_scenario does).
+  const std::size_t window = scenario_trial_window(spec).count;
+  if (r.trials != window) {
+    return "result.trials = " + std::to_string(r.trials) + " != trial window = " +
+           std::to_string(window);
   }
-  if (r.outcomes.trials() != spec.trials) {
+  if (r.outcomes.trials() != window) {
     return "outcome counter saw " + std::to_string(r.outcomes.trials()) + " of " +
-           std::to_string(spec.trials) + " trials";
+           std::to_string(window) + " trials";
   }
   const auto dist = r.outcomes.distribution();
   std::size_t counted = r.outcomes.fails();
   for (int j = 0; j < dist.n(); ++j) counted += r.outcomes.count(static_cast<Value>(j));
-  if (counted != spec.trials) {
+  if (counted != window) {
     return "histogram mass " + std::to_string(counted) + " != trials " +
-           std::to_string(spec.trials) + " (outcome leaked past the counter)";
+           std::to_string(window) + " (outcome leaked past the counter)";
   }
-  const std::size_t expected_recorded = spec.record_outcomes ? spec.trials : 0;
+  const std::size_t expected_recorded = spec.record_outcomes ? window : 0;
   if (r.per_trial.size() != expected_recorded) {
     return "per_trial holds " + std::to_string(r.per_trial.size()) + " outcomes, expected " +
            std::to_string(expected_recorded);
@@ -200,7 +218,7 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
     }
   }
 
-  if (check_determinism && spec.trials >= 2) {
+  if (check_determinism && window >= 2) {
     ScenarioSpec rerun = spec;
     rerun.threads = spec.threads == 3 ? 2 : 3;
     std::optional<ScenarioResult> second;
@@ -293,6 +311,19 @@ ScenarioSpec shrink_spec(ScenarioSpec spec, const FuzzOracle& oracle) {
         return c;
       },
       [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.trial_offset == 0 && s.trial_count == 0) return std::nullopt;
+        ScenarioSpec c = s;
+        c.trial_offset = 0;
+        c.trial_count = 0;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.param_l == 0) return std::nullopt;
+        ScenarioSpec c = s;
+        c.param_l = 0;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
         if (s.target == 0) return std::nullopt;
         ScenarioSpec c = s;
         c.target = 0;
@@ -318,6 +349,61 @@ ScenarioSpec shrink_spec(ScenarioSpec spec, const FuzzOracle& oracle) {
   return spec;
 }
 
+namespace {
+
+/// The honest outcome support of each builtin (mirrors the suite's honest
+/// cases): baton is uniform over non-starters, coin games over {0, 1},
+/// everything else over [0, n).  Unknown (user-registered) protocols get
+/// the full-range default.
+UniformSupport smoke_support(const std::string& protocol, int n) {
+  if (protocol == "baton") return {1, static_cast<Value>(n)};
+  if (protocol == "majority-coin" || protocol == "alternating-xor" ||
+      protocol == "xor-leaf-edge") {
+    return {0, 2};
+  }
+  return {0, static_cast<Value>(n)};
+}
+
+/// Distribution regression smoke: re-run the spec's honest profile at a
+/// cheap trial budget and chi-square it against uniform over the
+/// protocol's support.  nullopt = clean (or not smokable).
+std::optional<FuzzFailure> run_uniformity_smoke(ScenarioSpec spec,
+                                                const FuzzOptions& options) {
+  spec.deviation.clear();
+  spec.coalition = CoalitionSpec{};
+  spec.record_outcomes = false;
+  spec.step_limit = 0;  // a starved step limit FAILs honestly, by design
+  spec.trial_offset = 0;
+  spec.trial_count = 0;
+  spec.trials = options.smoke_trials;
+  spec.threads = 1;
+  // The threaded runtime is differentially pinned to the ring; smoke the
+  // cheap engine.
+  if (spec.topology == TopologyKind::kThreaded) spec.topology = TopologyKind::kRing;
+  // Majority tie-breaks to 0 on even n (a documented bias, not a bug).
+  if (spec.protocol == "majority-coin") spec.n |= 1;
+
+  const UniformSupport support = smoke_support(spec.protocol, spec.n);
+  const Value hi = support.hi != 0 ? support.hi : static_cast<Value>(spec.n);
+  if (hi <= support.lo + 1) return std::nullopt;  // degenerate support (n = 2 baton)
+
+  UniformityOptions uniformity;
+  uniformity.support = support;
+  CheckResult verdict = [&] {
+    try {
+      return check_uniformity(spec, uniformity);
+    } catch (const std::invalid_argument&) {
+      // The honest projection of a fuzzed spec may be rejected (e.g. an
+      // out-of-range param_l): nothing to smoke.
+      return CheckResult::pass("uniformity", "", "");
+    }
+  }();
+  if (verdict.passed) return std::nullopt;
+  return FuzzFailure{spec, "uniformity smoke: " + verdict.detail, format_spec(spec)};
+}
+
+}  // namespace
+
 FuzzReport run_fuzz_campaign(const FuzzOptions& options) {
   FuzzReport report;
   Xoshiro256 rng(mix64(options.seed ^ 0xf0225eedull));
@@ -331,7 +417,20 @@ FuzzReport run_fuzz_campaign(const FuzzOptions& options) {
         run_spec_invariants(spec, options.check_determinism, &rejected);
     ++report.executed;
     if (rejected) ++report.rejected;
-    if (!failure) continue;
+    if (!failure) {
+      // Run-level invariants held: every smoke_every-th executed spec also
+      // gets the distribution smoke (crashes are not the only regression
+      // class; a skewed histogram with intact accounting passes everything
+      // above).  Distribution failures are reported unshrunk — shrinking
+      // trades away the statistical power that exposed them.
+      if (!rejected && options.smoke_every != 0 && options.smoke_trials != 0 &&
+          i % options.smoke_every == 0) {
+        if (auto smoke = run_uniformity_smoke(spec, options)) {
+          report.failures.push_back(*std::move(smoke));
+        }
+      }
+      continue;
+    }
 
     const ScenarioSpec shrunk = shrink_spec(spec, oracle);
     const std::optional<std::string> reason =
@@ -386,6 +485,8 @@ std::string format_spec(const ScenarioSpec& spec) {
     out << " scheduler=" << to_string(spec.scheduler);
   }
   out << " n=" << spec.n << " trials=" << spec.trials << " seed=" << spec.seed;
+  if (spec.trial_offset != defaults.trial_offset) out << " trial_offset=" << spec.trial_offset;
+  if (spec.trial_count != defaults.trial_count) out << " trial_count=" << spec.trial_count;
   if (spec.step_limit != defaults.step_limit) out << " step_limit=" << spec.step_limit;
   if (spec.threads != defaults.threads) out << " threads=" << spec.threads;
   if (spec.record_outcomes != defaults.record_outcomes) {
@@ -448,6 +549,10 @@ ScenarioSpec parse_spec(const std::string& line) {
       spec.trials = std::stoull(value);
     } else if (key == "seed") {
       spec.seed = std::stoull(value);
+    } else if (key == "trial_offset") {
+      spec.trial_offset = std::stoull(value);
+    } else if (key == "trial_count") {
+      spec.trial_count = std::stoull(value);
     } else if (key == "step_limit") {
       spec.step_limit = std::stoull(value);
     } else if (key == "threads") {

@@ -3,13 +3,14 @@
 // of the conformance subsystem).
 //
 // generate_spec samples a random (topology, protocol, deviation, coalition
-// placement, n, scheduler, …) combination from the live registries — most
-// combinations are valid, some are deliberately inconsistent; the invariant
-// under test is that run_scenario either rejects a spec cleanly
-// (std::invalid_argument) or executes it and keeps the Scenario API's
-// contracts:
-//   * result.trials == spec.trials, and every trial lands in the outcome
-//     counter (fails + sum of leader counts == trials);
+// placement, n, scheduler, protocol_key, param_l, trial window, …)
+// combination from the live registries — most combinations are valid, some
+// are deliberately inconsistent (out-of-range param_l, windows past the
+// trial count); the invariant under test is that run_scenario either
+// rejects a spec cleanly (std::invalid_argument) or executes it and keeps
+// the Scenario API's contracts:
+//   * result.trials == the spec's trial window size, and every trial lands
+//     in the outcome counter (fails + sum of leader counts == trials);
 //   * per_trial is filled iff record_outcomes, with one entry per trial;
 //   * the determinism contract: a rerun with a different worker count
 //     produces bit-identical outcome counts and message stats;
@@ -37,6 +38,12 @@ struct FuzzOptions {
   std::size_t trials_per_spec = 6;  ///< kept tiny: coverage over depth
   int max_n = 24;                   ///< ring sizes sampled from [2, max_n]
   bool check_determinism = true;    ///< rerun each passing spec at 3 workers
+  /// Uniformity smoke (distribution regressions, not just crashes): every
+  /// smoke_every-th executed spec is re-run as its honest profile at
+  /// smoke_trials trials and chi-square-gated against uniform over the
+  /// protocol's known support.  0 disables the smoke.
+  std::size_t smoke_every = 8;
+  std::size_t smoke_trials = 200;
 };
 
 /// One minimized failure.

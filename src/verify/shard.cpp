@@ -1,0 +1,420 @@
+#include "verify/shard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fle::verify {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_double(double value) {
+  char buffer[64];
+  // %.17g round-trips every IEEE double, keeping merged means bit-exact.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void append_kv(std::string& out, const char* key, const std::string& quoted_or_raw,
+               bool quoted) {
+  if (out.size() > 1) out += ", ";
+  out += '"';
+  out += key;
+  out += "\": ";
+  if (quoted) {
+    out += '"';
+    out += escape(quoted_or_raw);
+    out += '"';
+  } else {
+    out += quoted_or_raw;
+  }
+}
+
+/// Minimal flat-JSON scanner for the rows this module itself writes: one
+/// object, string / number / bool values, no nesting.
+class FlatJson {
+ public:
+  explicit FlatJson(const std::string& text) {
+    std::size_t i = 0;
+    skip_ws(text, i);
+    expect(text, i, '{');
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == '}') return;
+    for (;;) {
+      skip_ws(text, i);
+      const std::string key = parse_string(text, i);
+      skip_ws(text, i);
+      expect(text, i, ':');
+      skip_ws(text, i);
+      values_[key] = parse_value(text, i);
+      skip_ws(text, i);
+      if (i >= text.size()) throw bad("unterminated object");
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      expect(text, i, '}');
+      break;
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  [[nodiscard]] const std::string& str(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) throw bad("missing key '" + key + "'");
+    return it->second;
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const {
+    try {
+      return std::stoull(str(key));
+    } catch (const std::logic_error&) {
+      throw bad("key '" + key + "' is not an integer");
+    }
+  }
+
+  [[nodiscard]] double dbl(const std::string& key) const {
+    try {
+      return std::stod(str(key));
+    } catch (const std::logic_error&) {
+      throw bad("key '" + key + "' is not a number");
+    }
+  }
+
+  [[nodiscard]] bool boolean(const std::string& key) const { return str(key) == "true"; }
+
+ private:
+  static std::invalid_argument bad(const std::string& what) {
+    return std::invalid_argument("shard row: " + what);
+  }
+
+  static void skip_ws(const std::string& t, std::size_t& i) {
+    while (i < t.size() && (t[i] == ' ' || t[i] == '\t' || t[i] == '\r')) ++i;
+  }
+
+  static void expect(const std::string& t, std::size_t& i, char c) {
+    if (i >= t.size() || t[i] != c) {
+      throw bad(std::string("expected '") + c + "' at offset " + std::to_string(i));
+    }
+    ++i;
+  }
+
+  static std::string parse_string(const std::string& t, std::size_t& i) {
+    expect(t, i, '"');
+    std::string out;
+    while (i < t.size() && t[i] != '"') {
+      if (t[i] == '\\') {
+        ++i;
+        if (i >= t.size()) throw bad("dangling escape");
+        switch (t[i]) {
+          case 'n':
+            out += '\n';
+            break;
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          default:
+            throw bad(std::string("unknown escape '\\") + t[i] + "'");
+        }
+        ++i;
+      } else {
+        out += t[i++];
+      }
+    }
+    expect(t, i, '"');
+    return out;
+  }
+
+  static std::string parse_value(const std::string& t, std::size_t& i) {
+    if (i >= t.size()) throw bad("missing value");
+    if (t[i] == '"') return parse_string(t, i);
+    std::string out;
+    while (i < t.size() && t[i] != ',' && t[i] != '}' && t[i] != ' ') out += t[i++];
+    if (out.empty()) throw bad("empty value");
+    return out;
+  }
+
+  std::map<std::string, std::string> values_;
+};
+
+std::string counts_list(const OutcomeCounter& outcomes) {
+  std::string out;
+  for (int j = 0; j < outcomes.domain(); ++j) {
+    if (j != 0) out += ',';
+    out += std::to_string(outcomes.count(static_cast<Value>(j)));
+  }
+  return out;
+}
+
+std::string per_trial_list(const std::vector<Outcome>& per_trial) {
+  std::string out;
+  for (std::size_t t = 0; t < per_trial.size(); ++t) {
+    if (t != 0) out += ',';
+    out += per_trial[t].failed() ? std::string("F") : std::to_string(per_trial[t].leader());
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpec shard_key_spec(ScenarioSpec spec) {
+  spec.trial_offset = 0;
+  spec.trial_count = 0;
+  spec.threads = ScenarioSpec{}.threads;
+  return spec;
+}
+
+std::string format_shard_row(const ShardRow& row) {
+  if (!row.passthrough.empty()) {
+    std::string out = "{";
+    append_kv(out, "case", std::to_string(row.case_index), false);
+    append_kv(out, "passthrough", row.passthrough, true);
+    out += '}';
+    return out;
+  }
+  const ScenarioResult& r = row.result;
+  std::string out = "{";
+  append_kv(out, "case", std::to_string(row.case_index), false);
+  if (!row.label.empty()) append_kv(out, "label", row.label, true);
+  append_kv(out, "spec", row.spec_line, true);
+  append_kv(out, "n", std::to_string(r.outcomes.domain()), false);
+  append_kv(out, "trials", std::to_string(r.trials), false);
+  append_kv(out, "trial_offset", std::to_string(r.trial_offset), false);
+  append_kv(out, "spec_trials", std::to_string(r.spec_trials), false);
+  append_kv(out, "base_seed", std::to_string(r.base_seed), false);
+  append_kv(out, "fails", std::to_string(r.outcomes.fails()), false);
+  append_kv(out, "counts", counts_list(r.outcomes), true);
+  append_kv(out, "total_messages", std::to_string(r.total_messages), false);
+  append_kv(out, "max_messages", std::to_string(r.max_messages), false);
+  append_kv(out, "total_sync_gap", std::to_string(r.total_sync_gap), false);
+  append_kv(out, "max_sync_gap", std::to_string(r.max_sync_gap), false);
+  append_kv(out, "max_rounds", std::to_string(r.max_rounds), false);
+  append_kv(out, "wall_seconds", render_double(r.wall_seconds), false);
+  append_kv(out, "protocol_name", r.protocol_name, true);
+  append_kv(out, "deviation_name", r.deviation_name, true);
+  append_kv(out, "recorded", r.outcomes_recorded ? "true" : "false", false);
+  if (r.outcomes_recorded) append_kv(out, "per_trial", per_trial_list(r.per_trial), true);
+  if (row.allocations != 0) {
+    append_kv(out, "allocations", std::to_string(row.allocations), false);
+  }
+  out += '}';
+  return out;
+}
+
+ShardRow parse_shard_row(const std::string& line) {
+  const FlatJson json(line);
+  ShardRow row;
+  row.case_index = json.u64("case");
+  if (json.has("passthrough")) {
+    row.passthrough = json.str("passthrough");
+    if (row.passthrough.empty()) {
+      throw std::invalid_argument("shard row: empty passthrough payload");
+    }
+    return row;
+  }
+  if (json.has("label")) row.label = json.str("label");
+  row.spec_line = json.str("spec");
+  if (json.has("allocations")) row.allocations = json.u64("allocations");
+
+  const int n = static_cast<int>(json.u64("n"));
+  if (n <= 0) throw std::invalid_argument("shard row: n must be positive");
+  ScenarioResult result(n);
+  result.trials = json.u64("trials");
+  // The counter is rebuilt by replaying `trials` records below; bound the
+  // work so a corrupt row fails the parse instead of stalling the merge.
+  constexpr std::uint64_t kMaxRowTrials = 100'000'000;
+  if (result.trials > kMaxRowTrials) {
+    throw std::invalid_argument("shard row: trials = " + std::to_string(result.trials) +
+                                " exceeds the per-row limit " +
+                                std::to_string(kMaxRowTrials));
+  }
+  result.trial_offset = json.u64("trial_offset");
+  result.spec_trials = json.u64("spec_trials");
+  result.base_seed = json.u64("base_seed");
+  result.total_messages = json.u64("total_messages");
+  result.max_messages = json.u64("max_messages");
+  result.total_sync_gap = json.u64("total_sync_gap");
+  result.max_sync_gap = json.u64("max_sync_gap");
+  result.max_rounds = static_cast<int>(json.u64("max_rounds"));
+  result.wall_seconds = json.dbl("wall_seconds");
+  result.protocol_name = json.str("protocol_name");
+  result.deviation_name = json.str("deviation_name");
+  result.outcomes_recorded = json.boolean("recorded");
+
+  // Parse and cross-check the outcome histogram BEFORE replaying it into
+  // the counter: a corrupt cell must fail the parse, not spin the replay
+  // loop for up to 2^64 iterations.
+  const std::string& counts = json.str("counts");
+  std::vector<std::uint64_t> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  std::size_t start = 0;
+  std::size_t counted = 0;
+  while (start <= counts.size()) {
+    const std::size_t comma = counts.find(',', start);
+    const std::string cell =
+        counts.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (cell.empty()) throw std::invalid_argument("shard row: empty counts cell");
+    std::uint64_t count = 0;
+    try {
+      count = std::stoull(cell);
+    } catch (const std::logic_error&) {
+      throw std::invalid_argument("shard row: counts cell '" + cell + "' is not a number");
+    }
+    counted += count;  // each cell is bounded below, so the sum cannot wrap
+    if (count > result.trials || counted > result.trials) {
+      throw std::invalid_argument("shard row: counts exceed trials = " +
+                                  std::to_string(result.trials));
+    }
+    if (cells.size() >= static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("shard row: more counts cells than n = " +
+                                  std::to_string(n));
+    }
+    cells.push_back(count);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (cells.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("shard row: counts has " + std::to_string(cells.size()) +
+                                " cells, expected n = " + std::to_string(n));
+  }
+  const std::uint64_t fails = json.u64("fails");
+  if (counted + fails != result.trials) {
+    throw std::invalid_argument("shard row: counts (" + std::to_string(counted) +
+                                ") + fails (" + std::to_string(fails) + ") != trials (" +
+                                std::to_string(result.trials) + ")");
+  }
+  for (Value leader = 0; leader < static_cast<Value>(n); ++leader) {
+    for (std::uint64_t c = 0; c < cells[static_cast<std::size_t>(leader)]; ++c) {
+      result.outcomes.record(Outcome::elected(leader));
+    }
+  }
+  for (std::uint64_t f = 0; f < fails; ++f) result.outcomes.record(Outcome::fail());
+
+  if (result.outcomes_recorded) {
+    const std::string& list = json.str("per_trial");
+    std::size_t pos = 0;
+    while (pos <= list.size() && !list.empty()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string cell =
+          list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (cell == "F") {
+        result.per_trial.push_back(Outcome::fail());
+      } else {
+        try {
+          result.per_trial.push_back(Outcome::elected(std::stoull(cell)));
+        } catch (const std::logic_error&) {
+          throw std::invalid_argument("shard row: per_trial cell '" + cell +
+                                      "' is not a leader id");
+        }
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (result.per_trial.size() != result.trials) {
+      throw std::invalid_argument("shard row: per_trial holds " +
+                                  std::to_string(result.per_trial.size()) +
+                                  " outcomes, trials = " + std::to_string(result.trials));
+    }
+  }
+
+  result.mean_messages =
+      result.trials > 0
+          ? static_cast<double>(result.total_messages) / static_cast<double>(result.trials)
+          : 0.0;
+  result.mean_sync_gap =
+      result.trials > 0
+          ? static_cast<double>(result.total_sync_gap) / static_cast<double>(result.trials)
+          : 0.0;
+  row.result = std::move(result);
+  return row;
+}
+
+std::map<std::size_t, MergedCase> merge_shard_rows(std::vector<ShardRow> rows) {
+  std::map<std::size_t, std::vector<ShardRow>> by_case;
+  for (ShardRow& row : rows) by_case[row.case_index].push_back(std::move(row));
+
+  std::map<std::size_t, MergedCase> merged;
+  for (auto& [index, group] : by_case) {
+    // Passthrough rows (display rows that are not scenario runs) are
+    // carried by one shard only; mixing them with mergeable rows under one
+    // case index means the shards disagree about what the case is.
+    if (!group.front().passthrough.empty()) {
+      for (const ShardRow& row : group) {
+        if (row.passthrough != group.front().passthrough) {
+          throw std::invalid_argument("shard case " + std::to_string(index) +
+                                      ": conflicting passthrough rows");
+        }
+      }
+      MergedCase out;
+      out.passthrough = group.front().passthrough;
+      merged.emplace(index, std::move(out));
+      continue;
+    }
+    std::sort(group.begin(), group.end(), [](const ShardRow& a, const ShardRow& b) {
+      return a.result.trial_offset < b.result.trial_offset;
+    });
+    for (const ShardRow& row : group) {
+      if (!row.passthrough.empty()) {
+        throw std::invalid_argument("shard case " + std::to_string(index) +
+                                    ": mixes passthrough and scenario rows");
+      }
+      if (row.spec_line != group.front().spec_line) {
+        throw std::invalid_argument("shard case " + std::to_string(index) +
+                                    ": rows name different specs ('" +
+                                    group.front().spec_line + "' vs '" + row.spec_line +
+                                    "')");
+      }
+      if (row.label != group.front().label) {
+        throw std::invalid_argument("shard case " + std::to_string(index) +
+                                    ": rows carry different labels ('" +
+                                    group.front().label + "' vs '" + row.label + "')");
+      }
+    }
+    MergedCase out;
+    out.spec_line = group.front().spec_line;
+    out.label = group.front().label;
+    out.result = group.front().result;
+    out.allocations = group.front().allocations;
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      out.result.merge(group[i].result);  // enforces compatibility + contiguity
+      out.allocations += group[i].allocations;
+    }
+    if (out.result.trial_offset != 0 || out.result.trials != out.result.spec_trials) {
+      throw std::invalid_argument(
+          "shard case " + std::to_string(index) + ": shards cover trials [" +
+          std::to_string(out.result.trial_offset) + ", " +
+          std::to_string(out.result.trial_offset + out.result.trials) +
+          ") but the scenario has " + std::to_string(out.result.spec_trials) +
+          " trials — a shard file is missing");
+    }
+    merged.emplace(index, std::move(out));
+  }
+  return merged;
+}
+
+}  // namespace fle::verify

@@ -1,12 +1,19 @@
 #include "verify/suite.h"
 
+#include <algorithm>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "api/registry.h"
+#include "api/sweep.h"
+#include "attacks/coalition.h"
 #include "verify/checks.h"
 #include "verify/differential.h"
 #include "verify/fuzzer.h"
+#include "verify/shard.h"
 
 namespace fle::verify {
 
@@ -55,7 +62,6 @@ ScenarioSpec honest_spec(const HonestCase& c, const SuiteOptions& options) {
   spec.rounds = c.rounds;
   spec.trials = options.trials;
   spec.seed = options.seed;
-  spec.threads = options.threads;
   return spec;
 }
 
@@ -140,9 +146,242 @@ std::vector<ResilienceCase> resilience_cases(const SuiteOptions& options) {
   for (auto& c : cases) {
     c.spec.trials = options.trials;
     c.spec.seed = options.seed;
-    c.spec.threads = options.threads;
   }
   return cases;
+}
+
+/// The attack side of the theorems (ROADMAP "attack-effectiveness lower
+/// bounds"): under each attack's preconditions the paper PROVES
+/// Pr[leader = target] = 1; the implementation must reach that floor.
+/// These attacks are deterministic given the preconditions, so a moderate
+/// trial budget suffices even at full suite budget.
+struct AttackFloorCase {
+  const char* what;
+  ScenarioSpec spec;
+};
+
+std::vector<AttackFloorCase> attack_floor_cases(const SuiteOptions& options) {
+  const std::size_t trials = std::min<std::size_t>(options.trials, 2000);
+  std::vector<AttackFloorCase> cases;
+  {
+    // Claim B.1: one adversary fully controls Basic-LEAD.
+    ScenarioSpec spec;
+    spec.protocol = "basic-lead";
+    spec.deviation = "basic-single";
+    spec.coalition = CoalitionSpec::consecutive(1, 3);
+    spec.n = 16;
+    spec.target = 6;
+    cases.push_back({"Claim B.1 (k = 1 controls Basic-LEAD)", spec});
+  }
+  {
+    // Lemma 4.1 / Theorem 4.2: k = sqrt(n) equally spaced adversaries
+    // control A-LEADuni (precondition l_j <= k-1 holds at n = k^2).
+    ScenarioSpec spec;
+    spec.protocol = "alead-uni";
+    spec.deviation = "rushing";
+    spec.coalition = CoalitionSpec::equally_spaced(8);
+    spec.n = 64;
+    spec.target = 63;
+    cases.push_back({"Lemma 4.1 / Thm 4.2 (rushing, k = sqrt(n))", spec});
+  }
+  {
+    // Theorem 4.3: the cubic attack controls A-LEADuni with
+    // k = 2 n^(1/3) staircase-placed adversaries.
+    ScenarioSpec spec;
+    spec.protocol = "alead-uni";
+    spec.deviation = "cubic";
+    spec.coalition = CoalitionSpec::cubic_staircase(Coalition::cubic_min_k(64));
+    spec.n = 64;
+    spec.target = 32;
+    cases.push_back({"Theorem 4.3 (cubic, k = 2 n^(1/3))", spec});
+  }
+  {
+    // Appendix E.4: the phase-sum covert channel controls PhaseSumLead
+    // with a constant k = 4 coalition at any ring size >= 20.
+    ScenarioSpec spec;
+    spec.protocol = "phase-sum-lead";
+    spec.deviation = "phase-sum";  // canonical k = 4 placement
+    spec.n = 32;
+    spec.target = 29;
+    cases.push_back({"Appendix E.4 (phase-sum, k = 4)", spec});
+  }
+  for (auto& c : cases) {
+    c.spec.trials = trials;
+    c.spec.seed = options.seed;
+  }
+  return cases;
+}
+
+/// Lemma D.3/D.5 synchronization-gap envelopes: honest A-LEADuni runs
+/// lock-step, the cubic attack desynchronizes by Theta(k^2) and no more,
+/// and phase validation pins everyone to O(k) even under attack.  The gap
+/// is a per-trial maximum, so a handful of trials suffices.
+struct SyncGapCase {
+  const char* what;
+  ScenarioSpec spec;
+  std::uint64_t max_gap;
+};
+
+std::vector<SyncGapCase> sync_gap_cases(const SuiteOptions& options) {
+  const std::size_t trials = std::min<std::size_t>(options.trials, 8);
+  std::vector<SyncGapCase> cases;
+  {
+    ScenarioSpec spec;
+    spec.protocol = "alead-uni";
+    spec.n = 100;
+    cases.push_back({"Lemma D.3 (honest lock-step)", spec, 2});
+  }
+  {
+    const int n = 216;
+    const int k = Coalition::cubic_min_k(n);
+    ScenarioSpec spec;
+    spec.protocol = "alead-uni";
+    spec.deviation = "cubic";
+    spec.coalition = CoalitionSpec::cubic_staircase(k);
+    spec.target = static_cast<Value>(n / 2);
+    spec.n = n;
+    cases.push_back({"Lemma D.3 (cubic desync <= 2k^2)", spec,
+                     2ull * static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(k)});
+  }
+  {
+    const int n = 100;
+    const int k = 5;
+    ScenarioSpec spec;
+    spec.protocol = "phase-async-lead";
+    spec.deviation = "phase-rushing";
+    spec.coalition = CoalitionSpec::equally_spaced(k);
+    spec.target = 25;
+    spec.search_cap = 64ull * static_cast<std::uint64_t>(n);
+    spec.n = n;
+    cases.push_back({"Lemma D.5 (PhaseAsyncLead O(k))", spec,
+                     4ull * static_cast<std::uint64_t>(k)});
+  }
+  {
+    // Phase validation holds the E.4 attack to O(k) too: the covert
+    // channel defeats the sum output despite intact synchronization.
+    ScenarioSpec spec;
+    spec.protocol = "phase-sum-lead";
+    spec.deviation = "phase-sum";  // canonical k = 4 placement
+    spec.n = 64;
+    spec.target = 61;
+    cases.push_back({"Lemma D.5 (phase-sum attack O(k))", spec, 16});
+  }
+  for (auto& c : cases) {
+    c.spec.trials = trials;
+    c.spec.seed = options.seed;
+  }
+  return cases;
+}
+
+/// One gate of the statistical plan, referencing plan spec indices.
+struct StatGate {
+  enum class Kind { kUniformity, kTermination, kResilience, kAttackFloor, kSyncGap };
+  Kind kind;
+  std::size_t spec_index = 0;
+  std::size_t baseline_index = 0;  ///< resilience only
+  UniformSupport support{};
+  std::uint64_t max_messages = 0;
+  double epsilon = 0.0;
+  std::uint64_t max_gap = 0;
+  std::string suffix;  ///< theorem pointer appended to the subject line
+};
+
+/// The statistical section as data: every scenario execution it needs (run
+/// as one sweep, or sharded by trial window) plus the gates over the
+/// results.
+struct StatisticalPlan {
+  std::vector<ScenarioSpec> specs;
+  std::vector<StatGate> gates;
+};
+
+StatisticalPlan build_statistical_plan(const SuiteOptions& options) {
+  StatisticalPlan plan;
+  const auto add_spec = [&plan](const ScenarioSpec& spec) {
+    plan.specs.push_back(spec);
+    return plan.specs.size() - 1;
+  };
+
+  for (const HonestCase& c : honest_cases()) {
+    const ScenarioSpec spec = honest_spec(c, options);
+    const std::size_t index = add_spec(spec);
+    StatGate uniformity;
+    uniformity.kind = StatGate::Kind::kUniformity;
+    uniformity.spec_index = index;
+    uniformity.support = c.support;
+    plan.gates.push_back(uniformity);
+    StatGate termination;
+    termination.kind = StatGate::Kind::kTermination;
+    termination.spec_index = index;
+    termination.max_messages = message_envelope(spec);
+    plan.gates.push_back(termination);
+  }
+  for (const ResilienceCase& c : resilience_cases(options)) {
+    ScenarioSpec baseline = c.spec;
+    baseline.deviation.clear();
+    baseline.coalition = CoalitionSpec{};
+    StatGate gate;
+    gate.kind = StatGate::Kind::kResilience;
+    gate.spec_index = add_spec(c.spec);
+    gate.baseline_index = add_spec(baseline);
+    gate.epsilon = c.epsilon;
+    gate.suffix = std::string(" [") + c.what + "]";
+    plan.gates.push_back(gate);
+  }
+  for (const AttackFloorCase& c : attack_floor_cases(options)) {
+    StatGate gate;
+    gate.kind = StatGate::Kind::kAttackFloor;
+    gate.spec_index = add_spec(c.spec);
+    gate.suffix = std::string(" [") + c.what + "]";
+    plan.gates.push_back(gate);
+  }
+  for (const SyncGapCase& c : sync_gap_cases(options)) {
+    StatGate gate;
+    gate.kind = StatGate::Kind::kSyncGap;
+    gate.spec_index = add_spec(c.spec);
+    gate.max_gap = c.max_gap;
+    gate.suffix = std::string(" [") + c.what + "]";
+    plan.gates.push_back(gate);
+  }
+  return plan;
+}
+
+CheckReport evaluate_plan(const StatisticalPlan& plan,
+                          const std::vector<ScenarioResult>& results) {
+  CheckReport report;
+  for (const StatGate& gate : plan.gates) {
+    const ScenarioSpec& spec = plan.specs[gate.spec_index];
+    const ScenarioResult& result = results[gate.spec_index];
+    CheckResult check = [&] {
+      switch (gate.kind) {
+        case StatGate::Kind::kUniformity: {
+          UniformityOptions options;
+          options.support = gate.support;
+          return check_uniformity(spec, result, options);
+        }
+        case StatGate::Kind::kTermination: {
+          TerminationOptions options;
+          options.max_messages = gate.max_messages;
+          return check_termination_and_messages(spec, result, options);
+        }
+        case StatGate::Kind::kResilience: {
+          ResilienceOptions options;
+          options.epsilon = gate.epsilon;
+          return check_resilience(spec, result, results[gate.baseline_index], options);
+        }
+        case StatGate::Kind::kAttackFloor:
+          return check_attack_floor(spec, result, AttackFloorOptions{});
+        case StatGate::Kind::kSyncGap: {
+          SyncGapOptions options;
+          options.max_gap = gate.max_gap;
+          return check_sync_gap(spec, result, options);
+        }
+      }
+      throw std::logic_error("unreachable gate kind");
+    }();
+    check.subject += gate.suffix;
+    report.add(std::move(check));
+  }
+  return report;
 }
 
 /// Ring protocols exercised by the exact differential checks.
@@ -164,30 +403,89 @@ SuiteOptions quick_suite_options() {
 }
 
 CheckReport run_statistical_checks(const SuiteOptions& options) {
-  CheckReport report;
-  for (const HonestCase& c : honest_cases()) {
-    const ScenarioSpec spec = honest_spec(c, options);
-    // One execution per honest case; both checkers read the same result.
-    const ScenarioResult result = run_scenario(spec);
-    UniformityOptions uniformity;
-    uniformity.support = c.support;
-    report.add(check_uniformity(spec, result, uniformity));
-    TerminationOptions termination;
-    termination.max_messages = message_envelope(spec);
-    report.add(check_termination_and_messages(spec, result, termination));
+  StatisticalPlan plan = build_statistical_plan(options);
+  // One sweep for the whole section: the n=8 coin checks and the 10k-trial
+  // ring histograms share one executor submission, so small scenarios no
+  // longer strand workers while a big one drains.
+  SweepSpec sweep;
+  sweep.scenarios = plan.specs;
+  sweep.threads = options.threads;
+  return evaluate_plan(plan, run_sweep(sweep));
+}
+
+void run_statistical_shard(const SuiteOptions& options, const ShardSlice& slice,
+                           std::ostream& out) {
+  if (slice.count < 1 || slice.index < 0 || slice.index >= slice.count) {
+    throw std::invalid_argument("ShardSlice must satisfy 0 <= index < count (got " +
+                                std::to_string(slice.index) + "/" +
+                                std::to_string(slice.count) + ")");
   }
-  for (const ResilienceCase& c : resilience_cases(options)) {
-    ResilienceOptions resilience;
-    resilience.epsilon = c.epsilon;
-    CheckResult result = check_resilience(c.spec, resilience);
-    result.subject += std::string(" [") + c.what + "]";
-    report.add(std::move(result));
+  const StatisticalPlan plan = build_statistical_plan(options);
+  SweepSpec sweep;
+  sweep.threads = options.threads;
+  std::vector<std::size_t> case_of_scenario;
+  for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+    ScenarioSpec spec = plan.specs[i];
+    const std::size_t m = static_cast<std::size_t>(slice.count);
+    const std::size_t lo = spec.trials * static_cast<std::size_t>(slice.index) / m;
+    const std::size_t hi = spec.trials * (static_cast<std::size_t>(slice.index) + 1) / m;
+    if (hi == lo) continue;  // fewer trials than shards: nothing for this slice
+    spec.trial_offset = lo;
+    spec.trial_count = hi - lo;
+    sweep.add(std::move(spec));
+    case_of_scenario.push_back(i);
   }
-  return report;
+  const std::vector<ScenarioResult> results = run_sweep(sweep);
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    ShardRow row;
+    row.case_index = case_of_scenario[s];
+    row.spec_line = format_spec(shard_key_spec(plan.specs[case_of_scenario[s]]));
+    row.result = results[s];
+    out << format_shard_row(row) << '\n';
+  }
+}
+
+CheckReport merge_statistical_shards(const SuiteOptions& options,
+                                     const std::vector<std::string>& rows) {
+  const StatisticalPlan plan = build_statistical_plan(options);
+  std::vector<ShardRow> parsed;
+  parsed.reserve(rows.size());
+  for (const std::string& line : rows) {
+    if (line.empty()) continue;
+    parsed.push_back(parse_shard_row(line));
+  }
+  std::map<std::size_t, MergedCase> merged = merge_shard_rows(std::move(parsed));
+
+  std::vector<ScenarioResult> results;
+  results.reserve(plan.specs.size());
+  for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+    const auto it = merged.find(i);
+    if (it == merged.end()) {
+      throw std::invalid_argument("no shard rows for statistical case #" +
+                                  std::to_string(i) + " (" +
+                                  format_spec(shard_key_spec(plan.specs[i])) +
+                                  ") — were all shard files passed to --merge?");
+    }
+    const std::string expected = format_spec(shard_key_spec(plan.specs[i]));
+    if (it->second.spec_line != expected) {
+      throw std::invalid_argument(
+          "statistical case #" + std::to_string(i) + " spec mismatch: shard rows say '" +
+          it->second.spec_line + "' but these options describe '" + expected +
+          "' — shards and merge must run with identical budgets/seed");
+    }
+    results.push_back(std::move(it->second.result));
+  }
+  return evaluate_plan(plan, results);
 }
 
 CheckReport run_differential_checks(const SuiteOptions& options) {
-  CheckReport report;
+  return run_differential_checks(options, ShardSlice{});
+}
+
+CheckReport run_differential_checks(const SuiteOptions& options, const ShardSlice& slice) {
+  // The differential cases as thunks, so a shard can run its round-robin
+  // share (case i runs on shard i mod count).
+  std::vector<std::function<CheckResult()>> cases;
   for (const char* protocol : ring_protocols()) {
     ScenarioSpec spec;
     spec.protocol = protocol;
@@ -195,9 +493,11 @@ CheckReport run_differential_checks(const SuiteOptions& options) {
     spec.trials = options.exact_trials;
     spec.seed = options.seed + 17;
     spec.threads = options.threads;
-    report.add(check_differential_exact(spec, TopologyKind::kRing, TopologyKind::kThreaded));
-    report.add(check_scheduler_invariance(spec));
-    report.add(check_trace_determinism(spec, /*traced_trials=*/8));
+    cases.emplace_back([spec] {
+      return check_differential_exact(spec, TopologyKind::kRing, TopologyKind::kThreaded);
+    });
+    cases.emplace_back([spec] { return check_scheduler_invariance(spec); });
+    cases.emplace_back([spec] { return check_trace_determinism(spec, /*traced_trials=*/8); });
   }
   {
     // Deviated executions must agree across runtimes too (the adversary
@@ -211,8 +511,10 @@ CheckReport run_differential_checks(const SuiteOptions& options) {
     spec.trials = options.exact_trials;
     spec.seed = options.seed + 23;
     spec.threads = options.threads;
-    report.add(check_differential_exact(spec, TopologyKind::kRing, TopologyKind::kThreaded));
-    report.add(check_trace_determinism(spec, /*traced_trials=*/8));
+    cases.emplace_back([spec] {
+      return check_differential_exact(spec, TopologyKind::kRing, TopologyKind::kThreaded);
+    });
+    cases.emplace_back([spec] { return check_trace_determinism(spec, /*traced_trials=*/8); });
   }
   {
     // Statistical reductions: protocols the paper proves uniform must be
@@ -230,20 +532,30 @@ CheckReport run_differential_checks(const SuiteOptions& options) {
     // sum-protocols compute the *same* function of each trial seed and the
     // two histograms coincide exactly, which degenerates the test.
     sync.seed = ring.seed + 104729;
-    report.add(check_differential_distribution(ring, sync));
+    cases.emplace_back([ring, sync] { return check_differential_distribution(ring, sync); });
 
     ScenarioSpec graph = ring;
     graph.topology = TopologyKind::kGraph;
     graph.protocol = "shamir-lead";
     graph.seed = ring.seed + 224737;
-    report.add(check_differential_distribution(graph, sync));
+    cases.emplace_back([graph, sync] { return check_differential_distribution(graph, sync); });
 
     ScenarioSpec chang = ring;
     chang.protocol = "chang-roberts";
     ScenarioSpec peterson = ring;
     peterson.protocol = "peterson";
     peterson.seed = ring.seed + 350377;
-    report.add(check_differential_distribution(chang, peterson));
+    cases.emplace_back(
+        [chang, peterson] { return check_differential_distribution(chang, peterson); });
+  }
+
+  CheckReport report;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (slice.count > 1 &&
+        static_cast<int>(i % static_cast<std::size_t>(slice.count)) != slice.index) {
+      continue;
+    }
+    report.add(cases[i]());
   }
   return report;
 }

@@ -97,6 +97,67 @@ TEST(CheckTermination, PassesHonestWithinEnvelope) {
   EXPECT_TRUE(r.passed) << r.detail;
 }
 
+TEST(CheckAttackFloor, PassesWhereTheTheoremGuaranteesControl) {
+  // Claim B.1: the single adversary forces the target in EVERY trial.
+  ScenarioSpec spec = honest_ring("basic-lead", 8, 80);
+  spec.deviation = "basic-single";
+  spec.coalition = CoalitionSpec::consecutive(1, 3);
+  spec.target = 6;
+  const CheckResult r = check_attack_floor(spec);
+  EXPECT_TRUE(r.passed) << r.detail;
+  EXPECT_EQ(r.name, "attack-floor");
+}
+
+TEST(CheckAttackFloor, FlagsAnAttackThatMissesItsFloor) {
+  // Tampering against PhaseAsyncLead is detected and FAILs: nowhere near
+  // the Pr[target] = 1 the effective attacks reach.
+  ScenarioSpec spec = honest_ring("phase-async-lead", 16, 120);
+  spec.deviation = "tamper-flip";
+  spec.coalition = CoalitionSpec::consecutive(1, 3);
+  spec.target = 5;
+  const CheckResult exact = check_attack_floor(spec);
+  EXPECT_FALSE(exact.passed) << exact.detail;
+  // The fractional gate flags it too, with a Wilson bound in the detail.
+  AttackFloorOptions options;
+  options.min_target_rate = 0.9;
+  const CheckResult wilson = check_attack_floor(spec, options);
+  EXPECT_FALSE(wilson.passed) << wilson.detail;
+  EXPECT_NE(wilson.detail.find("wilson"), std::string::npos) << wilson.detail;
+}
+
+TEST(CheckAttackFloor, RejectsHonestSpecsAndBadFloors) {
+  EXPECT_THROW(check_attack_floor(honest_ring("basic-lead", 8, 10)),
+               std::invalid_argument);
+  ScenarioSpec spec = honest_ring("basic-lead", 8, 10);
+  spec.deviation = "basic-single";
+  spec.coalition = CoalitionSpec::consecutive(1, 3);
+  AttackFloorOptions bad;
+  bad.min_target_rate = 0.0;
+  EXPECT_THROW(check_attack_floor(spec, bad), std::invalid_argument);
+}
+
+TEST(CheckSyncGap, GatesTheLemmaEnvelopes) {
+  // Honest A-LEADuni runs lock-step: gap 1 passes a tight envelope.
+  ScenarioSpec honest = honest_ring("alead-uni", 32, 5);
+  SyncGapOptions tight;
+  tight.max_gap = 2;
+  const CheckResult pass = check_sync_gap(honest, tight);
+  EXPECT_TRUE(pass.passed) << pass.detail;
+
+  // The cubic attack desynchronizes by Theta(k^2): an O(1) envelope on the
+  // deviated run must flag it.
+  ScenarioSpec cubic = honest_ring("alead-uni", 64, 5);
+  cubic.deviation = "cubic";
+  cubic.coalition = CoalitionSpec::cubic_staircase(8);
+  cubic.target = 32;
+  const CheckResult fail = check_sync_gap(cubic, tight);
+  EXPECT_FALSE(fail.passed) << fail.detail;
+  EXPECT_NE(fail.detail.find("max sync gap"), std::string::npos) << fail.detail;
+
+  SyncGapOptions zero;
+  EXPECT_THROW(check_sync_gap(honest, zero), std::invalid_argument);
+}
+
 TEST(CheckTermination, FlagsEnvelopeViolations) {
   TerminationOptions tight;
   tight.max_messages = 8;  // absurdly tight: must flag

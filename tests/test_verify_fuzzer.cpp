@@ -54,6 +54,40 @@ TEST(FuzzRepro, ParseRejectsMalformedLines) {
   EXPECT_THROW(parse_spec("topology=ring n=4 trials=1 seed=1"), std::invalid_argument);
 }
 
+TEST(FuzzRepro, WindowAndKnobFieldsRoundTrip) {
+  const std::string line =
+      "topology=ring protocol=phase-async-lead n=16 trials=12 seed=3 "
+      "trial_offset=4 trial_count=5 protocol_key=99 param_l=7";
+  const ScenarioSpec spec = parse_spec(line);
+  EXPECT_EQ(spec.trial_offset, 4u);
+  EXPECT_EQ(spec.trial_count, 5u);
+  EXPECT_EQ(spec.protocol_key, 99u);
+  EXPECT_EQ(spec.param_l, 7);
+  EXPECT_EQ(format_spec(parse_spec(format_spec(spec))), format_spec(spec));
+}
+
+TEST(FuzzInvariants, WindowedSpecRunsItsWindow) {
+  const ScenarioSpec spec = parse_spec(
+      "topology=ring protocol=alead-uni n=8 trials=10 seed=11 trial_offset=3 trial_count=4");
+  EXPECT_EQ(run_spec_invariants(spec, /*check_determinism=*/true), std::nullopt);
+}
+
+TEST(FuzzInvariants, BadWindowIsACleanRejection) {
+  const ScenarioSpec spec = parse_spec(
+      "topology=ring protocol=alead-uni n=8 trials=4 seed=11 trial_offset=9");
+  bool rejected = false;
+  EXPECT_EQ(run_spec_invariants(spec, true, &rejected), std::nullopt);
+  EXPECT_TRUE(rejected);
+}
+
+TEST(FuzzInvariants, OutOfRangeParamLIsACleanRejection) {
+  const ScenarioSpec spec = parse_spec(
+      "topology=ring protocol=phase-async-lead n=8 trials=2 seed=1 param_l=9");
+  bool rejected = false;
+  EXPECT_EQ(run_spec_invariants(spec, true, &rejected), std::nullopt);
+  EXPECT_TRUE(rejected);
+}
+
 TEST(FuzzInvariants, HoldOnAKnownGoodSpec) {
   const ScenarioSpec spec =
       parse_spec("topology=ring protocol=alead-uni n=8 trials=6 seed=11");
