@@ -2,10 +2,15 @@
 // strongest known deviation (rushing + free-slot steering) gains nothing
 // below the threshold: no free slots exist, segments decohere, executions
 // FAIL — which solution preference makes worthless to rational coalitions.
+//
+// Honest baselines and sub-threshold attacked runs all share ONE sweep
+// (Harness::run_sweep): the big honest histograms no longer strand workers
+// while the 30-trial attacked cells run.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "attacks/coalition.h"
 #include "attacks/phase_rushing.h"
@@ -20,6 +25,16 @@ int main(int argc, char** argv) {
   if (h.merge_mode()) return h.merge_shards();
   h.row_header("     n    k   free slots   Pr[w]   FAIL   honest Pr[w]-1/n");
 
+  struct AttackCell {
+    int n;
+    int k;
+    std::size_t honest_index;
+    std::size_t sweep_index;
+  };
+  std::vector<AttackCell> cells;
+  SweepSpec sweep;
+  sweep.threads = 0;
+  std::vector<std::string> labels;
   for (const int n : {100, 256, 400, 784}) {
     const Value w = static_cast<Value>(n / 4);
     ScenarioSpec honest;
@@ -29,29 +44,40 @@ int main(int argc, char** argv) {
     honest.trials =
         std::max<std::size_t>(100, 50'000'000ull / (static_cast<std::size_t>(n) * n));
     honest.seed = n;
-    honest.threads = 0;
-    const auto honest_r = h.run(honest, "honest");
+    const std::size_t honest_index = sweep.scenarios.size();
+    sweep.add(honest);
+    labels.emplace_back("honest");
 
     // Sub-threshold coalition sizes: fractions of sqrt(n) (Theorem 6.1's
     // regime is k <= sqrt(n)/10; we sweep up to ~2/3 sqrt(n), all of which
     // leave zero free slots under equal spacing).
     const int s = static_cast<int>(std::sqrt(static_cast<double>(n)));
     for (const int k : {std::max(2, s / 4), std::max(3, s / 2), std::max(4, 2 * s / 3)}) {
-      // Free-slot count for the table: from the deviation itself.
-      PhaseAsyncLeadProtocol protocol(n, honest.protocol_key);
-      PhaseRushingDeviation probe(Coalition::equally_spaced(n, k), w, protocol);
       ScenarioSpec spec = honest;
       spec.deviation = "phase-rushing";
       spec.coalition = CoalitionSpec::equally_spaced(k);
       spec.target = w;
       spec.trials = 30;
       spec.seed = 13 * n + k;
-      spec.threads = 1;
-      const auto r = h.run(spec);
-      std::printf("%6d  %3d   %10d   %5.3f   %4.2f   %16.5f\n", n, k, probe.free_slots(0),
-                  r.outcomes.leader_rate(w), r.outcomes.fail_rate(),
-                  honest_r.outcomes.leader_rate(w) - 1.0 / n);
+      cells.push_back({n, k, honest_index, sweep.scenarios.size()});
+      sweep.add(spec);
+      labels.emplace_back("attacked");
     }
+  }
+  const auto results = h.run_sweep(sweep, labels);
+
+  for (const AttackCell& cell : cells) {
+    const ScenarioSpec& spec = sweep.scenarios[cell.sweep_index];
+    const ScenarioResult& r = results[cell.sweep_index];
+    const ScenarioResult& honest_r = results[cell.honest_index];
+    // Free-slot count for the table: from the deviation itself.
+    PhaseAsyncLeadProtocol protocol(cell.n, spec.protocol_key);
+    PhaseRushingDeviation probe(Coalition::equally_spaced(cell.n, cell.k), spec.target,
+                                protocol);
+    std::printf("%6d  %3d   %10d   %5.3f   %4.2f   %16.5f\n", cell.n, cell.k,
+                probe.free_slots(0), r.outcomes.leader_rate(spec.target),
+                r.outcomes.fail_rate(),
+                honest_r.outcomes.leader_rate(spec.target) - 1.0 / cell.n);
   }
   h.note("expected shape: free slots = 0, Pr[w] ~ 0, FAIL ~ 1 in the resilient band");
   return 0;

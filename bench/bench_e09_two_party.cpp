@@ -2,9 +2,12 @@
 // player; fair protocols included.  Table: over random protocol trees, how
 // often each assurance pattern occurs, and verification that both
 // disjunctions of the lemma hold universally.  The last-mover dictatorship
-// is additionally exercised live through the Scenario API's tree topology.
+// is additionally exercised live through the Scenario API's tree topology —
+// all 14 force-0/force-1 scenarios run as ONE sweep (Harness::run_sweep).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness.h"
 #include "trees/tree_protocols.h"
@@ -46,7 +49,11 @@ int main(int argc, char** argv) {
   h.note("alternating-XOR sanity: the last mover dictates at every round count,");
   h.note("sampled live via the tree-topology scenario (both target bits forced)");
   h.row_header(" rounds   last mover forces 0   last mover forces 1   first assures anything");
-  for (const int rounds : {1, 2, 3, 4, 5, 6, 7}) {
+
+  const std::vector<int> round_counts = {1, 2, 3, 4, 5, 6, 7};
+  SweepSpec sweep;
+  std::vector<std::string> labels;
+  for (const int rounds : round_counts) {
     ScenarioSpec spec;
     spec.topology = TopologyKind::kTree;
     spec.protocol = "alternating-xor";
@@ -56,9 +63,18 @@ int main(int argc, char** argv) {
     spec.trials = 64;
     spec.seed = 100 + rounds;
     spec.target = 0;
-    const auto zero = h.run(spec, "force-0");
+    sweep.add(spec);
+    labels.emplace_back("force-0");
     spec.target = 1;
-    const auto one = h.run(spec, "force-1");
+    sweep.add(spec);
+    labels.emplace_back("force-1");
+  }
+  const auto results = h.run_sweep(sweep, labels);
+
+  for (std::size_t i = 0; i < round_counts.size(); ++i) {
+    const int rounds = round_counts[i];
+    const ScenarioResult& zero = results[2 * i];
+    const ScenarioResult& one = results[2 * i + 1];
     const bool forces0 = zero.outcomes.count(0) == zero.trials;
     const bool forces1 = one.outcomes.count(1) == one.trials;
 

@@ -2,8 +2,12 @@
 // network topologies.  The asynchronous fully-connected network supports
 // k = n/2 - 1 via Shamir sharing; the ring only Theta(sqrt(n)).  Both
 // boundaries are exhibited by live attacks.
+//
+// All 12 attacked cells run as ONE sweep (Harness::run_sweep).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/shamir_attacks.h"
 #include "harness.h"
@@ -18,21 +22,25 @@ int main(int argc, char** argv) {
   h.row_header(
       "     n    k         attack        possible   Pr[w]   FAIL   (w = n-1)");
 
+  struct Cell {
+    int n;
+    int k;
+    const char* name;
+    bool forge;
+  };
+  std::vector<Cell> cells;
+  SweepSpec sweep;
+  std::vector<std::string> labels;
   for (const int n : {8, 12, 16, 24}) {
     ShamirLeadProtocol protocol(n);
     const Value w = static_cast<Value>(n - 1);
     const int t = protocol.params().t;
-    struct Row {
-      int k;
-      const char* name;
-      bool forge;
+    const Cell rows[] = {
+        {n, (n + 1) / 2 - 1, "forge (k=n/2-1)", true},   // resilient regime
+        {n, (n + 1) / 2, "forge (k=n/2)", true},          // impossibility boundary
+        {n, t, "rushing (k=t)", false},                   // reconstruction regime
     };
-    const Row rows[] = {
-        {(n + 1) / 2 - 1, "forge (k=n/2-1)", true},   // resilient regime
-        {(n + 1) / 2, "forge (k=n/2)", true},          // impossibility boundary
-        {t, "rushing (k=t)", false},                   // reconstruction regime
-    };
-    for (const auto& row : rows) {
+    for (const Cell& row : rows) {
       ScenarioSpec spec;
       spec.topology = TopologyKind::kGraph;
       spec.protocol = "shamir-lead";
@@ -42,20 +50,29 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = 20;
       spec.seed = 17 * n + row.k;
-
-      bool possible;
-      if (row.forge) {
-        ShamirForgeDeviation probe(Coalition::consecutive(n, row.k, 0), w, protocol);
-        possible = probe.forging_possible();
-      } else {
-        ShamirRushingDeviation probe(Coalition::consecutive(n, row.k, 1), w, protocol);
-        possible = probe.reconstruction_possible();
-      }
-      const auto r = h.run(spec, row.name);
-      std::printf("%6d  %3d   %18s   %8s   %5.2f   %4.2f\n", n, row.k, row.name,
-                  possible ? "yes" : "no", r.outcomes.leader_rate(w),
-                  r.outcomes.fail_rate());
+      cells.push_back(row);
+      sweep.add(spec);
+      labels.emplace_back(row.name);
     }
+  }
+  const auto results = h.run_sweep(sweep, labels);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    ShamirLeadProtocol protocol(cell.n);
+    const Value w = static_cast<Value>(cell.n - 1);
+    bool possible;
+    if (cell.forge) {
+      ShamirForgeDeviation probe(Coalition::consecutive(cell.n, cell.k, 0), w, protocol);
+      possible = probe.forging_possible();
+    } else {
+      ShamirRushingDeviation probe(Coalition::consecutive(cell.n, cell.k, 1), w, protocol);
+      possible = probe.reconstruction_possible();
+    }
+    const ScenarioResult& r = results[i];
+    std::printf("%6d  %3d   %18s   %8s   %5.2f   %4.2f\n", cell.n, cell.k, cell.name,
+                possible ? "yes" : "no", r.outcomes.leader_rate(w),
+                r.outcomes.fail_rate());
   }
   h.note("expected shape: Pr[w] jumps 0 -> 1 exactly at k = ceil(n/2) (forge)");
   h.note("and k = floor(n/2)+1 (rushing); below, attacks fail or give no gain.");

@@ -3,9 +3,12 @@
 // resilient (k = n-1): synchrony makes "wait, then choose" structurally
 // impossible and silence detectable.  The full four-scenario resilience
 // ladder is now measured end to end.
+//
+// All six (n, deviation) cells run as ONE sweep (Harness::run_sweep).
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness.h"
@@ -17,8 +20,11 @@ int main(int argc, char** argv) {
                    bench::BenchArgs(argc, argv));
   if (h.merge_mode()) return h.merge_shards();
 
-  h.row_header("     n   deviation              valid   FAIL   max bias");
-  for (const int n : {8, 16, 32}) {
+  const std::vector<int> sizes = {8, 16, 32};
+  SweepSpec sweep;
+  sweep.threads = 0;
+  std::vector<std::string> labels;
+  for (const int n : sizes) {
     // (a) n-1 colluders with blind fixed values: outcome stays uniform.
     {
       ScenarioSpec spec;
@@ -33,15 +39,8 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = 2000;
       spec.seed = 31 * n;
-      spec.threads = 0;
-      const auto r = h.run(spec, "blind-collusion");
-      double max_rate = 0;
-      for (Value j = 0; j < static_cast<Value>(n); ++j) {
-        max_rate = std::max(max_rate, r.outcomes.leader_rate(j));
-      }
-      std::printf("%6d   %-22s %5.2f   %4.2f   %8.4f\n", n, "k=n-1 blind collusion",
-                  1.0 - r.outcomes.fail_rate(), r.outcomes.fail_rate(),
-                  max_rate - 1.0 / n);
+      sweep.add(spec);
+      labels.emplace_back("blind-collusion");
     }
     // (b) one late broadcaster (the async-winning rushing move): detected.
     {
@@ -53,7 +52,27 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = 50;
       spec.seed = 7 * n + 1;
-      const auto r = h.run(spec, "late-broadcast");
+      sweep.add(spec);
+      labels.emplace_back("late-broadcast");
+    }
+  }
+  const auto results = h.run_sweep(sweep, labels);
+
+  h.row_header("     n   deviation              valid   FAIL   max bias");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const int n = sizes[i];
+    {
+      const ScenarioResult& r = results[2 * i];
+      double max_rate = 0;
+      for (Value j = 0; j < static_cast<Value>(n); ++j) {
+        max_rate = std::max(max_rate, r.outcomes.leader_rate(j));
+      }
+      std::printf("%6d   %-22s %5.2f   %4.2f   %8.4f\n", n, "k=n-1 blind collusion",
+                  1.0 - r.outcomes.fail_rate(), r.outcomes.fail_rate(),
+                  max_rate - 1.0 / n);
+    }
+    {
+      const ScenarioResult& r = results[2 * i + 1];
       std::printf("%6d   %-22s %5.2f   %4.2f   %8s\n", n, "k=1 late broadcast",
                   1.0 - r.outcomes.fail_rate(), r.outcomes.fail_rate(), "-");
     }

@@ -2,8 +2,12 @@
 // A-LEADuni and PhaseAsyncLead on the same ring.  A-LEADuni's crossover
 // sits at k ~ 2 n^(1/3) (cubic attack); PhaseAsyncLead's at k ~ sqrt(n)
 // (free-slot steering): the paper's improvement made quantitative.
+//
+// Every (protocol, k) cell runs in ONE sweep (Harness::run_sweep).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/coalition.h"
 #include "harness.h"
@@ -18,10 +22,19 @@ int main(int argc, char** argv) {
   h.row_header("    k   A-LEADuni Pr[w]   PhaseAsyncLead Pr[w]   (w = 100)");
 
   const Value w = 100;
-  for (const int k : {4, 8, 10, 12, 13, 14, 16, 18, 20, 22, 26, 30}) {
+  const std::vector<int> ks = {4, 8, 10, 12, 13, 14, 16, 18, 20, 22, 26, 30};
+  struct Row {
+    int k;
+    std::size_t alead_index = static_cast<std::size_t>(-1);  ///< -1 = not applicable
+    std::size_t phase_index = 0;
+  };
+  std::vector<Row> rows;
+  SweepSpec sweep;
+  std::vector<std::string> labels;
+  for (const int k : ks) {
+    Row row{k};
     // A-LEADuni: the strongest applicable attack at this k is the cubic
     // staircase (falls back to "not applicable" below its threshold).
-    double alead_rate = 0.0;
     if (k >= Coalition::cubic_min_k(n)) {
       ScenarioSpec spec;
       spec.protocol = "alead-uni";
@@ -31,7 +44,9 @@ int main(int argc, char** argv) {
       spec.n = n;
       spec.trials = 15;
       spec.seed = 1000 + k;
-      alead_rate = h.run(spec).outcomes.leader_rate(w);
+      row.alead_index = sweep.scenarios.size();
+      sweep.add(spec);
+      labels.emplace_back("alead-cubic");
     }
     // PhaseAsyncLead: rushing + steering (gains nothing without free slots).
     ScenarioSpec spec;
@@ -44,8 +59,19 @@ int main(int argc, char** argv) {
     spec.n = n;
     spec.trials = 15;
     spec.seed = 2000 + k;
-    const double phase_rate = h.run(spec).outcomes.leader_rate(w);
-    std::printf("%5d   %15.3f   %20.3f\n", k, alead_rate, phase_rate);
+    row.phase_index = sweep.scenarios.size();
+    sweep.add(spec);
+    labels.emplace_back("phase-rushing");
+    rows.push_back(row);
+  }
+  const auto results = h.run_sweep(sweep, labels);
+
+  for (const Row& row : rows) {
+    const double alead_rate = row.alead_index != static_cast<std::size_t>(-1)
+                                  ? results[row.alead_index].outcomes.leader_rate(w)
+                                  : 0.0;
+    const double phase_rate = results[row.phase_index].outcomes.leader_rate(w);
+    std::printf("%5d   %15.3f   %20.3f\n", row.k, alead_rate, phase_rate);
   }
   h.note("expected shape: A-LEADuni column jumps to 1 at k ~ 13 (= cubic_min_k),");
   h.note("PhaseAsyncLead column jumps at k ~ 19+ (sqrt(n)): the protocol buys");

@@ -10,10 +10,14 @@
 // The protocol is only as strong as the cheaper channel: min(sqrt(n), l).
 // Small l hands the election to constant coalitions; l = Theta(sqrt(n))
 // balances the two at the sqrt(n) the paper proves optimal.
+//
+// Both attack channels across every l run as ONE sweep (Harness::run_sweep).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/random_function.h"
 #include "harness.h"
@@ -31,7 +35,10 @@ int main(int argc, char** argv) {
 
   const Value w = 77;
   const int l_default = RandomFunction::default_l(n);
-  for (const int l : {4, 8, 16, 48, 96, l_default}) {
+  const std::vector<int> ls = {4, 8, 16, 48, 96, l_default};
+  SweepSpec sweep;
+  std::vector<std::string> labels;
+  for (const int l : ls) {
     ScenarioSpec rush;
     rush.protocol = "phase-async-lead";
     rush.protocol_key = 0xab1e + l;
@@ -43,7 +50,8 @@ int main(int argc, char** argv) {
     rush.n = n;
     rush.trials = 12;
     rush.seed = l;
-    const double rush_rate = h.run(rush).outcomes.leader_rate(w);
+    sweep.add(rush);
+    labels.emplace_back("rushing");
 
     ScenarioSpec late;
     late.protocol = "phase-async-lead";
@@ -54,8 +62,15 @@ int main(int argc, char** argv) {
     late.n = n;
     late.trials = 12;
     late.seed = 2 * l + 1;
-    const double late_rate = h.run(late).outcomes.leader_rate(w);
+    sweep.add(late);
+    labels.emplace_back("late-validation");
+  }
+  const auto results = h.run_sweep(sweep, labels);
 
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    const int l = ls[i];
+    const double rush_rate = results[2 * i].outcomes.leader_rate(w);
+    const double late_rate = results[2 * i + 1].outcomes.leader_rate(w);
     const int cheapest = std::min(rush_rate > 0.5 ? k_rush : n, late_rate > 0.5 ? l : n);
     std::printf("%6d   %18.3f   %18.3f   %19d\n", l, rush_rate, late_rate, cheapest);
   }

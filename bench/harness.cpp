@@ -411,6 +411,23 @@ void Harness::add_row(JsonObject row) {
   rows_.push_back(std::move(row));
 }
 
+void Harness::annotate_row(std::size_t index, const std::string& key, double value) {
+  if (args_.sharded()) {
+    // Same rationale as annotate(): per-row derived values cannot merge
+    // from partial trials.
+    if (!annotate_warned_) {
+      annotate_warned_ = true;
+      std::fprintf(stderr,
+                   "warning: annotate_row(%zu, \"%s\", ...) is dropped under --shard "
+                   "(derived from partial trials; re-run unsharded for it)\n",
+                   index, key.c_str());
+    }
+    return;
+  }
+  if (index >= rows_.size()) return;
+  rows_[index].set(key, value);
+}
+
 void Harness::annotate(const std::string& key, double value) {
   if (args_.sharded()) {
     if (last_row_was_passthrough_) {

@@ -124,6 +124,12 @@ class Harness {
   /// shard's partial trials and cannot merge.
   void annotate(const std::string& key, double value);
 
+  /// Same, addressing a display row by record order (run / run_sweep /
+  /// add_row calls, zero-based) — what sweep-migrated benches use to
+  /// annotate individual rows of one run_sweep table.  Subject to the same
+  /// --shard dropping rule as annotate().
+  void annotate_row(std::size_t index, const std::string& key, double value);
+
  private:
   /// Applies the shard window to a spec; false when this shard's slice of
   /// the scenario is empty (fewer trials than shards).

@@ -44,6 +44,47 @@ std::optional<TopologyKind> parse_topology(const std::string& name) {
   return std::nullopt;
 }
 
+const char* to_string(GraphAdjacency adjacency) {
+  switch (adjacency) {
+    case GraphAdjacency::kComplete:
+      return "complete";
+    case GraphAdjacency::kDirectedRing:
+      return "directed-ring";
+    case GraphAdjacency::kStar:
+      return "star";
+  }
+  return "unknown";
+}
+
+std::optional<GraphAdjacency> parse_adjacency(const std::string& name) {
+  if (name == "complete") return GraphAdjacency::kComplete;
+  if (name == "directed-ring") return GraphAdjacency::kDirectedRing;
+  if (name == "star") return GraphAdjacency::kStar;
+  return std::nullopt;
+}
+
+std::vector<std::vector<char>> build_adjacency(GraphAdjacency adjacency, int n) {
+  if (adjacency == GraphAdjacency::kComplete) return {};
+  std::vector<std::vector<char>> matrix(static_cast<std::size_t>(n),
+                                        std::vector<char>(static_cast<std::size_t>(n), 0));
+  switch (adjacency) {
+    case GraphAdjacency::kComplete:
+      break;  // unreachable
+    case GraphAdjacency::kDirectedRing:
+      for (ProcessorId u = 0; u < n; ++u) {
+        matrix[static_cast<std::size_t>(u)][static_cast<std::size_t>(ring_succ(u, n))] = 1;
+      }
+      break;
+    case GraphAdjacency::kStar:
+      for (ProcessorId v = 1; v < n; ++v) {
+        matrix[0][static_cast<std::size_t>(v)] = 1;
+        matrix[static_cast<std::size_t>(v)][0] = 1;
+      }
+      break;
+  }
+  return matrix;
+}
+
 CoalitionSpec CoalitionSpec::consecutive(int k, ProcessorId first) {
   CoalitionSpec spec;
   spec.placement = Placement::kConsecutive;
@@ -173,6 +214,10 @@ void ScenarioResult::merge(const ScenarioResult& other) {
     mismatch("outcomes_recorded", outcomes_recorded ? "true" : "false",
              other.outcomes_recorded ? "true" : "false");
   }
+  if (transcripts_recorded != other.transcripts_recorded) {
+    mismatch("transcripts_recorded", transcripts_recorded ? "true" : "false",
+             other.transcripts_recorded ? "true" : "false");
+  }
   if (trial_offset + trials != other.trial_offset) {
     throw std::invalid_argument(
         "ScenarioResult.merge: shards are not contiguous — this result covers trials [" +
@@ -190,6 +235,8 @@ void ScenarioResult::merge(const ScenarioResult& other) {
   max_rounds = std::max(max_rounds, other.max_rounds);
   wall_seconds += other.wall_seconds;
   per_trial.insert(per_trial.end(), other.per_trial.begin(), other.per_trial.end());
+  per_trial_transcript.insert(per_trial_transcript.end(), other.per_trial_transcript.begin(),
+                              other.per_trial_transcript.end());
   if (trials > 0) {
     mean_messages = static_cast<double>(total_messages) / static_cast<double>(trials);
     mean_sync_gap = static_cast<double>(total_sync_gap) / static_cast<double>(trials);
@@ -208,16 +255,39 @@ struct ScenarioJob {
   TrialWindow window;
   ScenarioResult result{1};
   std::vector<TrialStats> stats;
+  /// Per-trial transcript slots (record_transcripts only), indexed by local
+  /// trial (global - window.first); each worker writes only its own slot,
+  /// exactly like stats.
+  std::vector<ExecutionTranscript> transcripts;
   WorkspaceKey workspace_key{};
   WorkspaceFactory make_workspace;
   Executor::TrialBody body;
+
+  /// The transcript slot for global trial `trial`, or nullptr when the
+  /// spec does not record.  The slot is cleared for the trial (reused
+  /// slots keep their capacity).
+  ExecutionTranscript* transcript_slot(std::size_t trial) {
+    if (!spec.record_transcripts) return nullptr;
+    ExecutionTranscript& slot = transcripts[trial - window.first];
+    slot.clear();
+    return &slot;
+  }
 };
 
 /// Workspace cache families (api/parallel.h WorkspaceKey); scenarios with
-/// the same (family, n) share cached engines per executor thread.
+/// the same (family, n) share cached engines per executor thread.  Graph
+/// scenarios get one family per adjacency shape so a cached engine always
+/// carries the right link matrix without any per-trial comparison.
 constexpr int kRingFamily = 1;
 constexpr int kGraphFamily = 2;
 constexpr int kSyncFamily = 3;
+constexpr int kGraphFamilyBase = 16;  ///< + GraphAdjacency index for restricted graphs
+
+int graph_family(GraphAdjacency adjacency) {
+  return adjacency == GraphAdjacency::kComplete
+             ? kGraphFamily
+             : kGraphFamilyBase + static_cast<int>(adjacency);
+}
 
 /// Shared reduction: fold the per-trial stats, in trial order, into the
 /// aggregate result.  This is the only place trial data merges, so the
@@ -240,6 +310,8 @@ void reduce_job(ScenarioJob& job) {
   result.spec_trials = job.spec.trials;
   result.base_seed = job.spec.seed;
   result.outcomes_recorded = job.spec.record_outcomes;
+  result.transcripts_recorded = job.spec.record_transcripts;
+  result.per_trial_transcript = std::move(job.transcripts);
   if (!job.stats.empty()) {
     result.mean_messages =
         static_cast<double>(result.total_messages) / static_cast<double>(result.trials);
@@ -311,7 +383,7 @@ void fill_ring_job(ScenarioJob& job, RingTrialFactories factories) {
   const bool threaded = spec.topology == TopologyKind::kThreaded;
   ScenarioJob* j = &job;
   job.body = [j, factories = std::move(factories), threaded](
-                 std::size_t /*trial*/, std::uint64_t trial_seed, void* raw) -> TrialStats {
+                 std::size_t trial, std::uint64_t trial_seed, void* raw) -> TrialStats {
     const ScenarioSpec& spec = j->spec;
     const std::shared_ptr<const RingProtocol> protocol = factories.protocol(trial_seed);
     std::shared_ptr<const Deviation> deviation;
@@ -339,9 +411,13 @@ void fill_ring_job(ScenarioJob& job, RingTrialFactories factories) {
       } else {
         ws.engine->reset(trial_seed);
       }
+      // Always (re)point the hook: a cached engine may carry the previous
+      // scenario's transcript pointer.
+      ws.engine->set_transcript(j->transcript_slot(trial));
       ws.arena.rewind();
       compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
       stats.outcome = ws.engine->run(std::span<RingStrategy* const>(ws.profile));
+      ws.engine->set_transcript(nullptr);  // the slot vector outlives no one
       stats.messages = ws.engine->stats().total_sent;
       stats.sync_gap = ws.engine->stats().max_sync_gap;
     }
@@ -439,7 +515,7 @@ void fill_graph_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
 
   ScenarioJob* j = &job;
   job.body = [j, protocol_entry, deviation_entry, shared_protocol, shared_deviation,
-              schedule](std::size_t /*trial*/, std::uint64_t trial_seed,
+              schedule](std::size_t trial, std::uint64_t trial_seed,
                         void* raw) -> TrialStats {
     const ScenarioSpec& spec = j->spec;
     auto& ws = *static_cast<GraphWorkspace*>(raw);
@@ -451,24 +527,29 @@ void fill_graph_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
     }
     const std::uint64_t step_limit =
         derived_step_limit(spec.step_limit, protocol->honest_message_bound(spec.n));
+    // The adjacency shape is baked into the workspace family, so a cached
+    // engine here always carries the matrix this scenario needs.
     if (!ws.engine || ws.engine->step_limit() != step_limit ||
         ws.engine->schedule_kind() != schedule) {
       GraphEngineOptions options;
       options.step_limit = step_limit;
       options.schedule = schedule;
       options.schedule_seed = trial_seed;
+      options.adjacency = build_adjacency(spec.adjacency, spec.n);
       ws.engine = std::make_unique<GraphEngine>(spec.n, trial_seed, std::move(options));
     } else {
       ws.engine->reset(trial_seed, /*schedule_seed=*/trial_seed);
     }
+    ws.engine->set_transcript(j->transcript_slot(trial));
     ws.arena.rewind();
     compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
     TrialStats stats;
     stats.outcome = ws.engine->run(std::span<GraphStrategy* const>(ws.profile));
+    ws.engine->set_transcript(nullptr);
     stats.messages = ws.engine->stats().total_sent;
     return stats;
   };
-  job.workspace_key = WorkspaceKey{kGraphFamily, spec.n};
+  job.workspace_key = WorkspaceKey{graph_family(spec.adjacency), spec.n};
   job.make_workspace = workspace_factory<GraphWorkspace>();
 }
 
@@ -513,7 +594,7 @@ void fill_sync_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
 
   ScenarioJob* j = &job;
   job.body = [j, protocol_entry, deviation_entry, shared_protocol, shared_deviation](
-                 std::size_t /*trial*/, std::uint64_t trial_seed, void* raw) -> TrialStats {
+                 std::size_t trial, std::uint64_t trial_seed, void* raw) -> TrialStats {
     const ScenarioSpec& spec = j->spec;
     auto& ws = *static_cast<SyncWorkspace*>(raw);
     std::shared_ptr<const SyncProtocol> protocol = shared_protocol;
@@ -531,10 +612,12 @@ void fill_sync_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
     } else {
       ws.engine->reset(trial_seed);
     }
+    ws.engine->set_transcript(j->transcript_slot(trial));
     ws.arena.rewind();
     compose_profile_into(*protocol, deviation.get(), spec.n, ws.arena, ws.profile);
     TrialStats stats;
     stats.outcome = ws.engine->run(std::span<SyncStrategy* const>(ws.profile));
+    ws.engine->set_transcript(nullptr);
     stats.messages = ws.engine->stats().total_sent;
     stats.rounds = ws.engine->stats().rounds;
     return stats;
@@ -569,15 +652,33 @@ void fill_turn_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
 
   ScenarioJob* j = &job;
   job.body = [j, deviation_entry, game, coalition = std::move(coalition)](
-                 std::size_t /*trial*/, std::uint64_t trial_seed,
+                 std::size_t trial, std::uint64_t trial_seed,
                  void* /*workspace*/) -> TrialStats {
     Xoshiro256 rng(trial_seed);
     std::unique_ptr<TurnAdversary> adversary;
     if (deviation_entry) adversary = deviation_entry->make_turn(*game, j->spec);
     TrialStats stats;
-    stats.outcome = Outcome::elected(play_turn_game(*game, coalition, adversary.get(), rng));
+    stats.outcome = Outcome::elected(play_turn_game(*game, coalition, adversary.get(), rng,
+                                                    j->transcript_slot(trial)));
     return stats;
   };
+}
+
+/// Transcript capture needs a deterministic runtime; the threaded runtime's
+/// schedule belongs to the OS.  Shared by prepare_scenario_job and the
+/// factory-driven run_ring_scenario path.
+void require_transcribable(const ScenarioSpec& spec) {
+  if (spec.record_transcripts && spec.topology == TopologyKind::kThreaded) {
+    throw std::invalid_argument(
+        "ScenarioSpec.record_transcripts: topology 'threaded' is scheduled by the OS and "
+        "cannot be deterministically transcribed (use 'ring' — the §2 equivalence makes the "
+        "executions interchangeable)");
+  }
+}
+
+/// Sizes the per-trial transcript slots after the window is known.
+void arm_transcripts(ScenarioJob& job) {
+  if (job.spec.record_transcripts) job.transcripts.resize(job.window.count);
 }
 
 /// Validates the spec's plain fields, resolves the registries, and builds
@@ -594,6 +695,7 @@ std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec) {
                                 std::to_string(spec.n) + ")");
   }
   build_coalition(spec.coalition, spec.n);  // throws with the offending field
+  require_transcribable(spec);
   register_builtin_scenarios();
   const ProtocolEntry* protocol_entry = &ProtocolRegistry::instance().at(spec.protocol);
   const DeviationEntry* deviation_entry =
@@ -603,6 +705,7 @@ std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec) {
   job->spec = spec;
   job->window = scenario_trial_window(spec);
   job->stats.resize(job->window.count);
+  arm_transcripts(*job);
   switch (spec.topology) {
     case TopologyKind::kRing:
     case TopologyKind::kThreaded:
@@ -632,10 +735,12 @@ std::uint64_t scenario_ring_step_limit(const ScenarioSpec& spec,
 ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
                                  const RingTrialFactories& factories) {
   const auto start = std::chrono::steady_clock::now();
+  require_transcribable(spec);
   ScenarioJob job;
   job.spec = spec;
   job.window = scenario_trial_window(spec);
   job.stats.resize(job.window.count);
+  arm_transcripts(job);
   fill_ring_job(job, factories);
   Executor::Batch batch = batch_of(job);
   Executor::shared().run(std::span<Executor::Batch>(&batch, 1), spec.threads);

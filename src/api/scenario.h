@@ -35,6 +35,7 @@
 #include "attacks/coalition.h"
 #include "core/types.h"
 #include "sim/scheduler.h"
+#include "sim/transcript.h"
 
 namespace fle {
 
@@ -54,6 +55,21 @@ enum class TopologyKind { kRing, kGraph, kTree, kSync, kThreaded, kFullInfo };
 
 const char* to_string(TopologyKind kind);
 std::optional<TopologyKind> parse_topology(const std::string& name);
+
+/// Adjacency restriction for kGraph scenarios (GraphEngineOptions::
+/// adjacency underneath).  kComplete is the fully-connected default;
+/// kDirectedRing embeds the unidirectional ring (each u may send only to
+/// u+1 mod n); kStar routes everything through processor 0 (bidirectional
+/// spokes).  Protocols that send along absent links throw — a spec pairing
+/// a broadcast protocol with a restricted adjacency is rejected like any
+/// other inconsistent spec.
+enum class GraphAdjacency { kComplete, kDirectedRing, kStar };
+
+const char* to_string(GraphAdjacency adjacency);
+std::optional<GraphAdjacency> parse_adjacency(const std::string& name);
+
+/// The n x n link matrix a GraphAdjacency describes (empty = complete).
+std::vector<std::vector<char>> build_adjacency(GraphAdjacency adjacency, int n);
 
 /// How the deviation's coalition is placed on the ring/network.
 struct CoalitionSpec {
@@ -105,6 +121,12 @@ struct ScenarioSpec {
   std::uint64_t step_limit = 0;  ///< deliveries (rounds for kSync); 0 = derive
   int threads = 1;            ///< trial-batching workers; 0 = hardware count
   bool record_outcomes = false;  ///< keep per-trial outcomes in the result
+  /// Keep one ExecutionTranscript per trial in the result (sim/transcript.h),
+  /// keyed by global trial index so sharded captures merge like everything
+  /// else.  Rejected for kThreaded: the OS schedule is not transcribable.
+  bool record_transcripts = false;
+  /// kGraph only: the link structure trials run on (ignored elsewhere).
+  GraphAdjacency adjacency = GraphAdjacency::kComplete;
 
   // Protocol / deviation knobs (consumed by the registered factories that
   // care; ignored by the rest).
@@ -149,6 +171,11 @@ struct ScenarioResult {
   std::string deviation_name;      ///< resolved display name (empty = honest)
   bool outcomes_recorded = false;  ///< spec.record_outcomes
   std::vector<Outcome> per_trial;  ///< filled when outcomes_recorded
+  bool transcripts_recorded = false;  ///< spec.record_transcripts
+  /// per_trial_transcript[i] is the transcript of global trial
+  /// trial_offset + i; shard results concatenate under merge() exactly
+  /// like per_trial outcomes.
+  std::vector<ExecutionTranscript> per_trial_transcript;
 
   explicit ScenarioResult(int n) : outcomes(n) {}
 

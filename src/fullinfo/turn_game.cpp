@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace fle {
 
 Value play_turn_game(const TurnGame& game, const std::vector<ProcessorId>& coalition,
-                     TurnAdversary* adversary, Xoshiro256& rng) {
+                     TurnAdversary* adversary, Xoshiro256& rng,
+                     ExecutionTranscript* transcript) {
   Transcript t;
   while (!game.finished(t)) {
     const ProcessorId p = game.mover(t);
@@ -21,9 +24,78 @@ Value play_turn_game(const TurnGame& game, const std::vector<ProcessorId>& coali
     } else {
       action = rng.below(bound);
     }
+    if (transcript) {
+      transcript->turn(t.size(), static_cast<std::uint64_t>(p), action);
+    }
     t.push_back(action);
   }
-  return game.outcome(t);
+  const Value outcome = game.outcome(t);
+  if (transcript) {
+    // The decision belongs to the game as a whole (every player sees the
+    // broadcast transcript); actor = players() keeps it distinct from any
+    // real mover id.
+    transcript->decision(static_cast<std::uint64_t>(game.players()), /*aborted=*/false,
+                         outcome);
+  }
+  return outcome;
+}
+
+Value replay_turn_game(const TurnGame& game, std::span<const TranscriptEvent> events) {
+  const auto diverged = [](const std::string& what) {
+    return std::runtime_error("turn-game replay diverged: " + what);
+  };
+  Transcript t;
+  std::optional<Value> recorded_outcome;
+  for (const TranscriptEvent& e : events) {
+    switch (e.kind) {
+      case TranscriptEventKind::kTurn: {
+        if (recorded_outcome.has_value()) {
+          throw diverged("turn event after the recorded decision");
+        }
+        if (game.finished(t)) {
+          throw diverged("game finished after " + std::to_string(t.size()) +
+                         " moves but the recording has another turn");
+        }
+        if (e.a != t.size()) {
+          throw diverged("recorded turn index " + std::to_string(e.a) +
+                         " at position " + std::to_string(t.size()));
+        }
+        const ProcessorId mover = game.mover(t);
+        if (static_cast<std::uint64_t>(mover) != e.b) {
+          throw diverged("turn " + std::to_string(t.size()) + ": game says mover " +
+                         std::to_string(mover) + ", recording says " + std::to_string(e.b));
+        }
+        const Value bound = game.action_count(t);
+        if (e.c >= bound) {
+          throw diverged("turn " + std::to_string(t.size()) + ": recorded action " +
+                         std::to_string(e.c) + " outside the legal bound " +
+                         std::to_string(bound));
+        }
+        t.push_back(e.c);
+        break;
+      }
+      case TranscriptEventKind::kDecision:
+        if (recorded_outcome.has_value()) throw diverged("two decision events");
+        recorded_outcome = e.c;
+        break;
+      default:
+        throw diverged(std::string("unexpected ") + to_string(e.kind) +
+                       " event in a turn-game recording");
+    }
+  }
+  if (!game.finished(t)) {
+    throw diverged("recording ends after " + std::to_string(t.size()) +
+                   " moves but the game is not finished");
+  }
+  const Value outcome = game.outcome(t);
+  if (!recorded_outcome.has_value()) {
+    throw diverged("recording carries no decision event");
+  }
+  if (outcome != *recorded_outcome) {
+    throw diverged("replayed outcome " + std::to_string(outcome) +
+                   " != recorded outcome " + std::to_string(*recorded_outcome));
+  }
+  return outcome;
 }
 
 }  // namespace fle

@@ -16,6 +16,7 @@
 
 #include "core/rng.h"
 #include "core/types.h"
+#include "sim/transcript.h"
 
 namespace fle {
 
@@ -45,7 +46,24 @@ class TurnAdversary {
 
 /// Plays one execution: honest movers draw uniformly; coalition members (a
 /// sorted id list) defer to `adversary`.  Returns the outcome.
+///
+/// `transcript` (optional) records the execution into the unified event
+/// stream (sim/transcript.h): one kTurn event per move — (turn index,
+/// mover, action) — and a closing kDecision event (actor = players(),
+/// i.e. "the game", aborted = 0, output = outcome).  This is the turn-game
+/// runtime's whole observability surface; replay_turn_game re-drives a
+/// recording through the same game.
 Value play_turn_game(const TurnGame& game, const std::vector<ProcessorId>& coalition,
-                     TurnAdversary* adversary, Xoshiro256& rng);
+                     TurnAdversary* adversary, Xoshiro256& rng,
+                     ExecutionTranscript* transcript = nullptr);
+
+/// Re-drives `game` from a recorded transcript: replays the recorded
+/// actions in order, asserting at every step that the game agrees with the
+/// recording (not finished early, same mover, action within the legal
+/// bound) and that the final outcome matches the recorded decision event.
+/// Returns the outcome; throws std::runtime_error describing the first
+/// divergence.  Catches turn-order and game-shape regressions for the
+/// runtimes that have no second implementation to diff against.
+Value replay_turn_game(const TurnGame& game, std::span<const TranscriptEvent> events);
 
 }  // namespace fle

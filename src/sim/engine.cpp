@@ -38,6 +38,9 @@ class RingEngine::Context final : public RingContext {
     engine_->gap_frozen_ = true;
     engine_->unmark_ready(id_);
     engine_->inbox_[static_cast<std::size_t>(id_)].clear();
+    if (engine_->transcript_) {
+      engine_->transcript_->decision(static_cast<std::uint64_t>(id_), out.aborted, out.value);
+    }
   }
 
   RingEngine* engine_;
@@ -178,6 +181,7 @@ void RingEngine::deliver_to(ProcessorId p) {
   if (box.empty()) unmark_ready(p);
   ++stats_.received[static_cast<std::size_t>(p)];
   ++stats_.deliveries;
+  if (transcript_) transcript_->delivery(stats_.deliveries, static_cast<std::uint64_t>(p), v);
   if (observer_) {
     observer_(stats_.deliveries, p, v, std::span<const std::uint64_t>(stats_.sent));
   }

@@ -28,6 +28,7 @@
 #include "sim/inbox.h"
 #include "sim/scheduler.h"
 #include "sim/strategy.h"
+#include "sim/transcript.h"
 
 namespace fle {
 
@@ -98,6 +99,15 @@ class RingEngine {
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
   [[nodiscard]] SchedulerKind scheduler_kind() const { return scheduler_kind_; }
+
+  /// Attaches (or, with nullptr, detaches) an execution transcript: every
+  /// delivery and every terminate/abort decision is recorded into it.  The
+  /// pointer survives reset() — callers that reuse one engine across trials
+  /// re-point (and clear()) the transcript per trial.  Null costs one
+  /// predicted branch per delivery: the recording-off ring path stays
+  /// allocation-free (DESIGN.md §4/§7).
+  void set_transcript(ExecutionTranscript* transcript) { transcript_ = transcript; }
+  [[nodiscard]] ExecutionTranscript* transcript() const { return transcript_; }
   /// True when a custom scheduler or observer is installed (such engines
   /// should not be cached by seed-only workspaces).
   [[nodiscard]] bool has_custom_hooks() const {
@@ -120,6 +130,7 @@ class RingEngine {
   SchedulerKind scheduler_kind_;
   std::unique_ptr<Scheduler> scheduler_;  ///< custom override; usually null
   DeliveryObserver observer_;
+  ExecutionTranscript* transcript_ = nullptr;  ///< optional event recording
 
   // Built-in scheduler state, reseeded by reset(); serving the round-robin
   // default from here removes the virtual pick() from the delivery loop.

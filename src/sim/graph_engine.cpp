@@ -40,6 +40,9 @@ class GraphEngine::Context final : public GraphContext {
     if (slot.has_value()) throw std::logic_error("strategy terminated twice");
     slot = out;
     engine_->terminated_[static_cast<std::size_t>(id_)] = true;
+    if (engine_->transcript_) {
+      engine_->transcript_->decision(static_cast<std::uint64_t>(id_), out.aborted, out.value);
+    }
     // Drop all pending traffic towards a terminated processor.
     for (ProcessorId from = 0; from < engine_->n_; ++from) {
       if (from == id_) continue;
@@ -137,6 +140,10 @@ void GraphEngine::deliver(int link) {
   const ProcessorId to = link % n_;
   ++stats_.received[static_cast<std::size_t>(to)];
   ++stats_.deliveries;
+  if (transcript_) {
+    transcript_->delivery(stats_.deliveries, static_cast<std::uint64_t>(link),
+                          transcript_fold(std::span<const std::uint64_t>(m)));
+  }
   strategies_[static_cast<std::size_t>(to)]->on_receive(contexts_[static_cast<std::size_t>(to)],
                                                         from, m);
 }

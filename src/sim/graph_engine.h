@@ -22,6 +22,7 @@
 #include "core/types.h"
 #include "sim/arena.h"
 #include "sim/inbox.h"
+#include "sim/transcript.h"
 
 namespace fle {
 
@@ -111,6 +112,13 @@ class GraphEngine {
   /// engine across scenarios (api/scenario.cpp).
   [[nodiscard]] LinkScheduleKind schedule_kind() const { return options_.schedule; }
 
+  /// Optional execution transcript (see RingEngine::set_transcript).
+  /// Deliveries record (step, link id = from*n + to, payload fold); the
+  /// payload itself is a value vector, so the stream carries its
+  /// transcript_fold fingerprint.
+  void set_transcript(ExecutionTranscript* transcript) { transcript_ = transcript; }
+  [[nodiscard]] ExecutionTranscript* transcript() const { return transcript_; }
+
  private:
   class Context;
   friend class Context;
@@ -130,6 +138,7 @@ class GraphEngine {
   Xoshiro256 schedule_rng_;
   std::uint64_t rr_cursor_ = 0;
   bool armed_ = false;
+  ExecutionTranscript* transcript_ = nullptr;
 
   std::span<GraphStrategy* const> strategies_;
   std::vector<std::unique_ptr<GraphStrategy>> owned_strategies_;

@@ -50,6 +50,9 @@ class SyncEngine::Context final : public SyncContext {
     if (slot.has_value()) throw std::logic_error("strategy terminated twice");
     slot = out;
     engine_->terminated_[static_cast<std::size_t>(id_)] = true;
+    if (engine_->transcript_) {
+      engine_->transcript_->decision(static_cast<std::uint64_t>(id_), out.aborted, out.value);
+    }
   }
 
   SyncEngine* engine_;
@@ -104,6 +107,15 @@ Outcome SyncEngine::run(std::span<SyncStrategy* const> strategies) {
     // round's sends for the next one.
     round_inbox_.swap(next_inbox_);
     for (auto& box : next_inbox_) box.clear();
+    if (transcript_) {
+      std::uint64_t delivered = 0;
+      for (ProcessorId p = 0; p < n_; ++p) {
+        if (!terminated_[static_cast<std::size_t>(p)]) {
+          delivered += round_inbox_[static_cast<std::size_t>(p)].size();
+        }
+      }
+      transcript_->phase(static_cast<std::uint64_t>(round), delivered);
+    }
     bool anyone_alive = false;
     for (ProcessorId p = 0; p < n_; ++p) {
       if (terminated_[static_cast<std::size_t>(p)]) continue;
@@ -111,6 +123,17 @@ Outcome SyncEngine::run(std::span<SyncStrategy* const> strategies) {
       auto& my_inbox = round_inbox_[static_cast<std::size_t>(p)];
       std::sort(my_inbox.begin(), my_inbox.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (transcript_) {
+        for (const auto& [from, payload] : my_inbox) {
+          // Sender and payload in one fingerprint; the receiver rides in
+          // the event's own b slot.
+          const std::uint64_t fold =
+              mix64(static_cast<std::uint64_t>(from)) ^
+              transcript_fold(std::span<const std::uint64_t>(payload));
+          transcript_->delivery(static_cast<std::uint64_t>(round),
+                                static_cast<std::uint64_t>(p), fold);
+        }
+      }
       contexts_[static_cast<std::size_t>(p)].set_round(round);
       strategies[static_cast<std::size_t>(p)]->on_round(
           contexts_[static_cast<std::size_t>(p)], my_inbox);

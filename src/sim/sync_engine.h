@@ -20,6 +20,7 @@
 #include "core/types.h"
 #include "sim/arena.h"
 #include "sim/graph_engine.h"  // GraphMessage
+#include "sim/transcript.h"
 
 namespace fle {
 
@@ -97,6 +98,13 @@ class SyncEngine {
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] int round_limit() const { return options_.round_limit; }
 
+  /// Optional execution transcript (see RingEngine::set_transcript).  Each
+  /// round opens with a kPhase marker (round, deliveries this round), then
+  /// one kDelivery per delivered message (round, receiver, fold of
+  /// sender + payload) in the sorted-by-sender order strategies observe.
+  void set_transcript(ExecutionTranscript* transcript) { transcript_ = transcript; }
+  [[nodiscard]] ExecutionTranscript* transcript() const { return transcript_; }
+
  private:
   class Context;
   friend class Context;
@@ -105,6 +113,7 @@ class SyncEngine {
   std::uint64_t trial_seed_;
   SyncEngineOptions options_;
   bool armed_ = false;
+  ExecutionTranscript* transcript_ = nullptr;
 
   std::vector<Context> contexts_;
   std::vector<std::unique_ptr<SyncStrategy>> owned_strategies_;

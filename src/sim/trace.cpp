@@ -7,22 +7,8 @@ namespace fle {
 DeliveryObserver TraceDigest::observer() {
   return [this](std::uint64_t step, ProcessorId to, Value v,
                 std::span<const std::uint64_t> /*sent*/) {
-    fold(step);
-    fold(static_cast<std::uint64_t>(to));
-    fold(v);
-    ++deliveries_;
+    transcript_.delivery(step, static_cast<std::uint64_t>(to), v);
   };
-}
-
-void TraceDigest::reset() {
-  hash_ = 0xcbf29ce484222325ull;
-  deliveries_ = 0;
-}
-
-void TraceDigest::fold(std::uint64_t word) {
-  // FNV-1a over the 8 bytes of `word`, folded 64 bits at a time.
-  hash_ ^= word;
-  hash_ *= 0x100000001b3ull;
 }
 
 SyncTrace::SyncTrace(std::vector<ProcessorId> watch, std::uint64_t sample_every)

@@ -19,6 +19,15 @@
 //    DESIGN.md §4 fast path) must replay a freshly constructed engine's
 //    delivery sequence bit for bit (TraceDigest over every delivery).
 //
+//  * check_transcript_replay — the record/replay differential every
+//    runtime gets (DESIGN.md §7), including the turn-game runtimes that
+//    have no second implementation to diff against: per-trial transcripts
+//    from two independent runs must agree event for event; ring recordings
+//    are additionally RE-DRIVEN through Replayer::ring_schedule (the
+//    recorded schedule becomes the scheduler) and turn-game recordings are
+//    re-driven through replay_turn_game (the recorded actions become the
+//    moves); the binary codec must round-trip the streams exactly.
+//
 //  * check_differential_distribution — where only a statistical reduction
 //    exists (e.g. a ring protocol vs its synchronous counterpart, both of
 //    which the paper proves elect uniformly), the two outcome histograms
@@ -46,5 +55,14 @@ CheckResult check_trace_determinism(const ScenarioSpec& spec, std::size_t traced
 /// Two-sample chi-square homogeneity test over the outcome histograms of
 /// two specs (FAIL is a histogram cell).  Significance 0.001.
 CheckResult check_differential_distribution(const ScenarioSpec& a, const ScenarioSpec& b);
+
+/// Same-seed transcript-replay differential for any deterministic topology
+/// (ring, graph, sync, tree, fullinfo; threaded is rejected by the
+/// Scenario API).  Records every trial's transcript, re-runs the spec at a
+/// different worker count and asserts event-for-event equality; re-drives
+/// up to `redriven_trials` recordings through the runtime-specific replay
+/// machinery (ring schedule re-drive / turn-game action re-drive) and
+/// round-trips them through the binary codec.
+CheckResult check_transcript_replay(ScenarioSpec spec, std::size_t redriven_trials = 8);
 
 }  // namespace fle::verify

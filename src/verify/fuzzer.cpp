@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <typeinfo>
 
 #include "api/registry.h"
+#include "protocols/basic_lead.h"
 #include "verify/checks.h"
 
 namespace fle::verify {
@@ -79,10 +81,124 @@ const T& pick(Xoshiro256& rng, const std::vector<T>& from) {
   return from[static_cast<std::size_t>(rng.below(from.size()))];
 }
 
+/// A user-registered graph protocol that only uses ring-successor links:
+/// processor 0 draws the leader uniformly and circulates it as a token, so
+/// the protocol executes (and elects uniformly, which the smoke expects)
+/// on the complete graph AND on the directed-ring adjacency restriction.
+/// On the star adjacency its first non-hub send is rejected — the clean-
+/// rejection path the fuzzer also wants on the surface.
+class FuzzTokenGraphStrategy final : public GraphStrategy {
+ public:
+  FuzzTokenGraphStrategy(ProcessorId id, int n) : id_(id), n_(n) {}
+
+  void on_init(GraphContext& ctx) override {
+    if (id_ == 0) {
+      leader_ = ctx.tape().uniform(static_cast<Value>(n_));
+      ctx.send(ring_succ(id_, n_), GraphMessage{leader_});
+    }
+  }
+
+  void on_receive(GraphContext& ctx, ProcessorId /*from*/, const GraphMessage& m) override {
+    if (done_) return;
+    done_ = true;
+    if (m.empty()) {
+      ctx.abort();
+      return;
+    }
+    if (id_ == 0) {
+      ctx.terminate(leader_);
+      return;
+    }
+    ctx.send(ring_succ(id_, n_), GraphMessage{m[0]});
+    ctx.terminate(m[0]);
+  }
+
+ private:
+  ProcessorId id_;
+  int n_;
+  Value leader_ = 0;
+  bool done_ = false;
+};
+
+class FuzzTokenGraphProtocol final : public GraphProtocol {
+ public:
+  std::unique_ptr<GraphStrategy> make_strategy(ProcessorId id, int n) const override {
+    return std::make_unique<FuzzTokenGraphStrategy>(id, n);
+  }
+  GraphStrategy* emplace_strategy(StrategyArena& arena, ProcessorId id,
+                                  int n) const override {
+    return arena.emplace<FuzzTokenGraphStrategy>(id, n);
+  }
+  const char* name() const override { return "user-token-graph"; }
+  std::uint64_t honest_message_bound(int n) const override {
+    return 4ull * static_cast<std::uint64_t>(n) + 16;
+  }
+};
+
+/// A user-registered deviation whose coalition members play the protocol's
+/// own honest strategy: the negative control for the deviation plumbing
+/// (composition, coalition placement, registry dispatch) with provably
+/// unchanged semantics.
+class FuzzHonestShadowDeviation final : public Deviation {
+ public:
+  FuzzHonestShadowDeviation(Coalition coalition, const RingProtocol& protocol)
+      : coalition_(std::move(coalition)), protocol_(&protocol) {}
+
+  const Coalition& coalition() const override { return coalition_; }
+  std::unique_ptr<RingStrategy> make_adversary(ProcessorId id, int n) const override {
+    return protocol_->make_strategy(id, n);
+  }
+  RingStrategy* emplace_adversary(StrategyArena& arena, ProcessorId id,
+                                  int n) const override {
+    return protocol_->emplace_strategy(arena, id, n);
+  }
+  const char* name() const override { return "user-honest-shadow"; }
+
+ private:
+  Coalition coalition_;
+  const RingProtocol* protocol_;  ///< alive for the deviation's lifetime
+};
+
 }  // namespace
+
+void register_fuzz_user_entries() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    {
+      ProtocolEntry entry;
+      entry.name = "user-basic-lead";
+      entry.summary = "fuzz surface: Basic-LEAD registered through the public add()";
+      entry.make_ring = [](const ScenarioSpec&, std::uint64_t) {
+        return std::make_unique<BasicLeadProtocol>();
+      };
+      ProtocolRegistry::instance().add(std::move(entry));
+    }
+    {
+      ProtocolEntry entry;
+      entry.name = "user-token-graph";
+      entry.summary = "fuzz surface: ring-successor token walk (runs on restricted graphs)";
+      entry.make_graph = [](const ScenarioSpec&, std::uint64_t) {
+        return std::make_unique<FuzzTokenGraphProtocol>();
+      };
+      ProtocolRegistry::instance().add(std::move(entry));
+    }
+    {
+      DeviationEntry entry;
+      entry.name = "user-honest-shadow";
+      entry.summary = "fuzz surface: coalition members play the honest strategy";
+      entry.make_ring = [](const RingProtocol& protocol, const ScenarioSpec& spec) {
+        auto coalition = build_coalition(spec.coalition, spec.n);
+        if (!coalition) coalition = Coalition::consecutive(spec.n, 1, 1);
+        return std::make_unique<FuzzHonestShadowDeviation>(*std::move(coalition), protocol);
+      };
+      DeviationRegistry::instance().add(std::move(entry));
+    }
+  });
+}
 
 ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options) {
   register_builtin_scenarios();
+  if (options.user_entries) register_fuzz_user_entries();
   static const std::vector<TopologyKind> kTopologies = {
       TopologyKind::kRing,  TopologyKind::kRing,     TopologyKind::kThreaded,
       TopologyKind::kGraph, TopologyKind::kSync,     TopologyKind::kTree,
@@ -97,12 +213,31 @@ ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options) {
                         ? std::min(options.max_n, 12)  // one OS thread per processor
                         : options.max_n;
   spec.n = 2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_n - 1)));
+  // The ring family alone also samples past max_n (the deterministic ring
+  // engine is cheap enough for big instances at tiny trial counts): a
+  // quarter of ring specs take n from (max_n, max_ring_n].
+  if (spec.topology == TopologyKind::kRing && options.max_ring_n > options.max_n &&
+      rng.below(4) == 0) {
+    spec.n = options.max_n + 1 +
+             static_cast<int>(rng.below(
+                 static_cast<std::uint64_t>(options.max_ring_n - options.max_n)));
+  }
   spec.trials = 1 + rng.below(options.trials_per_spec);
   spec.seed = rng.next();
   spec.target = rng.below(static_cast<std::uint64_t>(spec.n));
   spec.rounds = 2 + static_cast<int>(rng.below(4));
   spec.threads = 1;
   spec.record_outcomes = rng.below(4) == 0;
+  // Transcript capture composes with everything else; a quarter of specs
+  // record and have the capture invariants checked (threaded + transcripts
+  // is the clean-rejection path).
+  spec.record_transcripts = rng.below(4) == 0;
+  // Adjacency-restricted graphs: directed-ring (executes under
+  // user-token-graph), star (broadcast protocols reject mid-run).
+  if (spec.topology == TopologyKind::kGraph && rng.below(3) == 0) {
+    spec.adjacency =
+        rng.below(2) == 0 ? GraphAdjacency::kDirectedRing : GraphAdjacency::kStar;
+  }
   // Bound the phase attacks' preimage search so a fuzzed spec can't stall.
   spec.search_cap = 64ull * static_cast<std::uint64_t>(spec.n);
   if (rng.below(8) == 0) spec.step_limit = 1 + rng.below(64);  // starves some runs: FAILs
@@ -209,6 +344,14 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
     return "per_trial holds " + std::to_string(r.per_trial.size()) + " outcomes, expected " +
            std::to_string(expected_recorded);
   }
+  const std::size_t expected_transcripts = spec.record_transcripts ? window : 0;
+  if (r.per_trial_transcript.size() != expected_transcripts) {
+    return "per_trial_transcript holds " + std::to_string(r.per_trial_transcript.size()) +
+           " transcripts, expected " + std::to_string(expected_transcripts);
+  }
+  if (r.transcripts_recorded != spec.record_transcripts) {
+    return "transcripts_recorded flag disagrees with the spec";
+  }
   if (spec.record_outcomes) {
     std::size_t fails = 0;
     for (const Outcome& o : r.per_trial) fails += o.failed() ? 1 : 0;
@@ -243,6 +386,16 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
         second->max_sync_gap != r.max_sync_gap ||
         second->mean_sync_gap != r.mean_sync_gap || second->max_rounds != r.max_rounds) {
       return "message/gap/round stats differ across worker counts";
+    }
+    if (spec.record_transcripts) {
+      if (second->per_trial_transcript.size() != r.per_trial_transcript.size()) {
+        return "transcript counts differ across worker counts";
+      }
+      for (std::size_t t = 0; t < r.per_trial_transcript.size(); ++t) {
+        if (!(second->per_trial_transcript[t] == r.per_trial_transcript[t])) {
+          return "transcripts differ across worker counts at trial " + std::to_string(t);
+        }
+      }
     }
   }
   return std::nullopt;
@@ -302,6 +455,18 @@ ScenarioSpec shrink_spec(ScenarioSpec spec, const FuzzOracle& oracle) {
         if (!s.record_outcomes) return std::nullopt;
         ScenarioSpec c = s;
         c.record_outcomes = false;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (!s.record_transcripts) return std::nullopt;
+        ScenarioSpec c = s;
+        c.record_transcripts = false;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.adjacency == GraphAdjacency::kComplete) return std::nullopt;
+        ScenarioSpec c = s;
+        c.adjacency = GraphAdjacency::kComplete;
         return c;
       },
       [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
@@ -372,6 +537,7 @@ std::optional<FuzzFailure> run_uniformity_smoke(ScenarioSpec spec,
   spec.deviation.clear();
   spec.coalition = CoalitionSpec{};
   spec.record_outcomes = false;
+  spec.record_transcripts = false;  // capture adds nothing to a histogram smoke
   spec.step_limit = 0;  // a starved step limit FAILs honestly, by design
   spec.trial_offset = 0;
   spec.trial_count = 0;
@@ -492,6 +658,12 @@ std::string format_spec(const ScenarioSpec& spec) {
   if (spec.record_outcomes != defaults.record_outcomes) {
     out << " record=" << (spec.record_outcomes ? 1 : 0);
   }
+  if (spec.record_transcripts != defaults.record_transcripts) {
+    out << " transcripts=" << (spec.record_transcripts ? 1 : 0);
+  }
+  if (spec.adjacency != defaults.adjacency) {
+    out << " adjacency=" << to_string(spec.adjacency);
+  }
   if (spec.protocol_key != defaults.protocol_key) {
     out << " protocol_key=" << spec.protocol_key;
   }
@@ -559,6 +731,12 @@ ScenarioSpec parse_spec(const std::string& line) {
       spec.threads = std::stoi(value);
     } else if (key == "record") {
       spec.record_outcomes = value != "0";
+    } else if (key == "transcripts") {
+      spec.record_transcripts = value != "0";
+    } else if (key == "adjacency") {
+      const auto adjacency = parse_adjacency(value);
+      if (!adjacency) throw std::invalid_argument("unknown adjacency '" + value + "'");
+      spec.adjacency = *adjacency;
     } else if (key == "protocol_key") {
       spec.protocol_key = std::stoull(value);
     } else if (key == "param_l") {

@@ -36,7 +36,16 @@ struct FuzzOptions {
   std::uint64_t seed = 1;           ///< campaign seed: same seed, same specs
   std::size_t specs = 200;          ///< how many specs to generate and run
   std::size_t trials_per_spec = 6;  ///< kept tiny: coverage over depth
-  int max_n = 24;                   ///< ring sizes sampled from [2, max_n]
+  int max_n = 24;                   ///< sizes sampled from [2, max_n]
+  /// Ring-family ceiling: a quarter of kRing specs sample n from
+  /// (max_n, max_ring_n] instead — the cheap engine is the one place the
+  /// campaign can afford sizes past the cross-runtime budget.  Takes
+  /// effect only when > max_n.
+  int max_ring_n = 64;
+  /// Also fuzz the user-registration surface: the campaign registers
+  /// non-builtin protocol/deviation entries (register_fuzz_user_entries)
+  /// and samples them like any builtin.
+  bool user_entries = true;
   bool check_determinism = true;    ///< rerun each passing spec at 3 workers
   /// Uniformity smoke (distribution regressions, not just crashes): every
   /// smoke_every-th executed spec is re-run as its honest profile at
@@ -61,6 +70,16 @@ struct FuzzReport {
   [[nodiscard]] bool all_passed() const { return failures.empty(); }
   [[nodiscard]] CheckReport as_report() const;
 };
+
+/// Registers the fuzz campaign's non-builtin registry entries (idempotent):
+/// 'user-basic-lead' (a user-keyed ring protocol), 'user-token-graph' (a
+/// graph protocol that walks the embedded directed ring, so
+/// adjacency-restricted graph scenarios have a protocol that actually
+/// executes on them), and 'user-honest-shadow' (a deviation whose
+/// "adversaries" play the honest strategy — the negative control for the
+/// deviation plumbing).  fle_verify --repro calls this too, so repro lines
+/// naming user entries replay.
+void register_fuzz_user_entries();
 
 /// Samples one spec from the registries.  Deterministic in the rng state.
 ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options);

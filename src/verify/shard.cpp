@@ -180,6 +180,41 @@ std::string per_trial_list(const std::vector<Outcome>& per_trial) {
   return out;
 }
 
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// Comma-separated hex blobs, one per trial: the transcript's compact
+/// binary encoding (sim/transcript.h), so a merged shard file reproduces
+/// the monolithic capture event for event.
+std::string transcript_list(const std::vector<ExecutionTranscript>& transcripts) {
+  std::string out;
+  for (std::size_t t = 0; t < transcripts.size(); ++t) {
+    if (t != 0) out += ',';
+    for (const std::uint8_t byte : transcripts[t].encode()) {
+      out += kHexDigits[byte >> 4];
+      out += kHexDigits[byte & 0xf];
+    }
+  }
+  return out;
+}
+
+ExecutionTranscript transcript_from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("shard row: odd-length transcript hex blob");
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(hex.size() / 2);
+  const auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    throw std::invalid_argument(std::string("shard row: bad transcript hex digit '") + c +
+                                "'");
+  };
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    bytes.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return ExecutionTranscript::decode(bytes);
+}
+
 }  // namespace
 
 ScenarioSpec shard_key_spec(ScenarioSpec spec) {
@@ -219,6 +254,10 @@ std::string format_shard_row(const ShardRow& row) {
   append_kv(out, "deviation_name", r.deviation_name, true);
   append_kv(out, "recorded", r.outcomes_recorded ? "true" : "false", false);
   if (r.outcomes_recorded) append_kv(out, "per_trial", per_trial_list(r.per_trial), true);
+  append_kv(out, "transcripts_recorded", r.transcripts_recorded ? "true" : "false", false);
+  if (r.transcripts_recorded) {
+    append_kv(out, "transcripts", transcript_list(r.per_trial_transcript), true);
+  }
   if (row.allocations != 0) {
     append_kv(out, "allocations", std::to_string(row.allocations), false);
   }
@@ -339,6 +378,28 @@ ShardRow parse_shard_row(const std::string& line) {
       throw std::invalid_argument("shard row: per_trial holds " +
                                   std::to_string(result.per_trial.size()) +
                                   " outcomes, trials = " + std::to_string(result.trials));
+    }
+  }
+
+  // Rows written before the transcript layer simply lack the key: not
+  // recorded.
+  result.transcripts_recorded =
+      json.has("transcripts_recorded") && json.boolean("transcripts_recorded");
+  if (result.transcripts_recorded) {
+    const std::string& list = json.str("transcripts");
+    std::size_t pos = 0;
+    while (pos <= list.size() && !list.empty()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string blob =
+          list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      result.per_trial_transcript.push_back(transcript_from_hex(blob));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (result.per_trial_transcript.size() != result.trials) {
+      throw std::invalid_argument("shard row: transcripts holds " +
+                                  std::to_string(result.per_trial_transcript.size()) +
+                                  " entries, trials = " + std::to_string(result.trials));
     }
   }
 

@@ -549,6 +549,45 @@ CheckReport run_differential_checks(const SuiteOptions& options, const ShardSlic
         [chang, peterson] { return check_differential_distribution(chang, peterson); });
   }
 
+  // The transcript-replay differential (DESIGN.md §7) runs for EVERY
+  // registered protocol on its home topology — including the turn-game
+  // (fullinfo/tree) entries, which have no second runtime to diff against
+  // and get their execution-level check exclusively from this: same seed,
+  // same transcript, event for event, plus a re-drive from the recording.
+  for (const HonestCase& c : honest_cases()) {
+    ScenarioSpec spec = honest_spec(c, options);
+    spec.trials = std::min<std::size_t>(options.exact_trials, 64);
+    spec.seed = options.seed + 41;
+    spec.threads = options.threads;
+    cases.emplace_back([spec] { return check_transcript_replay(spec); });
+  }
+  {
+    // Deviated executions replay too — one ring attack and one turn-game
+    // adversary (the recorded schedule and actions pin the attack's
+    // behaviour, not just the honest protocol's).
+    ScenarioSpec ring;
+    ring.protocol = "alead-uni";
+    ring.deviation = "cubic";
+    ring.n = 27;
+    ring.target = 13;
+    ring.trials = std::min<std::size_t>(options.exact_trials, 32);
+    ring.seed = options.seed + 43;
+    ring.threads = options.threads;
+    cases.emplace_back([ring] { return check_transcript_replay(ring); });
+
+    ScenarioSpec baton;
+    baton.topology = TopologyKind::kFullInfo;
+    baton.protocol = "baton";
+    baton.deviation = "baton-greedy";
+    baton.coalition = CoalitionSpec::custom({1, 2, 3});
+    baton.target = 7;
+    baton.n = 8;
+    baton.trials = std::min<std::size_t>(options.exact_trials, 32);
+    baton.seed = options.seed + 47;
+    baton.threads = options.threads;
+    cases.emplace_back([baton] { return check_transcript_replay(baton); });
+  }
+
   CheckReport report;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     if (slice.count > 1 &&

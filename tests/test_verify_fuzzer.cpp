@@ -24,6 +24,7 @@ TEST(FuzzGenerate, SameSeedSameSpecs) {
 TEST(FuzzGenerate, SpecsStayInsideTheConfiguredBounds) {
   FuzzOptions options;
   options.max_n = 10;
+  options.max_ring_n = 10;  // pin the ring-family ceiling to the general one
   options.trials_per_spec = 4;
   Xoshiro256 rng(3);
   for (int i = 0; i < 200; ++i) {
@@ -34,6 +35,75 @@ TEST(FuzzGenerate, SpecsStayInsideTheConfiguredBounds) {
     EXPECT_LE(spec.trials, 4u);
     EXPECT_FALSE(spec.protocol.empty());
   }
+}
+
+TEST(FuzzGenerate, RingFamilySamplesPastTheGeneralCeiling) {
+  // ROADMAP gap: n stayed <= 24 for every family.  With defaults, a
+  // quarter of kRing specs now sample (max_n, max_ring_n]; every other
+  // family stays inside max_n.
+  FuzzOptions options;
+  Xoshiro256 rng(7);
+  int ring_past_24 = 0;
+  for (int i = 0; i < 400; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, options);
+    EXPECT_LE(spec.n, options.max_ring_n);
+    if (spec.topology == TopologyKind::kRing && spec.n > options.max_n) ++ring_past_24;
+    if (spec.topology != TopologyKind::kRing) {
+      EXPECT_LE(spec.n, options.max_n);
+    }
+  }
+  EXPECT_GT(ring_past_24, 10);
+}
+
+TEST(FuzzGenerate, UserRegisteredEntriesAreOnTheSurface) {
+  FuzzOptions options;
+  Xoshiro256 rng(11);
+  int user_specs = 0;
+  for (int i = 0; i < 600; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, options);
+    if (spec.protocol.rfind("user-", 0) == 0 || spec.deviation.rfind("user-", 0) == 0) {
+      ++user_specs;
+    }
+  }
+  EXPECT_GT(user_specs, 5);
+}
+
+TEST(FuzzGenerate, AdjacencyRestrictedGraphsAreOnTheSurface) {
+  FuzzOptions options;
+  Xoshiro256 rng(13);
+  int restricted = 0;
+  for (int i = 0; i < 600; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, options);
+    if (spec.adjacency != GraphAdjacency::kComplete) {
+      EXPECT_EQ(spec.topology, TopologyKind::kGraph);
+      ++restricted;
+    }
+  }
+  EXPECT_GT(restricted, 5);
+}
+
+TEST(FuzzInvariants, UserTokenGraphRunsOnTheDirectedRingAdjacency) {
+  register_fuzz_user_entries();
+  const ScenarioSpec spec = parse_spec(
+      "topology=graph protocol=user-token-graph adjacency=directed-ring n=6 trials=4 "
+      "seed=3 transcripts=1");
+  EXPECT_EQ(run_spec_invariants(spec, /*check_determinism=*/true), std::nullopt);
+}
+
+TEST(FuzzInvariants, BroadcastProtocolOnRestrictedAdjacencyIsACleanRejection) {
+  const ScenarioSpec spec = parse_spec(
+      "topology=graph protocol=shamir-lead adjacency=star n=6 trials=2 seed=3");
+  bool rejected = false;
+  EXPECT_EQ(run_spec_invariants(spec, true, &rejected), std::nullopt);
+  EXPECT_TRUE(rejected);
+}
+
+TEST(FuzzInvariants, ThreadedTranscriptCaptureIsACleanRejection) {
+  const ScenarioSpec spec = parse_spec(
+      "topology=threaded protocol=basic-lead n=4 trials=2 seed=3 transcripts=1");
+  bool rejected = false;
+  EXPECT_EQ(run_spec_invariants(spec, true, &rejected), std::nullopt);
+  EXPECT_TRUE(rejected);
 }
 
 TEST(FuzzRepro, FormatParseRoundTrips) {

@@ -40,9 +40,41 @@ void print_report(const fle::verify::CheckReport& report) {
   std::printf("%zu checks, %zu failed\n", report.results.size(), report.failures());
 }
 
+/// The repro's execution fingerprint: every trial's transcript digest
+/// folded in trial order, so the printed line pins the *executions* the
+/// repro spec produces, not just its parameters — two builds that print
+/// the same digest replayed the same schedules, turn orders and decisions.
+void print_repro_digest(const fle::ScenarioSpec& spec) {
+  fle::ScenarioSpec recorded = spec;
+  recorded.record_transcripts = true;
+  recorded.threads = 1;
+  try {
+    const fle::ScenarioResult result = fle::run_scenario(recorded);
+    std::vector<std::uint64_t> digests;
+    digests.reserve(result.per_trial_transcript.size());
+    std::uint64_t events = 0;
+    for (const fle::ExecutionTranscript& t : result.per_trial_transcript) {
+      digests.push_back(t.digest());
+      events += t.size();
+    }
+    const std::uint64_t digest =
+        fle::transcript_fold(std::span<const std::uint64_t>(digests));
+    std::printf("transcript digest: %016llx (%zu trials, %llu events)\n",
+                static_cast<unsigned long long>(digest), result.per_trial_transcript.size(),
+                static_cast<unsigned long long>(events));
+  } catch (const std::exception& error) {
+    // A spec the API rejects (or a threaded spec, which has no
+    // deterministic transcript) still replays its invariants below.
+    std::printf("transcript digest: unavailable (%s)\n", error.what());
+  }
+}
+
 int run_repro(const std::string& line) {
+  // Repro lines may name the campaign's user-registered entries.
+  fle::verify::register_fuzz_user_entries();
   const fle::ScenarioSpec spec = fle::verify::parse_spec(line);
   std::printf("replaying: %s\n", fle::verify::format_spec(spec).c_str());
+  print_repro_digest(spec);
   const auto failure = fle::verify::run_spec_invariants(spec, /*check_determinism=*/true);
   if (failure) {
     std::printf("[FAIL] %s\n", failure->c_str());
