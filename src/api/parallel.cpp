@@ -21,6 +21,11 @@ std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial) {
   return mix64(base_seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(trial) + 1));
 }
 
+std::size_t executor_auto_chunk(std::size_t trials, std::size_t workers) {
+  workers = std::max<std::size_t>(workers, 1);
+  return std::clamp<std::size_t>(trials / (workers * 4), 1, 1024);
+}
+
 namespace {
 
 /// Per-thread persistent workspace cache (pool workers and submitting
@@ -190,9 +195,7 @@ void Executor::run(std::span<Batch> batches, int threads, std::size_t chunk) {
     // Auto chunking: enough jobs for every worker to get several, capped so
     // tiny scenarios still split and huge ones don't flood the queue.
     std::size_t job_size = chunk;
-    if (job_size == 0) {
-      job_size = std::clamp<std::size_t>(batch.trials / (want * 4), 1, 1024);
-    }
+    if (job_size == 0) job_size = executor_auto_chunk(batch.trials, want);
     for (std::size_t begin = 0; begin < batch.trials; begin += job_size) {
       submission.jobs.push_back(
           Job{&batch, b, begin, std::min(begin + job_size, batch.trials)});

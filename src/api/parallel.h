@@ -120,6 +120,13 @@ class Executor {
 /// every trial gets an independently mixed 64-bit seed).
 std::uint64_t scenario_trial_seed(std::uint64_t base_seed, std::size_t trial);
 
+/// The executor's automatic chunking policy: enough jobs for every worker
+/// to get several, capped so tiny batches still split and huge ones don't
+/// flood the queue.  Shared with the fabric driver (src/fabric/driver.h),
+/// whose network trial windows are the same unit of work — one policy, two
+/// transports.
+std::size_t executor_auto_chunk(std::size_t trials, std::size_t workers);
+
 /// Compatibility wrapper over Executor::shared(): runs `body(trial,
 /// trial_seed)` for trials [0, trials) on `threads` workers and returns the
 /// stats indexed by trial.

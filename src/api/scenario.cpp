@@ -762,6 +762,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 }
 
 std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep) {
+  // A sweep backend (the fabric's RemoteExecutor, or a test double) takes
+  // the whole sweep; its contract is a result vector bit-identical to the
+  // in-process path below.
+  if (SweepBackend* backend = sweep_backend()) return backend->run_sweep(sweep);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::unique_ptr<ScenarioJob>> jobs;
   jobs.reserve(sweep.scenarios.size());

@@ -1,6 +1,22 @@
 #include "api/sweep.h"
 
+#include <atomic>
+
 namespace fle {
+
+namespace {
+
+std::atomic<SweepBackend*> g_sweep_backend{nullptr};
+
+}  // namespace
+
+SweepBackend* set_sweep_backend(SweepBackend* backend) noexcept {
+  return g_sweep_backend.exchange(backend, std::memory_order_acq_rel);
+}
+
+SweepBackend* sweep_backend() noexcept {
+  return g_sweep_backend.load(std::memory_order_acquire);
+}
 
 namespace {
 

@@ -58,6 +58,31 @@ struct SweepGrid {
 /// bit-identical to a standalone run_scenario of the same spec.  Throws
 /// std::invalid_argument (naming the spec index) if any spec fails
 /// validation; nothing executes in that case.
+///
+/// When a SweepBackend is installed (set_sweep_backend below) the whole
+/// sweep is routed through it instead of the in-process executor; the
+/// backend contract is the same bit-identical result vector, so callers
+/// never observe the difference.
 std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep);
+
+/// A pluggable execution substrate behind run_sweep.  The in-process
+/// executor (api/parallel.h) is the default; the fabric's RemoteExecutor
+/// (src/fabric/driver.h) dispatches the same sweeps to fle_worker
+/// processes over TCP.  Implementations MUST return results bit-identical
+/// to the in-process run — the determinism contract is the interface.
+class SweepBackend {
+ public:
+  virtual ~SweepBackend() = default;
+  virtual std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep) = 0;
+};
+
+/// Installs the process-wide backend run_sweep routes through (nullptr
+/// restores the in-process executor).  Returns the previous backend; the
+/// caller owns lifetimes — the installed backend must outlive every
+/// run_sweep call made while it is current.
+SweepBackend* set_sweep_backend(SweepBackend* backend) noexcept;
+
+/// The currently installed backend, or nullptr for in-process execution.
+SweepBackend* sweep_backend() noexcept;
 
 }  // namespace fle

@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic fault injection for the sweep fabric.  A FaultPlan is a
+// per-worker schedule of misbehaviours keyed by assignment ordinal: "on
+// your 2nd window, die".  Plans are plain text (CLI-friendly, diffable in
+// CI logs) and can be sampled from a seed, so a chaos run is reproducible
+// from its command line alone.
+//
+// Text format, comma-separated actions:
+//
+//   kill@2,hang@3:2000,corrupt@1,slow@4:250
+//
+// `<kind>@<ordinal>` with an optional `:<millis>` parameter.  Ordinals are
+// 1-based and count kAssign frames received by the worker.  Kinds:
+//
+//   kill     — exit immediately without replying (worker loss)
+//   hang     — go silent for <millis> (default WorkerOptions::default_hang_ms)
+//              before continuing; the driver's deadline fires first
+//   corrupt  — send a garbage frame instead of the result (protocol error)
+//   slow     — run the window, then delay the reply by <millis> (slow link)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fle::fabric {
+
+enum class FaultKind : std::uint8_t {
+  kKill,
+  kHang,
+  kCorruptFrame,
+  kSlowLink,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kKill;
+  std::uint64_t window = 1;  ///< 1-based assignment ordinal it fires on
+  std::uint64_t millis = 0;  ///< hang/slow parameter; 0 = use the worker default
+
+  bool operator==(const FaultAction&) const = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+
+  /// The action scheduled for the given 1-based assignment ordinal, if any.
+  /// At most one action fires per ordinal (parse rejects duplicates).
+  [[nodiscard]] std::optional<FaultAction> action_at(std::uint64_t ordinal) const;
+
+  /// Renders the plan in the text format above; parse(format(p)) == p.
+  [[nodiscard]] std::string format() const;
+
+  /// Parses the text format.  Throws std::invalid_argument naming the
+  /// offending token on bad kinds, ordinals, parameters, or duplicate
+  /// ordinals.  An empty string is the empty plan.
+  static FaultPlan parse(const std::string& text);
+
+  /// Deterministically samples a plan: each of the first `windows`
+  /// assignment ordinals independently gets a fault with probability
+  /// `rate` (kind and parameter drawn from the seed too).  Same arguments,
+  /// same plan — chaos jobs cite (seed, windows, rate) in their logs.
+  static FaultPlan sample(std::uint64_t seed, std::uint64_t windows, double rate);
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace fle::fabric

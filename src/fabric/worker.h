@@ -1,0 +1,48 @@
+#pragma once
+// The fabric worker: connects to a fle_sweep driver, executes assigned
+// trial windows with run_scenario, and replies with shard rows (wire.h).
+//
+// A worker is stateless between assignments — every kAssign carries the
+// scenario index and the absolute trial window, and per-trial seeds
+// depend only on the global trial index, so ANY worker can run ANY
+// window at any time.  That is what makes the driver's re-issue loop
+// sound: a re-run of a lost window on a different host is bit-identical
+// to the original.
+//
+// Fault injection: WorkerOptions::faults schedules deterministic
+// misbehaviour by assignment ordinal (fault.h) — the chaos harness that
+// tests/test_fabric.cpp and the CI loopback job drive.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "fabric/fault.h"
+
+namespace fle::fabric {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int threads = 1;    ///< executor workers for each assigned window
+  std::string label;  ///< name shown in driver diagnostics
+  FaultPlan faults;
+  /// kKill faults _exit() the process when set (fle_worker); unset, they
+  /// return from run_worker instead so in-process tests can inject worker
+  /// loss without losing the test runner.
+  bool exit_on_kill = false;
+  std::chrono::milliseconds connect_timeout{10000};
+  /// Blocking-read timeout: a worker that hears nothing (not even a
+  /// heartbeat) for this long concludes the driver is gone and exits.
+  std::chrono::milliseconds read_timeout{30000};
+  /// kHang fault duration when the plan gives no explicit millis.
+  std::chrono::milliseconds default_hang_ms{30000};
+};
+
+/// Runs the worker loop to completion.  Returns the process exit code:
+/// 0 after a clean drain, 2 when the driver rejected the handshake or
+/// reported an error, 3 for an injected kill (exit_on_kill unset), and
+/// 1 for connection loss or protocol errors.  Never throws.
+int run_worker(const WorkerOptions& options);
+
+}  // namespace fle::fabric

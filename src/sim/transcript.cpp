@@ -10,33 +10,34 @@ namespace {
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 constexpr std::uint8_t kMagic[4] = {'F', 'L', 'E', 'T'};
+constexpr std::uint8_t kSetMagic[4] = {'F', 'L', 'E', 'S'};
 
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
+}  // namespace
+
+void leb128_put(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
   }
-  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(value));
 }
 
-std::uint64_t get_varint(std::span<const std::uint8_t> bytes, std::size_t& i) {
+std::uint64_t leb128_get(std::span<const std::uint8_t> bytes, std::size_t& index) {
   std::uint64_t v = 0;
   int shift = 0;
   for (;;) {
-    if (i >= bytes.size()) {
-      throw std::invalid_argument("ExecutionTranscript::decode: truncated varint");
+    if (index >= bytes.size()) {
+      throw std::invalid_argument("leb128: truncated varint");
     }
-    const std::uint8_t byte = bytes[i++];
+    const std::uint8_t byte = bytes[index++];
     if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0)) {
-      throw std::invalid_argument("ExecutionTranscript::decode: varint overflows 64 bits");
+      throw std::invalid_argument("leb128: varint overflows 64 bits");
     }
     v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return v;
     shift += 7;
   }
 }
-
-}  // namespace
 
 const char* to_string(TranscriptEventKind kind) {
   switch (kind) {
@@ -91,12 +92,12 @@ std::vector<std::uint8_t> ExecutionTranscript::encode() const {
   std::vector<std::uint8_t> out;
   out.reserve(4 + events_.size() * 6);
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  put_varint(out, events_.size());
+  leb128_put(out, events_.size());
   for (const TranscriptEvent& e : events_) {
     out.push_back(static_cast<std::uint8_t>(e.kind));
-    put_varint(out, e.a);
-    put_varint(out, e.b);
-    put_varint(out, e.c);
+    leb128_put(out, e.a);
+    leb128_put(out, e.b);
+    leb128_put(out, e.c);
   }
   return out;
 }
@@ -107,7 +108,7 @@ ExecutionTranscript ExecutionTranscript::decode(std::span<const std::uint8_t> by
     throw std::invalid_argument("ExecutionTranscript::decode: bad magic");
   }
   std::size_t i = 4;
-  const std::uint64_t count = get_varint(bytes, i);
+  const std::uint64_t count = leb128_get(bytes, i);
   // Each event occupies at least 4 bytes (kind + three 1-byte varints);
   // reject counts the buffer cannot possibly hold before reserving storage.
   if (count > (bytes.size() - i) / 4) {
@@ -125,15 +126,88 @@ ExecutionTranscript ExecutionTranscript::decode(std::span<const std::uint8_t> by
       throw std::invalid_argument("ExecutionTranscript::decode: unknown event kind " +
                                   std::to_string(kind_byte));
     }
-    const std::uint64_t a = get_varint(bytes, i);
-    const std::uint64_t b = get_varint(bytes, i);
-    const std::uint64_t c = get_varint(bytes, i);
+    const std::uint64_t a = leb128_get(bytes, i);
+    const std::uint64_t b = leb128_get(bytes, i);
+    const std::uint64_t c = leb128_get(bytes, i);
     transcript.record(static_cast<TranscriptEventKind>(kind_byte), a, b, c);
   }
   if (i != bytes.size()) {
     throw std::invalid_argument("ExecutionTranscript::decode: trailing bytes");
   }
   return transcript;
+}
+
+std::string format_event(const TranscriptEvent& event) {
+  switch (event.kind) {
+    case TranscriptEventKind::kDelivery:
+      return "delivery step=" + std::to_string(event.a) +
+             " receiver=" + std::to_string(event.b) + " value=" + std::to_string(event.c);
+    case TranscriptEventKind::kTurn:
+      return "turn index=" + std::to_string(event.a) + " mover=" + std::to_string(event.b) +
+             " action=" + std::to_string(event.c);
+    case TranscriptEventKind::kPhase:
+      return "phase round=" + std::to_string(event.a) +
+             " deliveries=" + std::to_string(event.b);
+    case TranscriptEventKind::kDecision:
+      return "decision actor=" + std::to_string(event.a) +
+             " aborted=" + std::to_string(event.b) + " output=" + std::to_string(event.c);
+  }
+  return "unknown(" + std::to_string(event.a) + ", " + std::to_string(event.b) + ", " +
+         std::to_string(event.c) + ")";
+}
+
+std::vector<std::uint8_t> encode_transcript_set(
+    std::span<const ExecutionTranscript> transcripts) {
+  std::vector<std::uint8_t> out{kSetMagic[0], kSetMagic[1], kSetMagic[2], kSetMagic[3]};
+  leb128_put(out, transcripts.size());
+  for (const ExecutionTranscript& transcript : transcripts) {
+    const std::vector<std::uint8_t> bytes = transcript.encode();
+    leb128_put(out, bytes.size());
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::vector<ExecutionTranscript> decode_transcript_set(std::span<const std::uint8_t> bytes) {
+  std::vector<ExecutionTranscript> out;
+  if (bytes.size() >= 4 && bytes[0] == kMagic[0] && bytes[1] == kMagic[1] &&
+      bytes[2] == kMagic[2] && bytes[3] == kMagic[3]) {
+    // A bare single-transcript stream: wrap it as a one-element set.
+    out.push_back(ExecutionTranscript::decode(bytes));
+    return out;
+  }
+  if (bytes.size() < 4 || bytes[0] != kSetMagic[0] || bytes[1] != kSetMagic[1] ||
+      bytes[2] != kSetMagic[2] || bytes[3] != kSetMagic[3]) {
+    throw std::invalid_argument(
+        "decode_transcript_set: bad magic (expected a FLES container or a FLET stream)");
+  }
+  std::size_t i = 4;
+  const std::uint64_t count = leb128_get(bytes, i);
+  // Each entry is at least a 1-byte length plus the 5-byte empty encoding.
+  if (count > (bytes.size() - i) / 6 + 1) {
+    throw std::invalid_argument("decode_transcript_set: transcript count " +
+                                std::to_string(count) + " exceeds the buffer");
+  }
+  out.reserve(count);
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const std::uint64_t length = leb128_get(bytes, i);
+    if (length > bytes.size() - i) {
+      throw std::invalid_argument("decode_transcript_set: transcript " + std::to_string(t) +
+                                  " is truncated (needs " + std::to_string(length) +
+                                  " bytes, " + std::to_string(bytes.size() - i) + " left)");
+    }
+    try {
+      out.push_back(ExecutionTranscript::decode(bytes.subspan(i, length)));
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("decode_transcript_set: transcript " + std::to_string(t) +
+                                  ": " + error.what());
+    }
+    i += length;
+  }
+  if (i != bytes.size()) {
+    throw std::invalid_argument("decode_transcript_set: trailing bytes");
+  }
+  return out;
 }
 
 bool operator==(const ExecutionTranscript& a, const ExecutionTranscript& b) {

@@ -61,6 +61,19 @@ struct TranscriptEvent {
   friend bool operator==(const TranscriptEvent&, const TranscriptEvent&) = default;
 };
 
+/// One-line rendering with kind-specific field names — e.g.
+/// "delivery step=3 receiver=1 value=7" — used by fle_verify
+/// --dump-transcript / --diff-transcripts.
+std::string format_event(const TranscriptEvent& event);
+
+/// The LEB128 varint codec the transcript encoding is built on, exposed so
+/// the fabric wire protocol (src/fabric/wire.h) frames with the identical
+/// primitive.  leb128_get throws std::invalid_argument on a truncated or
+/// 64-bit-overflowing varint and advances `index` past the bytes it
+/// consumed.
+void leb128_put(std::vector<std::uint8_t>& out, std::uint64_t value);
+std::uint64_t leb128_get(std::span<const std::uint8_t> bytes, std::size_t& index);
+
 /// FNV-1a fold of a word sequence; the payload fingerprint graph/sync
 /// deliveries carry in their `c` slot (messages there are value vectors).
 std::uint64_t transcript_fold(std::span<const std::uint64_t> words);
@@ -123,6 +136,18 @@ class ExecutionTranscript {
   std::uint64_t digest_ = 0xcbf29ce484222325ull;  ///< FNV-1a 64 offset basis
   std::uint64_t count_ = 0;
 };
+
+/// Multi-transcript container: a 'F','L','E','S' magic, a varint transcript
+/// count, then per transcript one varint byte length and its encode()
+/// stream.  This is the on-disk format `fle_verify --dump-transcript --out`
+/// writes and `--diff-transcripts` reads; decode_transcript_set also
+/// accepts a bare single-transcript 'FLET' stream for hand-built files.
+/// Both throw std::invalid_argument on malformed input, naming the
+/// offending transcript index.
+std::vector<std::uint8_t> encode_transcript_set(
+    std::span<const ExecutionTranscript> transcripts);
+std::vector<ExecutionTranscript> decode_transcript_set(
+    std::span<const std::uint8_t> bytes);
 
 /// Re-drives an engine from a recorded transcript and pinpoints
 /// divergence.

@@ -60,22 +60,31 @@ class FlatJson {
     skip_ws(text, i);
     expect(text, i, '{');
     skip_ws(text, i);
-    if (i < text.size() && text[i] == '}') return;
-    for (;;) {
-      skip_ws(text, i);
-      const std::string key = parse_string(text, i);
-      skip_ws(text, i);
-      expect(text, i, ':');
-      skip_ws(text, i);
-      values_[key] = parse_value(text, i);
-      skip_ws(text, i);
-      if (i >= text.size()) throw bad("unterminated object");
-      if (text[i] == ',') {
-        ++i;
-        continue;
+    if (i < text.size() && text[i] == '}') {
+      ++i;
+    } else {
+      for (;;) {
+        skip_ws(text, i);
+        const std::string key = parse_string(text, i);
+        skip_ws(text, i);
+        expect(text, i, ':');
+        skip_ws(text, i);
+        if (!values_.emplace(key, parse_value(text, i)).second) {
+          throw bad("duplicate key '" + key + "'");
+        }
+        skip_ws(text, i);
+        if (i >= text.size()) throw bad("truncated row: unterminated object");
+        if (text[i] == ',') {
+          ++i;
+          continue;
+        }
+        expect(text, i, '}');
+        break;
       }
-      expect(text, i, '}');
-      break;
+    }
+    skip_ws(text, i);
+    if (i != text.size()) {
+      throw bad("trailing bytes after the row object (offset " + std::to_string(i) + ")");
     }
   }
 
@@ -88,22 +97,46 @@ class FlatJson {
   }
 
   [[nodiscard]] std::uint64_t u64(const std::string& key) const {
-    try {
-      return std::stoull(str(key));
-    } catch (const std::logic_error&) {
-      throw bad("key '" + key + "' is not an integer");
+    // Strict digits-only: std::stoull would silently wrap "-5" and accept
+    // numeric prefixes of garbage ("12abc"), turning a corrupt row into a
+    // wrong-but-plausible aggregate instead of an error.
+    const std::string& text = str(key);
+    if (text.empty()) throw bad("key '" + key + "' is empty, expected an unsigned integer");
+    std::uint64_t value = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        throw bad("key '" + key + "' = '" + text + "' is not an unsigned integer");
+      }
+      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        throw bad("key '" + key + "' = '" + text + "' overflows 64 bits");
+      }
+      value = value * 10 + digit;
     }
+    return value;
   }
 
   [[nodiscard]] double dbl(const std::string& key) const {
+    const std::string& text = str(key);
+    std::size_t consumed = 0;
+    double value = 0.0;
     try {
-      return std::stod(str(key));
+      value = std::stod(text, &consumed);
     } catch (const std::logic_error&) {
-      throw bad("key '" + key + "' is not a number");
+      throw bad("key '" + key + "' = '" + text + "' is not a number");
     }
+    if (consumed != text.size()) {
+      throw bad("key '" + key + "' = '" + text + "' has trailing bytes after the number");
+    }
+    return value;
   }
 
-  [[nodiscard]] bool boolean(const std::string& key) const { return str(key) == "true"; }
+  [[nodiscard]] bool boolean(const std::string& key) const {
+    const std::string& text = str(key);
+    if (text == "true") return true;
+    if (text == "false") return false;
+    throw bad("key '" + key + "' = '" + text + "' is not a boolean");
+  }
 
  private:
   static std::invalid_argument bad(const std::string& what) {
@@ -294,6 +327,13 @@ ShardRow parse_shard_row(const std::string& line) {
   }
   result.trial_offset = json.u64("trial_offset");
   result.spec_trials = json.u64("spec_trials");
+  if (result.trial_offset > result.spec_trials ||
+      result.trials > result.spec_trials - result.trial_offset) {
+    throw std::invalid_argument(
+        "shard row: window [" + std::to_string(result.trial_offset) + ", " +
+        std::to_string(result.trial_offset + result.trials) +
+        ") overruns the scenario's spec_trials = " + std::to_string(result.spec_trials));
+  }
   result.base_seed = json.u64("base_seed");
   result.total_messages = json.u64("total_messages");
   result.max_messages = json.u64("max_messages");
@@ -392,7 +432,13 @@ ShardRow parse_shard_row(const std::string& line) {
       const std::size_t comma = list.find(',', pos);
       const std::string blob =
           list.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
-      result.per_trial_transcript.push_back(transcript_from_hex(blob));
+      try {
+        result.per_trial_transcript.push_back(transcript_from_hex(blob));
+      } catch (const std::exception& error) {
+        throw std::invalid_argument(
+            "shard row: transcripts[" + std::to_string(result.per_trial_transcript.size()) +
+            "]: " + error.what());
+      }
       if (comma == std::string::npos) break;
       pos = comma + 1;
     }
@@ -462,6 +508,22 @@ std::map<std::size_t, MergedCase> merge_shard_rows(std::vector<ShardRow> rows) {
     out.result = group.front().result;
     out.allocations = group.front().allocations;
     for (std::size_t i = 1; i < group.size(); ++i) {
+      // Diagnose window tiling faults by name before the generic merge
+      // contiguity check: the likely operator errors are feeding the same
+      // shard file twice (overlap) or forgetting one (gap).
+      const std::size_t expected = out.result.trial_offset + out.result.trials;
+      const std::size_t offset = group[i].result.trial_offset;
+      if (offset < expected) {
+        throw std::invalid_argument(
+            "shard case " + std::to_string(index) + ": trial windows overlap at trial " +
+            std::to_string(offset) + " (duplicate shard file?)");
+      }
+      if (offset > expected) {
+        throw std::invalid_argument(
+            "shard case " + std::to_string(index) + ": trial window gap [" +
+            std::to_string(expected) + ", " + std::to_string(offset) +
+            ") (missing shard file?)");
+      }
       out.result.merge(group[i].result);  // enforces compatibility + contiguity
       out.allocations += group[i].allocations;
     }

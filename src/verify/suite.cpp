@@ -450,9 +450,14 @@ CheckReport merge_statistical_shards(const SuiteOptions& options,
   const StatisticalPlan plan = build_statistical_plan(options);
   std::vector<ShardRow> parsed;
   parsed.reserve(rows.size());
-  for (const std::string& line : rows) {
-    if (line.empty()) continue;
-    parsed.push_back(parse_shard_row(line));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].empty()) continue;
+    try {
+      parsed.push_back(parse_shard_row(rows[r]));
+    } catch (const std::exception& error) {
+      throw std::invalid_argument("shard input row " + std::to_string(r) + ": " +
+                                  error.what());
+    }
   }
   std::map<std::size_t, MergedCase> merged = merge_shard_rows(std::move(parsed));
 

@@ -458,6 +458,81 @@ TEST(ShardRows, ParseRejectsCorruptCountsWithoutReplaying) {
   EXPECT_THROW(verify::parse_shard_row(line), std::invalid_argument);
 }
 
+TEST(ScenarioShards, MergeRejectsOverlappingAndGapWindows) {
+  const ScenarioSpec base = ring_spec("basic-lead", 8, 12);
+  ScenarioSpec head_spec = base;
+  head_spec.trial_count = 6;
+  const ScenarioResult head = run_scenario(head_spec);
+
+  const auto expect_merge_error = [&](const ScenarioSpec& other_spec) {
+    ScenarioResult lhs = head;
+    try {
+      lhs.merge(run_scenario(other_spec));
+      FAIL() << "expected std::invalid_argument for a non-contiguous window";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("trial_offset"), std::string::npos)
+          << error.what();
+    }
+  };
+  {  // overlap: the next shard re-runs trials [3, 9) over head's [0, 6)
+    ScenarioSpec other = base;
+    other.trial_offset = 3;
+    other.trial_count = 6;
+    expect_merge_error(other);
+  }
+  {  // duplicate: the same window fed twice
+    expect_merge_error(head_spec);
+  }
+  {  // gap: [8, 12) leaves [6, 8) uncovered
+    ScenarioSpec other = base;
+    other.trial_offset = 8;
+    expect_merge_error(other);
+  }
+}
+
+TEST(ScenarioShards, MergeRejectsTranscriptFlagMismatch) {
+  ScenarioSpec head_spec = ring_spec("basic-lead", 6, 8);
+  head_spec.trial_count = 4;
+  head_spec.record_transcripts = true;
+  ScenarioSpec tail_spec = ring_spec("basic-lead", 6, 8);
+  tail_spec.trial_offset = 4;  // transcripts NOT recorded on this shard
+  ScenarioResult lhs = run_scenario(head_spec);
+  try {
+    lhs.merge(run_scenario(tail_spec));
+    FAIL() << "expected std::invalid_argument naming transcripts_recorded";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("transcripts_recorded"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ShardRows, TranscriptMergeRejectsMissingShard) {
+  // A transcript-recording scenario sharded in two, with the tail shard
+  // lost: the merge must fail (naming the missing file) instead of
+  // returning a silently truncated capture.
+  ScenarioSpec spec = ring_spec("basic-lead", 6, 8);
+  spec.record_outcomes = true;
+  spec.record_transcripts = true;
+  spec.trial_count = 4;
+  verify::ShardRow row;
+  row.case_index = 0;
+  row.spec_line =
+      "topology=ring protocol=basic-lead n=6 trials=8 seed=11 record=1 transcripts=1";
+  row.result = run_scenario(spec);
+  ASSERT_EQ(row.result.per_trial_transcript.size(), 4u);
+  // The row survives its own round-trip (transcript hex included) ...
+  const verify::ShardRow parsed = verify::parse_shard_row(verify::format_shard_row(row));
+  ASSERT_EQ(parsed.result.per_trial_transcript.size(), 4u);
+  // ... but merging without the other shard is an error, not a truncation.
+  try {
+    verify::merge_shard_rows({parsed});
+    FAIL() << "expected std::invalid_argument for missing coverage";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("shard file is missing"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(ShardRows, MergeRejectsMissingShard) {
   ScenarioSpec spec = ring_spec("basic-lead", 8, 12);
   spec.trial_count = 6;  // first half only

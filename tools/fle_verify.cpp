@@ -15,14 +15,24 @@
 //   fle_verify --repro 'topology=ring protocol=alead-uni n=8 trials=4 seed=9'
 //                                      replay one shrunk fuzz failure
 //   fle_verify --list                  print the registered protocols/deviations
+//   fle_verify --dump-transcript '<spec line>' [--out FILE]
+//                                      record the spec's trials and pretty-print
+//                                      every event; --out also writes the binary
+//                                      FLES container (sim/transcript.h)
+//   fle_verify --diff-transcripts a.bin b.bin
+//                                      first-divergence diff of two recorded
+//                                      containers: trial, event index, and both
+//                                      events; exit 1 on divergence
 //
 // Exit code 0 iff every check passed.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -104,9 +114,93 @@ int list_registry() {
                "usage: %s [--quick] [--trials N] [--exact N] [--fuzz N] [--seed S]\n"
                "          [--threads T] [--no-statistical] [--no-differential]\n"
                "          [--no-fuzz] [--shard I/M] [--out FILE]\n"
-               "          [--merge FILE...] [--repro '<spec line>'] [--list]\n",
+               "          [--merge FILE...] [--repro '<spec line>'] [--list]\n"
+               "          [--dump-transcript '<spec line>'] [--diff-transcripts A B]\n",
                argv0);
   std::exit(2);
+}
+
+/// Records the spec's trials (transcripts forced on, one worker so the
+/// printed order is the execution order) and pretty-prints every event.
+/// --out additionally writes the binary FLES container the
+/// --diff-transcripts mode reads.
+int run_dump_transcript(const std::string& line, const std::string& out_path) {
+  fle::verify::register_fuzz_user_entries();
+  fle::ScenarioSpec spec = fle::verify::parse_spec(line);
+  spec.record_transcripts = true;
+  spec.threads = 1;
+  const fle::ScenarioResult result = fle::run_scenario(spec);
+  std::printf("spec: %s\n", fle::verify::format_spec(spec).c_str());
+  std::printf("%zu trial(s), first global index %zu\n", result.per_trial_transcript.size(),
+              result.trial_offset);
+  for (std::size_t t = 0; t < result.per_trial_transcript.size(); ++t) {
+    const fle::ExecutionTranscript& transcript = result.per_trial_transcript[t];
+    std::printf("trial %zu: digest %016llx, %llu event(s)\n", result.trial_offset + t,
+                static_cast<unsigned long long>(transcript.digest()),
+                static_cast<unsigned long long>(transcript.size()));
+    const auto events = transcript.events();
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      std::printf("  [%4zu] %s\n", e, fle::format_event(events[e]).c_str());
+    }
+  }
+  if (!out_path.empty()) {
+    const std::vector<std::uint8_t> bytes =
+        fle::encode_transcript_set(result.per_trial_transcript);
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "fle_verify: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("wrote %zu byte(s) to %s\n", bytes.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+std::vector<fle::ExecutionTranscript> load_transcript_set(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot read '" + path + "'");
+  const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                        std::istreambuf_iterator<char>());
+  try {
+    return fle::decode_transcript_set(bytes);
+  } catch (const std::exception& error) {
+    throw std::invalid_argument(path + ": " + error.what());
+  }
+}
+
+/// Event-for-event comparison of two recorded containers; prints the first
+/// divergent trial with the event index and BOTH events, so a replay
+/// regression is localized without re-running anything.
+int run_diff_transcripts(const std::string& path_a, const std::string& path_b) {
+  const std::vector<fle::ExecutionTranscript> a = load_transcript_set(path_a);
+  const std::vector<fle::ExecutionTranscript> b = load_transcript_set(path_b);
+  if (a.size() != b.size()) {
+    std::printf("DIFFER: %s records %zu trial(s), %s records %zu\n", path_a.c_str(),
+                a.size(), path_b.c_str(), b.size());
+    return 1;
+  }
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    const fle::Replayer replayer(a[t]);
+    const auto divergence = replayer.diff(b[t]);
+    if (!divergence) continue;
+    std::printf("DIFFER at trial %zu, event %zu: %s\n", t, divergence->index,
+                divergence->what.c_str());
+    const auto events_a = a[t].events();
+    const auto events_b = b[t].events();
+    std::printf("  %s: %s\n", path_a.c_str(),
+                divergence->index < events_a.size()
+                    ? fle::format_event(events_a[divergence->index]).c_str()
+                    : "(no event at this index)");
+    std::printf("  %s: %s\n", path_b.c_str(),
+                divergence->index < events_b.size()
+                    ? fle::format_event(events_b[divergence->index]).c_str()
+                    : "(no event at this index)");
+    return 1;
+  }
+  std::printf("identical: %zu trial(s) replay event for event\n", a.size());
+  return 0;
 }
 
 /// Parses "i/m" into a slice; exits with usage() on malformed input.
@@ -189,6 +283,8 @@ int main(int argc, char** argv) {
   fle::verify::SuiteOptions options;
   fle::verify::ShardSlice slice;
   std::string repro;
+  std::string dump_spec;
+  std::vector<std::string> diff_paths;
   std::string out_path;
   std::vector<std::string> merge_files;
   bool quick = false;
@@ -237,6 +333,11 @@ int main(int argc, char** argv) {
       if (merge_files.empty()) usage(argv[0]);
     } else if (arg == "--repro") {
       repro = next();
+    } else if (arg == "--dump-transcript") {
+      dump_spec = next();
+    } else if (arg == "--diff-transcripts") {
+      diff_paths.emplace_back(next());
+      diff_paths.emplace_back(next());
     } else if (arg == "--list") {
       return list_registry();
     } else {
@@ -246,6 +347,8 @@ int main(int argc, char** argv) {
 
   try {
     if (!repro.empty()) return run_repro(repro);
+    if (!dump_spec.empty()) return run_dump_transcript(dump_spec, out_path);
+    if (!diff_paths.empty()) return run_diff_transcripts(diff_paths[0], diff_paths[1]);
     if (quick) {
       const auto budgets = fle::verify::quick_suite_options();
       if (!trials_set) options.trials = budgets.trials;

@@ -1,0 +1,97 @@
+// fle_worker — one member of a fle_sweep fleet (DESIGN.md §8).
+//
+//   fle_worker --connect 127.0.0.1:41201 [--threads T] [--label NAME]
+//              [--fault 'kill@2,hang@3:2000'] [--fault-seed S --fault-rate R]
+//
+// Connects to the driver, answers assigned trial windows with shard rows,
+// and exits on drain.  --fault schedules deterministic misbehaviour by
+// assignment ordinal (src/fabric/fault.h) for chaos testing; --fault-seed
+// samples a plan instead (reproducible from the command line alone — the
+// sampled plan is printed at startup).  Exit codes are run_worker's: 0
+// clean drain, 3 injected kill, 2 rejected, 1 connection/protocol loss.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "fabric/worker.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT [--threads T] [--label NAME]\n"
+               "          [--fault PLAN] [--fault-seed S] [--fault-rate R]\n"
+               "          [--fault-windows N] [--deadline-ms N] [--read-timeout-ms N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fle::fabric::WorkerOptions options;
+  options.exit_on_kill = true;  // a killed process, not a returned function
+  bool connected_set = false;
+  std::uint64_t fault_seed = 0;
+  std::uint64_t fault_windows = 8;
+  double fault_rate = 0.25;
+  bool fault_sampled = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      const std::string target = next();
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos) usage(argv[0]);
+      options.host = target.substr(0, colon);
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+      connected_set = true;
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
+    } else if (arg == "--label") {
+      options.label = next();
+    } else if (arg == "--fault") {
+      try {
+        options.faults = fle::fabric::FaultPlan::parse(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "fle_worker: %s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--fault-seed") {
+      fault_seed = std::strtoull(next(), nullptr, 10);
+      fault_sampled = true;
+    } else if (arg == "--fault-rate") {
+      fault_rate = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-windows") {
+      fault_windows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--read-timeout-ms") {
+      options.read_timeout = std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!connected_set || options.port == 0) usage(argv[0]);
+
+  if (fault_sampled) {
+    try {
+      options.faults = fle::fabric::FaultPlan::sample(fault_seed, fault_windows, fault_rate);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "fle_worker: %s\n", error.what());
+      return 2;
+    }
+    std::fprintf(stderr, "fle_worker%s%s: sampled fault plan (seed %llu): %s\n",
+                 options.label.empty() ? "" : " ", options.label.c_str(),
+                 static_cast<unsigned long long>(fault_seed),
+                 options.faults.empty() ? "(none)" : options.faults.format().c_str());
+  }
+
+  return fle::fabric::run_worker(options);
+}
