@@ -29,11 +29,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "api/sweep.h"
 #include "fabric/socket.h"
+#include "sim/digest.h"
 
 namespace fle::fabric {
 
@@ -58,6 +61,15 @@ struct FabricOptions {
   std::chrono::milliseconds worker_grace{15000};
 };
 
+/// Wire-dedup bookkeeping: how many transcript leaves workers offered,
+/// how many blobs actually crossed the wire, and how many were served
+/// from the driver's content-addressed cache instead.
+struct DedupStats {
+  std::uint64_t keys_offered = 0;
+  std::uint64_t blobs_shipped = 0;
+  std::uint64_t blobs_reused = 0;
+};
+
 /// A SweepBackend that executes sweeps on remote workers.  Binds its
 /// listening socket in the constructor (so port() is known before any
 /// worker launches) and serves one run_sweep at a time.
@@ -75,10 +87,26 @@ class RemoteExecutor final : public SweepBackend {
   /// std::invalid_argument for specs that cannot travel the wire.
   std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep) override;
 
+  /// Cumulative wire-dedup counters (across every sweep this executor ran).
+  [[nodiscard]] const DedupStats& dedup_stats() const { return dedup_stats_; }
+
  private:
   FabricOptions options_;
   ListenResult listen_;
+  /// Content-addressed leaf cache: blobs received once are never shipped
+  /// again, by any worker, for the lifetime of the executor.
+  std::map<Digest256, std::vector<std::uint8_t>> blob_cache_;
+  DedupStats dedup_stats_;
 };
+
+/// The re-issue deadline for a window on its attempts-th try: base doubled
+/// per attempt, capped at 8x — and saturated, because the multiply runs on
+/// user-supplied --deadline-ms and `base * 8` on a huge value would
+/// overflow std::chrono arithmetic into a deadline in the past (every
+/// worker would instantly "miss" it).  The result stays small enough that
+/// adding it to steady_clock::now() cannot overflow either.
+[[nodiscard]] std::chrono::milliseconds backoff_deadline(std::chrono::milliseconds base,
+                                                         int attempts);
 
 /// The canonical JSONL rendering both fle_sweep modes (--local and
 /// fabric) write: one shard row per scenario with wall-clock fields

@@ -102,6 +102,11 @@ std::vector<std::uint8_t> ExecutionTranscript::encode() const {
   return out;
 }
 
+Digest256 ExecutionTranscript::content_key() const {
+  const std::vector<std::uint8_t> bytes = encode();
+  return Sha256::of(bytes);
+}
+
 ExecutionTranscript ExecutionTranscript::decode(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 4 || bytes[0] != kMagic[0] || bytes[1] != kMagic[1] ||
       bytes[2] != kMagic[2] || bytes[3] != kMagic[3]) {

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/digest.h"
 #include "sim/scheduler.h"
 
 namespace fle {
@@ -123,6 +124,13 @@ class ExecutionTranscript {
   /// digest, count and events.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static ExecutionTranscript decode(std::span<const std::uint8_t> bytes);
+
+  /// SHA-256 of encode() — the content-addressed store key (src/store/).
+  /// The in-loop FNV fold stays the cheap fingerprint; this strengthened
+  /// digest is computed once per trial at the store boundary, so identical
+  /// executions key identical blobs and distinct executions cannot
+  /// plausibly collide.  kFull only, like encode().
+  [[nodiscard]] Digest256 content_key() const;
 
   /// Transcripts compare by their common observable: digest and event
   /// count always, stored events too when both sides carry them.

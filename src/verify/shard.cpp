@@ -236,16 +236,33 @@ ExecutionTranscript transcript_from_hex(const std::string& hex) {
   }
   std::vector<std::uint8_t> bytes;
   bytes.reserve(hex.size() / 2);
-  const auto nibble = [](char c) -> std::uint8_t {
+  // Either case is accepted (we emit lowercase, but rows may pass through
+  // tools that uppercase hex), and the error names the decoded byte offset
+  // so a corrupted row is localizable.
+  const auto nibble = [&hex](std::size_t pos) -> std::uint8_t {
+    const char c = hex[pos];
     if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
     if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
     throw std::invalid_argument(std::string("shard row: bad transcript hex digit '") + c +
-                                "'");
+                                "' at byte " + std::to_string(pos / 2));
   };
   for (std::size_t i = 0; i < hex.size(); i += 2) {
-    bytes.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+    bytes.push_back(static_cast<std::uint8_t>((nibble(i) << 4) | nibble(i + 1)));
   }
   return ExecutionTranscript::decode(bytes);
+}
+
+/// Comma-separated store keys (sim/digest.h content hashes), one per
+/// recorded trial: the join column between shard rows and the
+/// content-addressed store (src/store/).
+std::string store_key_list(const std::vector<ExecutionTranscript>& transcripts) {
+  std::string out;
+  for (std::size_t t = 0; t < transcripts.size(); ++t) {
+    if (t != 0) out += ',';
+    out += transcripts[t].content_key().hex();
+  }
+  return out;
 }
 
 }  // namespace
@@ -257,7 +274,7 @@ ScenarioSpec shard_key_spec(ScenarioSpec spec) {
   return spec;
 }
 
-std::string format_shard_row(const ShardRow& row) {
+std::string format_shard_row(const ShardRow& row, bool elide_transcripts) {
   if (!row.passthrough.empty()) {
     std::string out = "{";
     append_kv(out, "case", std::to_string(row.case_index), false);
@@ -289,7 +306,12 @@ std::string format_shard_row(const ShardRow& row) {
   if (r.outcomes_recorded) append_kv(out, "per_trial", per_trial_list(r.per_trial), true);
   append_kv(out, "transcripts_recorded", r.transcripts_recorded ? "true" : "false", false);
   if (r.transcripts_recorded) {
-    append_kv(out, "transcripts", transcript_list(r.per_trial_transcript), true);
+    if (elide_transcripts) {
+      append_kv(out, "transcripts_elided", "true", false);
+    } else {
+      append_kv(out, "transcripts", transcript_list(r.per_trial_transcript), true);
+    }
+    append_kv(out, "store_keys", store_key_list(r.per_trial_transcript), true);
   }
   if (row.allocations != 0) {
     append_kv(out, "allocations", std::to_string(row.allocations), false);
@@ -425,7 +447,36 @@ ShardRow parse_shard_row(const std::string& line) {
   // recorded.
   result.transcripts_recorded =
       json.has("transcripts_recorded") && json.boolean("transcripts_recorded");
-  if (result.transcripts_recorded) {
+  row.transcripts_elided =
+      json.has("transcripts_elided") && json.boolean("transcripts_elided");
+  if (row.transcripts_elided && !result.transcripts_recorded) {
+    throw std::invalid_argument("shard row: transcripts_elided without transcripts_recorded");
+  }
+  if (row.transcripts_elided) {
+    // The dedup wire form: store keys stand in for the blobs, which the
+    // receiver resolves from its content-addressed cache.
+    const std::string& keys = json.str("store_keys");
+    std::size_t key_pos = 0;
+    while (key_pos <= keys.size() && !keys.empty()) {
+      const std::size_t comma = keys.find(',', key_pos);
+      const std::string key = keys.substr(
+          key_pos, comma == std::string::npos ? std::string::npos : comma - key_pos);
+      const std::optional<Digest256> digest = Digest256::from_hex(key);
+      if (!digest) {
+        throw std::invalid_argument("shard row: store_keys[" +
+                                    std::to_string(row.store_keys.size()) + "] = '" + key +
+                                    "' is not a 64-hex-digit content key");
+      }
+      row.store_keys.push_back(digest->hex());  // normalized lowercase
+      if (comma == std::string::npos) break;
+      key_pos = comma + 1;
+    }
+    if (row.store_keys.size() != result.trials) {
+      throw std::invalid_argument("shard row: store_keys holds " +
+                                  std::to_string(row.store_keys.size()) +
+                                  " keys, trials = " + std::to_string(result.trials));
+    }
+  } else if (result.transcripts_recorded) {
     const std::string& list = json.str("transcripts");
     std::size_t pos = 0;
     while (pos <= list.size() && !list.empty()) {
@@ -446,6 +497,36 @@ ShardRow parse_shard_row(const std::string& line) {
       throw std::invalid_argument("shard row: transcripts holds " +
                                   std::to_string(result.per_trial_transcript.size()) +
                                   " entries, trials = " + std::to_string(result.trials));
+    }
+    // The store-key column is derived data; when present it must agree
+    // with the blobs it annotates, or the row was stitched from two
+    // different captures.
+    if (json.has("store_keys")) {
+      const std::string& keys = json.str("store_keys");
+      std::size_t key_pos = 0;
+      std::size_t trial = 0;
+      while (key_pos <= keys.size() && !keys.empty()) {
+        const std::size_t comma = keys.find(',', key_pos);
+        const std::string key = keys.substr(
+            key_pos, comma == std::string::npos ? std::string::npos : comma - key_pos);
+        if (trial >= result.per_trial_transcript.size()) {
+          throw std::invalid_argument("shard row: more store_keys than transcripts");
+        }
+        const std::string expected = result.per_trial_transcript[trial].content_key().hex();
+        if (key != expected) {
+          throw std::invalid_argument("shard row: store_keys[" + std::to_string(trial) +
+                                      "] = '" + key + "' does not match the transcript (" +
+                                      expected + ")");
+        }
+        ++trial;
+        if (comma == std::string::npos) break;
+        key_pos = comma + 1;
+      }
+      if (trial != result.per_trial_transcript.size()) {
+        throw std::invalid_argument("shard row: store_keys holds " + std::to_string(trial) +
+                                    " keys, transcripts = " +
+                                    std::to_string(result.per_trial_transcript.size()));
+      }
     }
   }
 

@@ -33,6 +33,12 @@ struct ShardRow {
   std::uint64_t allocations = 0;  ///< bench bookkeeping; merged by summing
   std::string passthrough;      ///< non-empty = raw display JSON, no result
   ScenarioResult result{1};
+  /// True when the row was formatted with elide_transcripts: the recorded
+  /// transcripts travel out of band (the fabric's dedup path ships only the
+  /// blobs the driver lacks) and the row carries their store keys instead.
+  bool transcripts_elided = false;
+  /// Hex content keys (sim/digest.h), one per recorded trial, when elided.
+  std::vector<std::string> store_keys;
 
   ShardRow() = default;
 };
@@ -42,8 +48,11 @@ struct ShardRow {
 /// merge step — formats the identical format_spec line for one scenario.
 ScenarioSpec shard_key_spec(ScenarioSpec spec);
 
-/// Renders one JSONL row (no trailing newline).
-std::string format_shard_row(const ShardRow& row);
+/// Renders one JSONL row (no trailing newline).  With elide_transcripts,
+/// a transcript-recording row keeps its store_keys column but drops the
+/// hex blobs and marks itself "transcripts_elided" — the wire-dedup form
+/// whose blobs are shipped (or skipped) separately by content key.
+std::string format_shard_row(const ShardRow& row, bool elide_transcripts = false);
 
 /// Parses a row previously produced by format_shard_row.  Throws
 /// std::invalid_argument naming the offending key on malformed input.

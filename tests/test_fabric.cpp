@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -125,6 +128,51 @@ TEST(FabricWire, MalformedFramesThrow) {
   leb128_put(bad_string, 200);  // claims a 200-byte message in a 3-byte payload
   bad_string.push_back('x');
   EXPECT_THROW(try_parse_frame(bad_string), std::invalid_argument);
+}
+
+TEST(FabricWire, DedupFramesRoundTrip) {
+  LeafOffer offer;
+  offer.window = 12;
+  offer.keys.push_back(Sha256::of_string("a"));
+  offer.keys.push_back(Sha256::of_string("b"));
+  const Frame offered = roundtrip(encode_frame(offer));
+  ASSERT_EQ(offered.kind, MessageKind::kLeafOffer);
+  EXPECT_EQ(offered.offer.window, 12u);
+  ASSERT_EQ(offered.offer.keys.size(), 2u);
+  EXPECT_EQ(offered.offer.keys[0], Sha256::of_string("a"));
+  EXPECT_EQ(offered.offer.keys[1], Sha256::of_string("b"));
+
+  LeafWant want;
+  want.window = 12;
+  want.indices = {0, 5, 9};
+  const Frame wanted = roundtrip(encode_frame(want));
+  ASSERT_EQ(wanted.kind, MessageKind::kLeafWant);
+  EXPECT_EQ(wanted.want.window, 12u);
+  EXPECT_EQ(wanted.want.indices, (std::vector<std::uint64_t>{0, 5, 9}));
+
+  ResultDedup dedup;
+  dedup.window = 12;
+  dedup.row = "{\"case\": 1}";
+  dedup.blobs.emplace_back(5, std::vector<std::uint8_t>{1, 2, 3});
+  const Frame shipped = roundtrip(encode_frame(dedup));
+  ASSERT_EQ(shipped.kind, MessageKind::kResultDedup);
+  EXPECT_EQ(shipped.result_dedup.row, dedup.row);
+  ASSERT_EQ(shipped.result_dedup.blobs.size(), 1u);
+  EXPECT_EQ(shipped.result_dedup.blobs[0].first, 5u);
+  EXPECT_EQ(shipped.result_dedup.blobs[0].second, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(FabricWire, TruncatedLeafOfferThrows) {
+  // A key count that overruns the payload must be rejected before any
+  // allocation, like every other malformed frame.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MessageKind::kLeafOffer));
+  leb128_put(payload, 1);    // window
+  leb128_put(payload, 100);  // claims 100 keys, carries none
+  std::vector<std::uint8_t> framed;
+  leb128_put(framed, payload.size());
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  EXPECT_THROW(try_parse_frame(framed), std::invalid_argument);
 }
 
 TEST(FabricWire, DigestsAreStableAndOrderSensitive) {
@@ -272,6 +320,74 @@ TEST(ShardHardening, BadTranscriptHexNamesTheTrial) {
   ASSERT_NE(comma, std::string::npos);
   truncated.erase(comma - 1, 1);  // odd-length first blob
   expect_parse_error(truncated, "transcripts[0]");
+}
+
+verify::ShardRow recorded_row() {
+  ScenarioSpec spec;
+  spec.protocol = "basic-lead";
+  spec.n = 4;
+  spec.trials = 2;
+  spec.seed = 3;
+  spec.record_outcomes = true;
+  spec.record_transcripts = true;
+  verify::ShardRow row;
+  row.spec_line =
+      "topology=ring protocol=basic-lead n=4 trials=2 seed=3 record=1 transcripts=1";
+  row.result = run_scenario(spec);
+  return row;
+}
+
+TEST(ShardHardening, UppercaseTranscriptHexAccepted) {
+  const std::string line = verify::format_shard_row(recorded_row());
+  const std::size_t start = line.find("\"transcripts\": \"") + 16;
+  ASSERT_NE(start, std::string::npos + 16);
+  const std::size_t end = line.find('"', start);
+  ASSERT_NE(end, std::string::npos);
+  std::string uppercased = line;
+  for (std::size_t i = start; i < end; ++i) {
+    uppercased[i] = static_cast<char>(std::toupper(uppercased[i]));
+  }
+  const verify::ShardRow original = verify::parse_shard_row(line);
+  const verify::ShardRow upper = verify::parse_shard_row(uppercased);
+  ASSERT_EQ(upper.result.per_trial_transcript.size(),
+            original.result.per_trial_transcript.size());
+  for (std::size_t t = 0; t < original.result.per_trial_transcript.size(); ++t) {
+    EXPECT_EQ(upper.result.per_trial_transcript[t], original.result.per_trial_transcript[t]);
+  }
+}
+
+TEST(ShardHardening, BadTranscriptHexReportsTheByteOffset) {
+  std::string line = verify::format_shard_row(recorded_row());
+  const std::size_t start = line.find("\"transcripts\": \"") + 16;
+  ASSERT_NE(start, std::string::npos + 16);
+  line[start + 7] = 'q';  // hex digit 7 = byte 3 of trial 0's blob
+  expect_parse_error(line, "'q' at byte 3");
+}
+
+TEST(ShardHardening, StoreKeysValidateAgainstTheTranscripts) {
+  const verify::ShardRow row = recorded_row();
+  const std::string line = verify::format_shard_row(row);
+  ASSERT_NE(line.find("\"store_keys\""), std::string::npos);
+  // The emitted keys parse back and match the recorded content keys.
+  (void)verify::parse_shard_row(line);
+  // A corrupted key is caught by the transcript cross-check.
+  std::string corrupted = line;
+  const std::size_t pos = corrupted.find("\"store_keys\": \"") + 15;
+  corrupted[pos] = corrupted[pos] == '0' ? '1' : '0';
+  expect_parse_error(corrupted, "store_keys[0]");
+}
+
+TEST(ShardHardening, ElidedRowsCarryKeysInsteadOfBlobs) {
+  const verify::ShardRow row = recorded_row();
+  const std::string elided = verify::format_shard_row(row, /*elide_transcripts=*/true);
+  EXPECT_EQ(elided.find("\"transcripts\":"), std::string::npos);
+  ASSERT_NE(elided.find("\"transcripts_elided\": true"), std::string::npos);
+  const verify::ShardRow parsed = verify::parse_shard_row(elided);
+  EXPECT_TRUE(parsed.transcripts_elided);
+  ASSERT_EQ(parsed.store_keys.size(), row.result.per_trial_transcript.size());
+  for (std::size_t t = 0; t < parsed.store_keys.size(); ++t) {
+    EXPECT_EQ(parsed.store_keys[t], row.result.per_trial_transcript[t].content_key().hex());
+  }
 }
 
 TEST(ShardHardening, MergeNamesOverlapAndGap) {
@@ -423,6 +539,63 @@ TEST(FabricLoopback, SeededFaultPlansStayBitIdentical) {
          FaultPlan{}},
         options);
   }
+}
+
+TEST(FabricDriver, BackoffDeadlineDoublesAndSaturates) {
+  using std::chrono::milliseconds;
+  EXPECT_EQ(backoff_deadline(milliseconds(100), 1), milliseconds(100));
+  EXPECT_EQ(backoff_deadline(milliseconds(100), 2), milliseconds(200));
+  EXPECT_EQ(backoff_deadline(milliseconds(100), 4), milliseconds(800));
+  EXPECT_EQ(backoff_deadline(milliseconds(100), 9), milliseconds(800));  // capped at 8x
+  // Regression: a huge --deadline-ms used to overflow `base * 8` (and the
+  // subsequent now() + deadline addition in nanoseconds) into a deadline in
+  // the past, so every worker instantly "missed" its window.
+  const auto huge = milliseconds(std::numeric_limits<std::int64_t>::max() / 10);
+  for (int attempts = 1; attempts <= 5; ++attempts) {
+    const auto saturated = backoff_deadline(huge, attempts);
+    EXPECT_GT(saturated.count(), 0);
+    const auto before = std::chrono::steady_clock::now();
+    EXPECT_GT(before + saturated, before);
+  }
+}
+
+TEST(FabricLoopback, DedupReusesRepeatedTranscriptBlobs) {
+  SweepSpec sweep;
+  ScenarioSpec spec;
+  spec.protocol = "basic-lead";
+  spec.n = 5;
+  spec.trials = 30;
+  spec.seed = 5;
+  spec.record_transcripts = true;
+  sweep.add(spec);
+  sweep.add(spec);  // identical twin: all of its leaves are already cached
+
+  const std::vector<ScenarioResult> local = run_sweep(sweep);
+  FabricOptions options;
+  options.window_trials = 10;
+  RemoteExecutor executor(options);
+  WorkerOptions worker;
+  worker.port = executor.port();
+  worker.threads = 2;
+  std::thread thread([worker] { (void)run_worker(worker); });
+  std::vector<ScenarioResult> remote;
+  try {
+    remote = executor.run_sweep(sweep);
+  } catch (...) {
+    thread.join();
+    throw;
+  }
+  thread.join();
+
+  // Dedup is a transport optimization: the merged report stays bit-identical.
+  EXPECT_EQ(canonical_report(sweep, remote), canonical_report(sweep, local));
+  const DedupStats& stats = executor.dedup_stats();
+  EXPECT_EQ(stats.keys_offered, 60u);
+  EXPECT_EQ(stats.blobs_shipped + stats.blobs_reused, stats.keys_offered);
+  // One worker drains windows in plan order, so by the time the twin
+  // scenario runs, every one of its 30 blobs is served from the cache.
+  EXPECT_GE(stats.blobs_reused, 30u);
+  EXPECT_LE(stats.blobs_shipped, 30u);
 }
 
 TEST(FabricLoopback, AllWorkersDeadFailsTheSweepLoudly) {

@@ -1,0 +1,117 @@
+#pragma once
+// Checked numeric CLI parsing shared by every fle_* tool.
+//
+// The tools used to feed flag values straight into atoi/strtol/strtoull,
+// so `--threads foo` silently became 0 and `--shard 1x/4` half-parsed.
+// Every numeric flag now routes through these helpers: the full argument
+// must parse (no trailing junk), fit the requested range, and a failure
+// names the flag, echoes the offending value and exits with code 2 — the
+// usage-error convention the tools already use for unknown flags.
+
+#include <charconv>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+
+namespace fle::cli {
+
+/// from_chars over the whole string: nullopt on empty input, non-numeric
+/// characters, trailing junk, or out-of-range values.
+template <typename Int>
+std::optional<Int> try_parse_int(std::string_view text) {
+  Int value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+/// Parses `text` for flag `flag` into [min, max]; on any failure prints
+/// "<prog>: <flag>: ..." to stderr and exits 2.
+template <typename Int>
+Int parse_int(const char* prog, const char* flag, std::string_view text,
+              Int min_value, Int max_value) {
+  const std::optional<Int> value = try_parse_int<Int>(text);
+  if (!value) {
+    std::fprintf(stderr, "%s: %s: '%.*s' is not a valid integer\n", prog, flag,
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  if (*value < min_value || *value > max_value) {
+    if constexpr (std::is_signed_v<Int>) {
+      std::fprintf(stderr, "%s: %s: %lld is out of range [%lld, %lld]\n", prog, flag,
+                   static_cast<long long>(*value), static_cast<long long>(min_value),
+                   static_cast<long long>(max_value));
+    } else {
+      std::fprintf(stderr, "%s: %s: %llu is out of range [%llu, %llu]\n", prog, flag,
+                   static_cast<unsigned long long>(*value),
+                   static_cast<unsigned long long>(min_value),
+                   static_cast<unsigned long long>(max_value));
+    }
+    std::exit(2);
+  }
+  return *value;
+}
+
+/// Millisecond durations: positive, capped so downstream chrono arithmetic
+/// (deadline backoff multiplies by up to 8) cannot overflow.
+inline std::int64_t parse_ms(const char* prog, const char* flag, std::string_view text) {
+  return parse_int<std::int64_t>(prog, flag, text, 1, 1ll << 40);
+}
+
+/// Seeds and other full-width unsigned values.
+inline std::uint64_t parse_u64(const char* prog, const char* flag, std::string_view text) {
+  return parse_int<std::uint64_t>(prog, flag, text, 0, UINT64_MAX);
+}
+
+/// Checked floating-point flag values (fault rates, densities): the whole
+/// string must parse and the result must land in [min, max].
+inline double parse_double(const char* prog, const char* flag, std::string_view text,
+                           double min_value, double max_value) {
+  double value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    std::fprintf(stderr, "%s: %s: '%.*s' is not a valid number\n", prog, flag,
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  if (!(value >= min_value && value <= max_value)) {
+    std::fprintf(stderr, "%s: %s: %g is out of range [%g, %g]\n", prog, flag, value,
+                 min_value, max_value);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// An "I/M" shard selector: index I in [0, M), count M >= 1.
+struct ShardArg {
+  int index = 0;
+  int count = 1;
+};
+
+inline ShardArg parse_shard(const char* prog, const char* flag, std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    std::fprintf(stderr, "%s: %s: '%.*s' is not of the form I/M\n", prog, flag,
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  ShardArg shard;
+  shard.index = parse_int<int>(prog, flag, text.substr(0, slash), 0, 1 << 20);
+  shard.count = parse_int<int>(prog, flag, text.substr(slash + 1), 1, 1 << 20);
+  if (shard.index >= shard.count) {
+    std::fprintf(stderr, "%s: %s: shard index %d must be below the count %d\n", prog, flag,
+                 shard.index, shard.count);
+    std::exit(2);
+  }
+  return shard;
+}
+
+}  // namespace fle::cli

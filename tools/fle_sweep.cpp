@@ -25,6 +25,7 @@
 #include <string>
 
 #include "api/sweep.h"
+#include "cli_parse.h"
 #include "fabric/driver.h"
 #include "verify/fuzzer.h"
 
@@ -32,7 +33,7 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --spec-file FILE [--local] [--out FILE]\n"
+               "usage: %s --spec-file FILE [--local [--shard I/M]] [--out FILE]\n"
                "          [--port N] [--port-file FILE] [--workers N] [--window N]\n"
                "          [--deadline-ms N] [--retries N] [--heartbeat-ms N]\n"
                "          [--grace-ms N] [--threads T]\n",
@@ -72,6 +73,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string port_file;
   bool local = false;
+  bool sharded = false;
+  fle::cli::ShardArg shard;
   int threads = 0;
   fle::fabric::FabricOptions options;
 
@@ -85,34 +88,68 @@ int main(int argc, char** argv) {
       spec_path = next();
     } else if (arg == "--local") {
       local = true;
+    } else if (arg == "--shard") {
+      shard = fle::cli::parse_shard(argv[0], "--shard", next());
+      sharded = true;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--port") {
-      options.port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+      options.port = fle::cli::parse_int<std::uint16_t>(argv[0], "--port", next(), 0, 65535);
     } else if (arg == "--port-file") {
       port_file = next();
     } else if (arg == "--workers") {
-      options.planned_workers = std::strtoull(next(), nullptr, 10);
+      options.planned_workers =
+          fle::cli::parse_int<std::size_t>(argv[0], "--workers", next(), 1, 1u << 20);
     } else if (arg == "--window") {
-      options.window_trials = std::strtoull(next(), nullptr, 10);
+      options.window_trials =
+          fle::cli::parse_int<std::size_t>(argv[0], "--window", next(), 0, 1u << 30);
     } else if (arg == "--deadline-ms") {
-      options.window_deadline = std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+      options.window_deadline =
+          std::chrono::milliseconds(fle::cli::parse_ms(argv[0], "--deadline-ms", next()));
     } else if (arg == "--retries") {
-      options.max_attempts = std::atoi(next());
+      options.max_attempts = fle::cli::parse_int<int>(argv[0], "--retries", next(), 1, 1000);
     } else if (arg == "--heartbeat-ms") {
-      options.heartbeat_interval = std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+      options.heartbeat_interval =
+          std::chrono::milliseconds(fle::cli::parse_ms(argv[0], "--heartbeat-ms", next()));
     } else if (arg == "--grace-ms") {
-      options.worker_grace = std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+      options.worker_grace =
+          std::chrono::milliseconds(fle::cli::parse_ms(argv[0], "--grace-ms", next()));
     } else if (arg == "--threads") {
-      threads = std::atoi(next());
+      threads = fle::cli::parse_int<int>(argv[0], "--threads", next(), 0, 4096);
     } else {
       usage(argv[0]);
     }
   }
   if (spec_path.empty()) usage(argv[0]);
+  if (sharded && !local) {
+    std::fprintf(stderr, "%s: --shard applies to --local runs only "
+                 "(the fabric shards by windows already)\n", argv[0]);
+    return 2;
+  }
 
   try {
-    const fle::SweepSpec sweep = load_sweep(spec_path, threads);
+    fle::SweepSpec sweep = load_sweep(spec_path, threads);
+    if (sharded) {
+      // Slice every scenario's trial window [i*c/m, (i+1)*c/m): the m
+      // shard reports together tile each scenario exactly, so `fle_store
+      // build` (or fle_verify --merge machinery) folds them back into the
+      // monolithic run bit for bit.  An empty slice is pinned to the very
+      // end of the scenario so merge contiguity still holds.
+      for (fle::ScenarioSpec& spec : sweep.scenarios) {
+        const fle::TrialWindow window = fle::scenario_trial_window(spec);
+        const std::size_t index = static_cast<std::size_t>(shard.index);
+        const std::size_t count = static_cast<std::size_t>(shard.count);
+        const std::size_t lo = window.first + window.count * index / count;
+        const std::size_t hi = window.first + window.count * (index + 1) / count;
+        if (lo == hi) {
+          spec.trial_offset = spec.trials;
+          spec.trial_count = 0;
+        } else {
+          spec.trial_offset = lo;
+          spec.trial_count = hi - lo;
+        }
+      }
+    }
     std::vector<fle::ScenarioResult> results;
     if (local) {
       results = fle::run_sweep(sweep);

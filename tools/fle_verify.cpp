@@ -22,7 +22,9 @@
 //   fle_verify --diff-transcripts a.bin b.bin
 //                                      first-divergence diff of two recorded
 //                                      containers: trial, event index, and both
-//                                      events; exit 1 on divergence
+//                                      events; exit 1 on divergence.  Accepts
+//                                      FLES containers and content-addressed
+//                                      FLST stores (fle_store) in any mix
 //
 // Exit code 0 iff every check passed.
 
@@ -37,6 +39,8 @@
 #include <vector>
 
 #include "api/registry.h"
+#include "cli_parse.h"
+#include "store/store.h"
 #include "verify/fuzzer.h"
 #include "verify/suite.h"
 
@@ -158,12 +162,26 @@ int run_dump_transcript(const std::string& line, const std::string& out_path) {
   return 0;
 }
 
+/// Loads a recorded transcript container: a FLES set (or bare FLET stream)
+/// from --dump-transcript, or a content-addressed FLST store built by
+/// fle_store — detected by magic, so --diff-transcripts compares any mix
+/// of the two formats.
 std::vector<fle::ExecutionTranscript> load_transcript_set(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::invalid_argument("cannot read '" + path + "'");
-  const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                        std::istreambuf_iterator<char>());
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
   try {
+    if (bytes.size() >= 4 && bytes[0] == 'F' && bytes[1] == 'L' && bytes[2] == 'S' &&
+        bytes[3] == 'T') {
+      const fle::StoreReader store = fle::StoreReader::from_bytes(std::move(bytes));
+      std::vector<fle::ExecutionTranscript> transcripts;
+      transcripts.reserve(static_cast<std::size_t>(store.trial_count()));
+      for (std::uint64_t t = 0; t < store.trial_count(); ++t) {
+        transcripts.push_back(store.read_transcript(t));
+      }
+      return transcripts;
+    }
     return fle::decode_transcript_set(bytes);
   } catch (const std::exception& error) {
     throw std::invalid_argument(path + ": " + error.what());
@@ -203,18 +221,13 @@ int run_diff_transcripts(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
-/// Parses "i/m" into a slice; exits with usage() on malformed input.
+/// Parses "i/m" into a slice; prints the offending value and exits 2 on
+/// malformed input (cli_parse.h).
 fle::verify::ShardSlice parse_slice(const char* text, const char* argv0) {
+  const fle::cli::ShardArg shard = fle::cli::parse_shard(argv0, "--shard", text);
   fle::verify::ShardSlice slice;
-  char* end = nullptr;
-  slice.index = static_cast<int>(std::strtol(text, &end, 10));
-  if (end == text || *end != '/') usage(argv0);
-  const char* count = end + 1;
-  slice.count = static_cast<int>(std::strtol(count, &end, 10));
-  if (end == count || *end != '\0' || slice.count < 1 || slice.index < 0 ||
-      slice.index >= slice.count) {
-    usage(argv0);
-  }
+  slice.index = shard.index;
+  slice.count = shard.count;
   return slice;
 }
 
@@ -304,18 +317,20 @@ int main(int argc, char** argv) {
     if (arg == "--quick") {
       quick = true;
     } else if (arg == "--trials") {
-      options.trials = std::strtoull(next(), nullptr, 10);
+      options.trials = fle::cli::parse_int<std::size_t>(argv[0], "--trials", next(), 1, 1u << 30);
       trials_set = true;
     } else if (arg == "--exact") {
-      options.exact_trials = std::strtoull(next(), nullptr, 10);
+      options.exact_trials =
+          fle::cli::parse_int<std::size_t>(argv[0], "--exact", next(), 1, 1u << 30);
       exact_set = true;
     } else if (arg == "--fuzz") {
-      options.fuzz_specs = std::strtoull(next(), nullptr, 10);
+      options.fuzz_specs =
+          fle::cli::parse_int<std::size_t>(argv[0], "--fuzz", next(), 0, 1u << 30);
       fuzz_set = true;
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(next(), nullptr, 10);
+      options.seed = fle::cli::parse_u64(argv[0], "--seed", next());
     } else if (arg == "--threads") {
-      options.threads = std::atoi(next());
+      options.threads = fle::cli::parse_int<int>(argv[0], "--threads", next(), 0, 4096);
     } else if (arg == "--no-statistical") {
       options.run_statistical = false;
     } else if (arg == "--no-differential") {

@@ -15,7 +15,9 @@
 #include <cstring>
 #include <exception>
 #include <string>
+#include <string_view>
 
+#include "cli_parse.h"
 #include "fabric/worker.h"
 
 namespace {
@@ -24,7 +26,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --connect HOST:PORT [--threads T] [--label NAME]\n"
                "          [--fault PLAN] [--fault-seed S] [--fault-rate R]\n"
-               "          [--fault-windows N] [--deadline-ms N] [--read-timeout-ms N]\n",
+               "          [--fault-windows N] [--read-timeout-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -49,13 +51,17 @@ int main(int argc, char** argv) {
     if (arg == "--connect") {
       const std::string target = next();
       const std::size_t colon = target.rfind(':');
-      if (colon == std::string::npos) usage(argv[0]);
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "%s: --connect: '%s' is not of the form HOST:PORT\n", argv[0],
+                     target.c_str());
+        return 2;
+      }
       options.host = target.substr(0, colon);
-      options.port =
-          static_cast<std::uint16_t>(std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+      options.port = fle::cli::parse_int<std::uint16_t>(
+          argv[0], "--connect", std::string_view(target).substr(colon + 1), 1, 65535);
       connected_set = true;
     } else if (arg == "--threads") {
-      options.threads = std::atoi(next());
+      options.threads = fle::cli::parse_int<int>(argv[0], "--threads", next(), 0, 4096);
     } else if (arg == "--label") {
       options.label = next();
     } else if (arg == "--fault") {
@@ -66,19 +72,21 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--fault-seed") {
-      fault_seed = std::strtoull(next(), nullptr, 10);
+      fault_seed = fle::cli::parse_u64(argv[0], "--fault-seed", next());
       fault_sampled = true;
     } else if (arg == "--fault-rate") {
-      fault_rate = std::strtod(next(), nullptr);
+      fault_rate = fle::cli::parse_double(argv[0], "--fault-rate", next(), 0.0, 1.0);
     } else if (arg == "--fault-windows") {
-      fault_windows = std::strtoull(next(), nullptr, 10);
+      fault_windows = fle::cli::parse_int<std::uint64_t>(argv[0], "--fault-windows", next(), 0,
+                                                         1u << 30);
     } else if (arg == "--read-timeout-ms") {
-      options.read_timeout = std::chrono::milliseconds(std::strtoll(next(), nullptr, 10));
+      options.read_timeout =
+          std::chrono::milliseconds(fle::cli::parse_ms(argv[0], "--read-timeout-ms", next()));
     } else {
       usage(argv[0]);
     }
   }
-  if (!connected_set || options.port == 0) usage(argv[0]);
+  if (!connected_set) usage(argv[0]);
 
   if (fault_sampled) {
     try {
