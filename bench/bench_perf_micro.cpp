@@ -21,6 +21,7 @@
 
 #include "api/scenario.h"
 #include "api/sweep.h"
+#include "core/ctr_rng.h"
 #include "core/random_function.h"
 #include "core/rng.h"
 #include "protocols/alead_uni.h"
@@ -31,6 +32,7 @@
 #include "sim/arena.h"
 #include "sim/engine.h"
 #include "sim/graph_engine.h"
+#include "sim/lane_engine.h"
 #include "sim/sync_engine.h"
 
 namespace {
@@ -75,6 +77,22 @@ void BM_XoshiroBelow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_XoshiroBelow);
+
+void BM_CtrRngBelow(benchmark::State& state) {
+  CtrRng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(1000));
+  }
+}
+BENCHMARK(BM_CtrRngBelow);
+
+void BM_CtrRngAt(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CtrRng::at(7, ++i));
+  }
+}
+BENCHMARK(BM_CtrRngAt);
 
 void BM_RandomFunctionEvaluate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -240,6 +258,26 @@ void BM_SyncTrialReused(benchmark::State& state) {
 }
 BENCHMARK(BM_SyncTrialReused)->Arg(16)->Arg(64);
 
+// ---- batched lane engine (DESIGN.md §10): window throughput --------------
+
+void BM_LaneEngineRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LaneEngineOptions options;
+  options.lanes = 8;
+  LaneEngine engine(n, LaneKernelId::kBasicLead, options);
+  std::vector<std::uint64_t> seeds(256);
+  std::vector<LaneTrialResult> results(seeds.size());
+  std::uint64_t base = 0;
+  AllocationScope allocations(state, "allocations_per_window");
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = ++base;
+    engine.run_window(seeds, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_LaneEngineRing)->Arg(32)->Arg(128);
+
 // ---- end-to-end run_scenario throughput (items/sec = trials/sec) ---------
 
 void run_scenario_throughput(benchmark::State& state, ScenarioSpec spec) {
@@ -262,6 +300,33 @@ void BM_RunScenarioRing(benchmark::State& state) {
   run_scenario_throughput(state, spec);
 }
 BENCHMARK(BM_RunScenarioRing)->Arg(32)->Arg(128);
+
+// The scalar-vs-lane comparison rows: identical workloads with the engine
+// pinned, so the items/sec ratio is the lane path's end-to-end win (the
+// results themselves are bit-identical — that is gated in the test suite).
+void BM_RunScenarioRingScalar(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.protocol = "basic-lead";
+  spec.n = static_cast<int>(state.range(0));
+  spec.trials = 100;
+  spec.threads = 1;
+  spec.engine = EngineKind::kScalar;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioRingScalar)->Arg(32)->Arg(128);
+
+void BM_RunScenarioRingLanes(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kRing;
+  spec.protocol = "basic-lead";
+  spec.n = static_cast<int>(state.range(0));
+  spec.trials = 100;
+  spec.threads = 1;
+  spec.engine = EngineKind::kLanes;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioRingLanes)->Arg(32)->Arg(128);
 
 void BM_RunScenarioRingParallel(benchmark::State& state) {
   ScenarioSpec spec;

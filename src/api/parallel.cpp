@@ -128,10 +128,14 @@ void Executor::execute_jobs(Submission& submission, std::size_t worker_slot) {
           }
           workspace = keepalive.get();
         }
-        for (std::size_t t = job.begin; t < job.end; ++t) {
-          const std::size_t global = batch.trial_offset + t;
-          (*batch.out)[t] =
-              batch.body(global, scenario_trial_seed(batch.base_seed, global), workspace);
+        if (batch.chunk_body) {
+          batch.chunk_body(job.begin, job.end, workspace);
+        } else {
+          for (std::size_t t = job.begin; t < job.end; ++t) {
+            const std::size_t global = batch.trial_offset + t;
+            (*batch.out)[t] =
+                batch.body(global, scenario_trial_seed(batch.base_seed, global), workspace);
+          }
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(submission.error_mutex);

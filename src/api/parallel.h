@@ -69,6 +69,14 @@ class Executor {
   using TrialBody =
       std::function<TrialStats(std::size_t trial, std::uint64_t trial_seed, void* workspace)>;
 
+  /// Whole-chunk body: executes local trials [begin, end) of the batch in
+  /// one call and writes their `out` slots itself.  This is the seam the
+  /// batched lane engine plugs into — the executor hands it whole trial
+  /// windows instead of calling `body` per trial, so a worker's window runs
+  /// as one lane-engine batch.  Seeds stay the per-trial contract: the body
+  /// derives them via scenario_trial_seed(base_seed, trial_offset + t).
+  using ChunkBody = std::function<void(std::size_t begin, std::size_t end, void* workspace)>;
+
   /// One scenario's trial range, ready to execute.
   struct Batch {
     std::size_t trials = 0;        ///< how many trials to run
@@ -77,6 +85,7 @@ class Executor {
     WorkspaceKey workspace;        ///< cache key; family 0 = per-submission
     WorkspaceFactory make_workspace;
     TrialBody body;
+    ChunkBody chunk_body;  ///< when set, replaces `body` for whole jobs
     std::vector<TrialStats>* out = nullptr;  ///< pre-sized to `trials`; slot = local index
   };
 

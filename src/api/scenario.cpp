@@ -6,11 +6,13 @@
 
 #include "api/parallel.h"
 #include "api/registry.h"
+#include "api/specialize.h"
 #include "api/sweep.h"
 #include "attacks/deviation.h"
 #include "sim/arena.h"
 #include "sim/engine.h"
 #include "sim/graph_engine.h"
+#include "sim/lane_engine.h"
 #include "sim/sync_engine.h"
 #include "sim/threaded_runtime.h"
 
@@ -41,6 +43,41 @@ std::optional<TopologyKind> parse_topology(const std::string& name) {
   if (name == "sync") return TopologyKind::kSync;
   if (name == "threaded") return TopologyKind::kThreaded;
   if (name == "fullinfo") return TopologyKind::kFullInfo;
+  return std::nullopt;
+}
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAuto:
+      return "auto";
+    case EngineKind::kScalar:
+      return "scalar";
+    case EngineKind::kLanes:
+      return "lanes";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> parse_engine(const std::string& name) {
+  if (name == "auto") return EngineKind::kAuto;
+  if (name == "scalar") return EngineKind::kScalar;
+  if (name == "lanes") return EngineKind::kLanes;
+  return std::nullopt;
+}
+
+const char* to_string(RngKind kind) {
+  switch (kind) {
+    case RngKind::kXoshiro:
+      return "xoshiro";
+    case RngKind::kCtr:
+      return "ctr";
+  }
+  return "unknown";
+}
+
+std::optional<RngKind> parse_rng(const std::string& name) {
+  if (name == "xoshiro") return RngKind::kXoshiro;
+  if (name == "ctr") return RngKind::kCtr;
   return std::nullopt;
 }
 
@@ -262,6 +299,7 @@ struct ScenarioJob {
   WorkspaceKey workspace_key{};
   WorkspaceFactory make_workspace;
   Executor::TrialBody body;
+  Executor::ChunkBody chunk_body;  ///< lane-routed jobs: whole-window body
 
   /// The transcript slot for global trial `trial`, or nullptr when the
   /// spec does not record.  The slot is cleared for the trial (reused
@@ -281,6 +319,7 @@ struct ScenarioJob {
 constexpr int kRingFamily = 1;
 constexpr int kGraphFamily = 2;
 constexpr int kSyncFamily = 3;
+constexpr int kLaneFamily = 4;  ///< batched lane engine (sim/lane_engine.h)
 constexpr int kGraphFamilyBase = 16;  ///< + GraphAdjacency index for restricted graphs
 
 int graph_family(GraphAdjacency adjacency) {
@@ -328,6 +367,7 @@ Executor::Batch batch_of(ScenarioJob& job) {
   batch.workspace = job.workspace_key;
   batch.make_workspace = job.make_workspace;
   batch.body = job.body;
+  batch.chunk_body = job.chunk_body;
   batch.out = &job.stats;
   return batch;
 }
@@ -367,9 +407,23 @@ WorkspaceFactory workspace_factory() {
   return [] { return std::static_pointer_cast<void>(std::make_shared<Workspace>()); };
 }
 
+/// rng=ctr streams exist only where the ring engines plumb the kind into
+/// the tapes; every other runtime is pinned to the xoshiro reference
+/// streams.  Shared by prepare_scenario_job and run_ring_scenario.
+void require_rng_supported(const ScenarioSpec& spec) {
+  if (spec.rng != RngKind::kXoshiro && spec.topology != TopologyKind::kRing) {
+    throw std::invalid_argument(
+        "ScenarioSpec.rng = '" + std::string(to_string(spec.rng)) +
+        "' is ring-only (other runtimes' tapes are pinned to the xoshiro reference "
+        "streams); got topology '" +
+        to_string(spec.topology) + "'");
+  }
+}
+
 void fill_ring_job(ScenarioJob& job, RingTrialFactories factories) {
   const ScenarioSpec& spec = job.spec;
   require_n(spec, 2);
+  require_rng_supported(spec);
   job.result = ScenarioResult(spec.n);
   {
     const auto named = factories.protocol(spec.seed);
@@ -403,10 +457,12 @@ void fill_ring_job(ScenarioJob& job, RingTrialFactories factories) {
       // The workspace may come from another scenario with the same (ring, n)
       // key: rebuild whenever the engine shape differs, not just on first use.
       if (!ws.engine || ws.engine->step_limit() != step_limit ||
-          ws.engine->scheduler_kind() != spec.scheduler) {
+          ws.engine->scheduler_kind() != spec.scheduler ||
+          ws.engine->rng_kind() != spec.rng) {
         EngineOptions options;
         options.step_limit = step_limit;
         options.scheduler_kind = spec.scheduler;
+        options.rng = spec.rng;
         ws.engine = std::make_unique<RingEngine>(spec.n, trial_seed, std::move(options));
       } else {
         ws.engine->reset(trial_seed);
@@ -427,6 +483,83 @@ void fill_ring_job(ScenarioJob& job, RingTrialFactories factories) {
     job.workspace_key = WorkspaceKey{kRingFamily, spec.n};
     job.make_workspace = workspace_factory<RingWorkspace>();
   }
+}
+
+/// Per-worker lane workspace: one LaneEngine plus the window-shaped seed /
+/// result / transcript-pointer staging vectors, cached under
+/// (kLaneFamily, n) like every other engine workspace and rebuilt only
+/// when the engine shape changes.
+struct LaneWorkspace {
+  std::unique_ptr<LaneEngine> engine;
+  std::vector<std::uint64_t> seeds;
+  std::vector<LaneTrialResult> results;
+  std::vector<ExecutionTranscript*> transcripts;
+};
+
+/// The specializer's fast path: the executor hands whole trial windows to
+/// a batched LaneEngine via the chunk-body seam.  Only reachable for
+/// lane_eligible() specs (route_to_lanes gates it), so the protocol always
+/// has a devirtualized kernel and the honest profile applies.
+void fill_lane_job(ScenarioJob& job, const ProtocolEntry* protocol_entry) {
+  const ScenarioSpec& spec = job.spec;
+  require_n(spec, 2);
+  job.result = ScenarioResult(spec.n);
+  const LaneKernelId kernel = *lane_kernel_for(spec.protocol);
+
+  // One representative instance resolves the display name and the step
+  // limit; the kernels' honest message bounds depend only on n, so the
+  // limit is uniform across the window's trials.
+  std::uint64_t step_limit = 0;
+  {
+    const std::shared_ptr<const RingProtocol> named =
+        protocol_entry->make_ring(spec, spec.seed);
+    job.result.protocol_name = named->name();
+    step_limit = scenario_ring_step_limit(spec, *named);
+  }
+
+  const int width = lane_width(spec);
+  ScenarioJob* j = &job;
+  job.chunk_body = [j, kernel, step_limit, width](std::size_t begin, std::size_t end,
+                                                  void* raw) {
+    const ScenarioSpec& spec = j->spec;
+    auto& ws = *static_cast<LaneWorkspace*>(raw);
+    if (!ws.engine || ws.engine->kernel() != kernel || ws.engine->n() != spec.n ||
+        ws.engine->step_limit() != step_limit ||
+        ws.engine->scheduler_kind() != spec.scheduler || ws.engine->rng_kind() != spec.rng ||
+        ws.engine->lanes() != width) {
+      LaneEngineOptions options;
+      options.step_limit = step_limit;
+      options.scheduler_kind = spec.scheduler;
+      options.rng = spec.rng;
+      options.lanes = width;
+      ws.engine = std::make_unique<LaneEngine>(spec.n, kernel, options);
+    }
+    const std::size_t count = end - begin;
+    ws.seeds.resize(count);
+    ws.results.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ws.seeds[i] = scenario_trial_seed(spec.seed, j->window.first + begin + i);
+    }
+    std::span<ExecutionTranscript* const> transcripts;
+    if (spec.record_transcripts) {
+      ws.transcripts.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ws.transcripts[i] = j->transcript_slot(j->window.first + begin + i);
+      }
+      transcripts = std::span<ExecutionTranscript* const>(ws.transcripts);
+    }
+    ws.engine->run_window(std::span<const std::uint64_t>(ws.seeds),
+                          std::span<LaneTrialResult>(ws.results), transcripts);
+    for (std::size_t i = 0; i < count; ++i) {
+      TrialStats stats;
+      stats.outcome = ws.results[i].outcome;
+      stats.messages = ws.results[i].messages;
+      stats.sync_gap = ws.results[i].max_sync_gap;
+      j->stats[begin + i] = stats;
+    }
+  };
+  job.workspace_key = WorkspaceKey{kLaneFamily, spec.n};
+  job.make_workspace = workspace_factory<LaneWorkspace>();
 }
 
 void fill_registry_ring_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
@@ -682,8 +815,10 @@ void arm_transcripts(ScenarioJob& job) {
 }
 
 /// Validates the spec's plain fields, resolves the registries, and builds
-/// the executor-ready job.  Shared by run_scenario and run_sweep.
-std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec) {
+/// the executor-ready job.  Shared by run_scenario and run_sweep; `census`
+/// is the submission-wide shape census the specializer routes on.
+std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec,
+                                                  const ShapeCensus& census) {
   if (spec.protocol.empty()) {
     throw std::invalid_argument("ScenarioSpec.protocol must name a registered protocol");
   }
@@ -694,8 +829,16 @@ std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec) {
     throw std::invalid_argument("ScenarioSpec.n must be >= 2 (got " +
                                 std::to_string(spec.n) + ")");
   }
+  if (spec.lanes < 0) {
+    throw std::invalid_argument("ScenarioSpec.lanes must be >= 0 (got " +
+                                std::to_string(spec.lanes) + ")");
+  }
   build_coalition(spec.coalition, spec.n);  // throws with the offending field
   require_transcribable(spec);
+  require_rng_supported(spec);
+  // The routing decision (and the engine=lanes eligibility error) comes
+  // before any factory runs, like every other spec-field validation.
+  const bool lanes = route_to_lanes(spec, census);
   register_builtin_scenarios();
   const ProtocolEntry* protocol_entry = &ProtocolRegistry::instance().at(spec.protocol);
   const DeviationEntry* deviation_entry =
@@ -709,7 +852,11 @@ std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec) {
   switch (spec.topology) {
     case TopologyKind::kRing:
     case TopologyKind::kThreaded:
-      fill_registry_ring_job(*job, protocol_entry, deviation_entry);
+      if (lanes) {
+        fill_lane_job(*job, protocol_entry);
+      } else {
+        fill_registry_ring_job(*job, protocol_entry, deviation_entry);
+      }
       break;
     case TopologyKind::kGraph:
       fill_graph_job(*job, protocol_entry, deviation_entry);
@@ -752,7 +899,11 @@ ScenarioResult run_ring_scenario(const ScenarioSpec& spec,
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto start = std::chrono::steady_clock::now();
-  const std::unique_ptr<ScenarioJob> job = prepare_scenario_job(spec);
+  // A single-spec submission is its own census: the spec's shape carries
+  // the full trial weight, so eligible specs route to lanes under kAuto.
+  ShapeCensus census;
+  census.add(spec);
+  const std::unique_ptr<ScenarioJob> job = prepare_scenario_job(spec, census);
   Executor::Batch batch = batch_of(*job);
   Executor::shared().run(std::span<Executor::Batch>(&batch, 1), spec.threads);
   reduce_job(*job);
@@ -767,11 +918,22 @@ std::vector<ScenarioResult> run_sweep(const SweepSpec& sweep) {
   // in-process path below.
   if (SweepBackend* backend = sweep_backend()) return backend->run_sweep(sweep);
   const auto start = std::chrono::steady_clock::now();
+  // First pass: the shape census the specializer routes on.  Window
+  // resolution can throw, so census errors carry the scenario index too.
+  ShapeCensus census;
+  for (std::size_t i = 0; i < sweep.scenarios.size(); ++i) {
+    try {
+      census.add(sweep.scenarios[i]);
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument("SweepSpec.scenarios[" + std::to_string(i) +
+                                  "]: " + error.what());
+    }
+  }
   std::vector<std::unique_ptr<ScenarioJob>> jobs;
   jobs.reserve(sweep.scenarios.size());
   for (std::size_t i = 0; i < sweep.scenarios.size(); ++i) {
     try {
-      jobs.push_back(prepare_scenario_job(sweep.scenarios[i]));
+      jobs.push_back(prepare_scenario_job(sweep.scenarios[i], census));
     } catch (const std::invalid_argument& error) {
       throw std::invalid_argument("SweepSpec.scenarios[" + std::to_string(i) +
                                   "]: " + error.what());

@@ -33,6 +33,7 @@
 
 #include "analysis/stats.h"
 #include "attacks/coalition.h"
+#include "core/rng.h"
 #include "core/types.h"
 #include "sim/scheduler.h"
 #include "sim/transcript.h"
@@ -55,6 +56,25 @@ enum class TopologyKind { kRing, kGraph, kTree, kSync, kThreaded, kFullInfo };
 
 const char* to_string(TopologyKind kind);
 std::optional<TopologyKind> parse_topology(const std::string& name);
+
+/// Which ring execution engine serves a scenario's trials.
+///
+///  * kAuto   — the transcript-digest-guided specializer (api/specialize.h)
+///              routes shapes that dominate the submission to the batched
+///              lane engine when a devirtualized kernel exists, and falls
+///              back to the scalar engine elsewhere.  Results are
+///              bit-identical either way (the lane differential gates it),
+///              so this is purely a performance decision.
+///  * kScalar — always the scalar reference RingEngine.
+///  * kLanes  — force the batched lane engine; rejected (invalid_argument
+///              naming the field) when the spec has no lane kernel.
+enum class EngineKind { kAuto, kScalar, kLanes };
+
+const char* to_string(EngineKind kind);
+std::optional<EngineKind> parse_engine(const std::string& name);
+
+const char* to_string(RngKind kind);
+std::optional<RngKind> parse_rng(const std::string& name);
 
 /// Adjacency restriction for kGraph scenarios (GraphEngineOptions::
 /// adjacency underneath).  kComplete is the fully-connected default;
@@ -127,6 +147,16 @@ struct ScenarioSpec {
   bool record_transcripts = false;
   /// kGraph only: the link structure trials run on (ignored elsewhere).
   GraphAdjacency adjacency = GraphAdjacency::kComplete;
+  /// Ring engine selection (see EngineKind); ignored off the ring.
+  EngineKind engine = EngineKind::kAuto;
+  /// Lane width W for the lane engine; 0 = the default width (8).
+  int lanes = 0;
+  /// Generator family behind the processors' random tapes (core/rng.h).
+  /// kCtr is opt-in and ring/threaded-only: the counter-based streams are
+  /// position-independent but distinct from the Xoshiro reference streams,
+  /// so the conformance suite envelope-checks their honest distributions
+  /// instead of comparing against recorded golden outcomes.
+  RngKind rng = RngKind::kXoshiro;
 
   // Protocol / deviation knobs (consumed by the registered factories that
   // care; ignored by the rest).

@@ -1,0 +1,85 @@
+#include "api/specialize.h"
+
+#include <stdexcept>
+
+#include "sim/transcript.h"
+
+namespace fle {
+
+std::optional<LaneKernelId> lane_kernel_for(const std::string& protocol) {
+  if (protocol == "basic-lead") return LaneKernelId::kBasicLead;
+  if (protocol == "chang-roberts") return LaneKernelId::kChangRoberts;
+  if (protocol == "alead-uni") return LaneKernelId::kALeadUni;
+  return std::nullopt;
+}
+
+bool lane_eligible(const ScenarioSpec& spec) {
+  return spec.topology == TopologyKind::kRing && spec.deviation.empty() &&
+         lane_kernel_for(spec.protocol).has_value();
+}
+
+int lane_width(const ScenarioSpec& spec) { return spec.lanes > 0 ? spec.lanes : 8; }
+
+std::uint64_t engine_shape_key(const ScenarioSpec& spec) {
+  // The protocol string folds byte-by-byte (length first, so "ab"+"c" and
+  // "a"+"bc" differ), then the numeric shape words — the same order the
+  // transcript digest folds event words.
+  std::uint64_t words[4] = {static_cast<std::uint64_t>(spec.protocol.size()), 0, 0, 0};
+  std::uint64_t key = transcript_fold(std::span<const std::uint64_t>(words, 1));
+  for (const char c : spec.protocol) {
+    const std::uint64_t w = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    key ^= transcript_fold(std::span<const std::uint64_t>(&w, 1)) * 0x9E3779B97F4A7C15ull;
+  }
+  words[0] = static_cast<std::uint64_t>(spec.n);
+  words[1] = static_cast<std::uint64_t>(spec.scheduler);
+  words[2] = static_cast<std::uint64_t>(spec.rng);
+  words[3] = key;
+  return transcript_fold(std::span<const std::uint64_t>(words, 4));
+}
+
+void ShapeCensus::add(const ScenarioSpec& spec) {
+  const TrialWindow window = scenario_trial_window(spec);
+  const std::uint64_t weight = static_cast<std::uint64_t>(window.count);
+  total_ += weight;
+  if (!lane_eligible(spec)) return;  // ineligible shapes never route; skip
+  const std::uint64_t key = engine_shape_key(spec);
+  for (Cell& cell : cells_) {
+    if (cell.key == key) {
+      cell.weight += weight;
+      return;
+    }
+  }
+  cells_.push_back(Cell{key, weight});
+}
+
+bool ShapeCensus::dominant(const ScenarioSpec& spec) const {
+  if (total_ == 0) return false;
+  const std::uint64_t key = engine_shape_key(spec);
+  for (const Cell& cell : cells_) {
+    if (cell.key == key) return cell.weight * 16 >= total_;
+  }
+  return false;
+}
+
+bool route_to_lanes(const ScenarioSpec& spec, const ShapeCensus& census) {
+  switch (spec.engine) {
+    case EngineKind::kScalar:
+      return false;
+    case EngineKind::kLanes:
+      if (!lane_eligible(spec)) {
+        throw std::invalid_argument(
+            "ScenarioSpec.engine = lanes requires a ring spec with an honest profile and a "
+            "lane-kernel protocol (basic-lead, chang-roberts, alead-uni); '" +
+            spec.protocol + "' on topology '" + to_string(spec.topology) +
+            (spec.deviation.empty() ? std::string("'")
+                                    : "' with deviation '" + spec.deviation + "'") +
+            " has no lane kernel");
+      }
+      return true;
+    case EngineKind::kAuto:
+      return lane_eligible(spec) && census.dominant(spec);
+  }
+  return false;
+}
+
+}  // namespace fle

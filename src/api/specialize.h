@@ -1,0 +1,68 @@
+#pragma once
+// Transcript-digest-guided engine specialization (DESIGN.md §10).
+//
+// The sweep planner decides, per scenario, whether trials run on the
+// batched lane engine (sim/lane_engine.h) or the general scalar engine.
+// Eligibility is structural: a ring spec with an honest profile whose
+// protocol has a devirtualized lane kernel (basic-lead, chang-roberts,
+// alead-uni).  Routing is guided by shape weight: every scenario folds its
+// (protocol, n, scheduler) shape into a content key — the same FNV-1a fold
+// the transcript digests use, so equal shapes collide deterministically —
+// and a ShapeCensus over the submission counts trial weight per key.
+// Shapes that dominate the submission run on lanes; rare shapes stay on
+// the scalar engine, whose per-trial workspace cache already serves them
+// well.  engine=scalar / engine=lanes override the census per spec.
+//
+// The decision is invisible in results: the lane engine is gated
+// bit-identical to the scalar engine (ScenarioResults and transcript
+// digests), so specialization is purely a throughput choice.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/scenario.h"
+#include "sim/lane_engine.h"
+
+namespace fle {
+
+/// The lane kernel for a registry protocol key, if one exists.
+std::optional<LaneKernelId> lane_kernel_for(const std::string& protocol);
+
+/// True when `spec` can execute on the lane engine bit-identically: ring
+/// topology, honest profile (no deviation), and a kernel protocol.
+bool lane_eligible(const ScenarioSpec& spec);
+
+/// Effective lane width for `spec` (spec.lanes, or the default of 8).
+int lane_width(const ScenarioSpec& spec);
+
+/// The content key of a spec's engine shape — transcript_fold over
+/// (protocol, n, scheduler, rng), the tuple a lane engine instance is
+/// specialized on.
+std::uint64_t engine_shape_key(const ScenarioSpec& spec);
+
+/// Trial-weight census over one submission's scenarios (a sweep, or the
+/// single spec of run_scenario).  dominant() is the digest-guided routing
+/// predicate: a shape qualifies when it carries at least 1/16 of the
+/// submission's trial weight — below that, lane startup/teardown and the
+/// extra engine cache entry are not worth it.
+class ShapeCensus {
+ public:
+  void add(const ScenarioSpec& spec);
+  [[nodiscard]] bool dominant(const ScenarioSpec& spec) const;
+
+ private:
+  struct Cell {
+    std::uint64_t key = 0;
+    std::uint64_t weight = 0;
+  };
+  std::vector<Cell> cells_;  ///< tiny per submission; linear probe is fine
+  std::uint64_t total_ = 0;
+};
+
+/// The final routing decision for `spec` within a submission counted by
+/// `census`.  Throws std::invalid_argument naming ScenarioSpec.engine when
+/// engine=lanes is forced on a spec with no lane kernel.
+bool route_to_lanes(const ScenarioSpec& spec, const ShapeCensus& census);
+
+}  // namespace fle

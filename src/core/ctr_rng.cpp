@@ -1,0 +1,42 @@
+#include "core/ctr_rng.h"
+
+namespace fle {
+
+namespace {
+
+// Philox2x64 round multiplier and the golden-ratio Weyl increment for the
+// key schedule (Salmon et al., "Parallel random numbers: as easy as
+// 1, 2, 3").  Ten rounds is the conservative reference strength.
+constexpr std::uint64_t kMultiplier = 0xD2B74407B1CE6E93ull;
+constexpr std::uint64_t kWeyl = 0x9E3779B97F4A7C15ull;
+constexpr int kRounds = 10;
+
+}  // namespace
+
+std::uint64_t CtrRng::at(std::uint64_t key, std::uint64_t index) {
+  // Block = (counter word, constant tweak word); the bijection is the
+  // classic mulhilo Feistel with the key folded in every round.
+  std::uint64_t x0 = index;
+  std::uint64_t x1 = 0x243F6A8885A308D3ull;  // pi fractional bits, arbitrary
+  std::uint64_t k = key;
+  for (int round = 0; round < kRounds; ++round) {
+    const __uint128_t product = static_cast<__uint128_t>(kMultiplier) * x0;
+    const std::uint64_t hi = static_cast<std::uint64_t>(product >> 64);
+    const std::uint64_t lo = static_cast<std::uint64_t>(product);
+    x0 = hi ^ k ^ x1;
+    x1 = lo;
+    k += kWeyl;
+  }
+  return x0 ^ x1;
+}
+
+std::uint64_t CtrRng::below(std::uint64_t bound) {
+  // Same threshold-rejection scheme as Xoshiro256::below.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace fle

@@ -1,0 +1,47 @@
+#pragma once
+// Counter-based splittable RNG (DESIGN.md §10).
+//
+// Philox-style construction: output = F(key, counter), a fixed-round
+// bijection over a 128-bit block keyed by a Weyl sequence.  Draw k of the
+// stream keyed by `key` is a pure function of (key, k) — no serialized
+// state chase.  That is exactly what the batched lane engine needs: a lane
+// can produce any processor's draw at any position without replaying the
+// draws before it, and replaying a trial never perturbs a neighbour lane.
+//
+// Streams are split the same way RandomTape splits the Xoshiro reference
+// streams: key = mix64(trial_seed ^ mix64(GAMMA + owner)).  The bounded
+// draw uses the same threshold-rejection scheme as Xoshiro256::below, each
+// rejected sample consuming one counter tick, so bounded draws stay
+// deterministic functions of (key, starting counter).
+
+#include <cstdint>
+
+namespace fle {
+
+class CtrRng {
+ public:
+  explicit CtrRng(std::uint64_t key) : key_(key) {}
+
+  /// Draw `index` of stream `key` — position-independent (the split /
+  /// counter-advance law: at(key, k) == the k-th next() of a fresh stream).
+  static std::uint64_t at(std::uint64_t key, std::uint64_t index);
+
+  std::uint64_t next() { return at(key_, counter_++); }
+
+  /// Uniform value in [0, bound) by threshold rejection (bound > 0); each
+  /// rejected sample advances the counter by one.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  [[nodiscard]] std::uint64_t key() const { return key_; }
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+  void set_counter(std::uint64_t counter) { counter_ = counter; }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace fle

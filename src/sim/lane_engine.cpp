@@ -1,0 +1,498 @@
+#include "sim/lane_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+namespace fle {
+
+const char* to_string(LaneKernelId kernel) {
+  switch (kernel) {
+    case LaneKernelId::kBasicLead:
+      return "basic-lead";
+    case LaneKernelId::kChangRoberts:
+      return "chang-roberts";
+    case LaneKernelId::kALeadUni:
+      return "alead-uni";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Kernels: each replicates its scalar strategy's event handlers exactly
+// (src/protocols/*.cpp), with strategy fields mapped onto the SoA register
+// file.  Any divergence here is caught by the lane differential gates.
+
+/// basic-lead (paper §3): reg_a = d_, reg_b = sum_, cnt_ = count_.
+struct LaneEngine::BasicLeadKernel {
+  static constexpr bool kNeedsIds = false;
+  static constexpr bool kTokenSum = true;
+
+  static void init(LaneEngine& e, std::size_t lane, ProcessorId p, std::uint64_t seed) {
+    const std::size_t i = e.slot(lane, p);
+    const Value n = static_cast<Value>(e.n_);
+    const Value d = e.tape_uniform(seed, p, n);
+    e.reg_a_[i] = d;
+    e.lane_send(lane, p, d);
+  }
+
+  static void receive(LaneEngine& e, std::size_t lane, ProcessorId p, Value v) {
+    const std::size_t i = e.slot(lane, p);
+    const Value n = static_cast<Value>(e.n_);
+    if (v >= n) v %= n;
+    ++e.cnt_[i];
+    e.reg_b_[i] += v;
+    if (e.reg_b_[i] >= n) e.reg_b_[i] -= n;
+    if (e.cnt_[i] < static_cast<std::uint64_t>(e.n_)) {
+      e.lane_send(lane, p, v);
+      return;
+    }
+    if (v == e.reg_a_[i]) {
+      e.lane_finish(lane, p, false, e.reg_b_[i]);
+    } else {
+      e.lane_finish(lane, p, true, 0);
+    }
+  }
+};
+
+/// chang-roberts: reg_a = lid_, flag_a = detector_, flag_b = done_.  The
+/// per-trial logical-id permutation is rebuilt with the exact
+/// ChangRobertsProtocol::random(n, seed) construction.
+struct LaneEngine::ChangRobertsKernel {
+  static constexpr bool kNeedsIds = true;
+  // Forwarding is conditional on the competing ids, so the message flow is
+  // data-DEPENDENT: no closed form, every trial takes the general path.
+  static constexpr bool kTokenSum = false;
+
+  static void init(LaneEngine& e, std::size_t lane, ProcessorId p, std::uint64_t /*seed*/) {
+    const std::size_t i = e.slot(lane, p);
+    e.reg_a_[i] = e.cr_ids_[static_cast<std::size_t>(p)];
+    e.lane_send(lane, p, e.reg_a_[i]);
+  }
+
+  static void receive(LaneEngine& e, std::size_t lane, ProcessorId p, Value v) {
+    const std::size_t i = e.slot(lane, p);
+    if (e.flag_b_[i]) return;
+    const Value announce_base = static_cast<Value>(e.n_);
+    if (v >= announce_base) {
+      const Value leader = v - announce_base;
+      if (e.flag_a_[i]) {
+        e.lane_finish(lane, p, false, leader);
+      } else {
+        e.lane_send(lane, p, v);
+        e.lane_finish(lane, p, false, leader);
+      }
+      e.flag_b_[i] = 1;
+      return;
+    }
+    if (v > e.reg_a_[i]) {
+      e.lane_send(lane, p, v);
+    } else if (v == e.reg_a_[i]) {
+      e.flag_a_[i] = 1;
+      e.lane_send(lane, p, announce_base + static_cast<Value>(p));
+    }
+    // Smaller candidates are swallowed.
+  }
+};
+
+/// alead-uni (paper §3.2): origin (p == 0) reg_a = d_, reg_b = sum_;
+/// normal adds reg_c = buffer_ (one-round delay).
+struct LaneEngine::ALeadUniKernel {
+  static constexpr bool kNeedsIds = false;
+  static constexpr bool kTokenSum = true;
+
+  static void init(LaneEngine& e, std::size_t lane, ProcessorId p, std::uint64_t seed) {
+    const std::size_t i = e.slot(lane, p);
+    const Value n = static_cast<Value>(e.n_);
+    const Value d = e.tape_uniform(seed, p, n);
+    e.reg_a_[i] = d;
+    if (p == 0) {
+      e.lane_send(lane, p, d);
+    } else {
+      e.reg_c_[i] = d;  // commit: the secret leaves the buffer first
+    }
+  }
+
+  static void receive(LaneEngine& e, std::size_t lane, ProcessorId p, Value v) {
+    const std::size_t i = e.slot(lane, p);
+    const Value n = static_cast<Value>(e.n_);
+    v %= n;
+    if (p == 0) {
+      ++e.cnt_[i];
+      e.reg_b_[i] = (e.reg_b_[i] + v) % n;
+      if (e.cnt_[i] < static_cast<std::uint64_t>(e.n_)) {
+        e.lane_send(lane, p, v);
+        return;
+      }
+      if (v == e.reg_a_[i]) {
+        e.lane_finish(lane, p, false, e.reg_b_[i]);
+      } else {
+        e.lane_finish(lane, p, true, 0);
+      }
+      return;
+    }
+    e.lane_send(lane, p, e.reg_c_[i]);  // delayed value first
+    e.reg_c_[i] = v;
+    ++e.cnt_[i];
+    e.reg_b_[i] = (e.reg_b_[i] + v) % n;
+    if (e.cnt_[i] == static_cast<std::uint64_t>(e.n_)) {
+      if (v == e.reg_a_[i]) {
+        e.lane_finish(lane, p, false, e.reg_b_[i]);
+      } else {
+        e.lane_finish(lane, p, true, 0);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+LaneEngine::LaneEngine(int n, LaneKernelId kernel, LaneEngineOptions options)
+    : n_(n),
+      kernel_(kernel),
+      step_limit_(options.step_limit != 0
+                      ? options.step_limit
+                      : 8ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) +
+                            1024),
+      scheduler_kind_(options.scheduler_kind),
+      rng_kind_(options.rng),
+      lanes_(options.lanes) {
+  if (n_ < 2) throw std::invalid_argument("ring needs at least 2 processors");
+  if (lanes_ < 1) throw std::invalid_argument("lane width must be at least 1");
+  const std::size_t cells = static_cast<std::size_t>(lanes_) * static_cast<std::size_t>(n_);
+  inbox_.resize(cells);
+  reg_a_.resize(cells);
+  reg_b_.resize(cells);
+  reg_c_.resize(cells);
+  cnt_.resize(cells);
+  flag_a_.resize(cells);
+  flag_b_.resize(cells);
+  terminated_.resize(cells);
+  out_has_.resize(cells);
+  out_aborted_.resize(cells);
+  out_value_.resize(cells);
+  sent_.resize(cells);
+  lane_.resize(static_cast<std::size_t>(lanes_));
+  for (LaneState& lane : lane_) {
+    lane.ready.reserve(static_cast<std::size_t>(n_));
+    lane.ready_pos.assign(static_cast<std::size_t>(n_), -1);
+    lane.sent_freq.assign(1, static_cast<std::uint64_t>(n_));
+  }
+  cr_ids_.resize(static_cast<std::size_t>(n_));
+}
+
+Value LaneEngine::tape_uniform(std::uint64_t seed, ProcessorId p, Value bound) const {
+  // The kernels draw from the tape at most once, at wake-up, so a
+  // transient tape reproduces the scalar Context's stream exactly.
+  RandomTape tape(seed, p, rng_kind_);
+  return tape.uniform(bound);
+}
+
+void LaneEngine::mark_ready(LaneState& lane, ProcessorId p) {
+  auto& pos = lane.ready_pos[static_cast<std::size_t>(p)];
+  if (pos >= 0) return;
+  pos = static_cast<int>(lane.ready.size());
+  lane.ready.push_back(p);
+}
+
+void LaneEngine::unmark_ready(LaneState& lane, ProcessorId p) {
+  auto& pos = lane.ready_pos[static_cast<std::size_t>(p)];
+  if (pos < 0) return;
+  const ProcessorId last = lane.ready.back();
+  lane.ready[static_cast<std::size_t>(pos)] = last;
+  lane.ready_pos[static_cast<std::size_t>(last)] = pos;
+  lane.ready.pop_back();
+  pos = -1;
+}
+
+ProcessorId LaneEngine::pick_next(LaneState& lane) {
+  switch (scheduler_kind_) {
+    case SchedulerKind::kRoundRobin:
+      break;
+    case SchedulerKind::kRandom:
+      return lane.ready[lane.sched_rng.below(lane.ready.size())];
+    case SchedulerKind::kPriority: {
+      ProcessorId best = lane.ready[0];
+      for (const ProcessorId p : lane.ready) {
+        if (lane.priority[static_cast<std::size_t>(p)] <
+            lane.priority[static_cast<std::size_t>(best)]) {
+          best = p;
+        }
+      }
+      return best;
+    }
+  }
+  // Same wrapping cursor as the scalar engine's fast path.
+  if (lane.rr_cursor >= lane.ready.size()) lane.rr_cursor = 0;
+  return lane.ready[lane.rr_cursor++];
+}
+
+void LaneEngine::lane_send(std::size_t lane_index, ProcessorId from, Value v) {
+  LaneState& lane = lane_[lane_index];
+  ProcessorId to = from + 1;
+  if (to == n_) to = 0;
+  ++lane.total_sent;
+  std::uint64_t& sent = sent_[slot(lane_index, from)];
+
+  if (!lane.gap_frozen) {
+    assert(sent < lane.sent_freq.size() && lane.sent_freq[sent] > 0);
+    --lane.sent_freq[sent];
+    if (sent + 1 >= lane.sent_freq.size()) lane.sent_freq.resize(sent + 2, 0);
+    ++lane.sent_freq[sent + 1];
+    if (sent + 1 > lane.max_sent) lane.max_sent = sent + 1;
+    while (lane.sent_freq[lane.min_sent] == 0) ++lane.min_sent;
+    const std::uint64_t gap = lane.max_sent - lane.min_sent;
+    if (gap > lane.max_sync_gap) lane.max_sync_gap = gap;
+  }
+  ++sent;
+
+  const std::size_t dst = slot(lane_index, to);
+  if (!terminated_[dst]) {
+    inbox_[dst].push_back(v);
+    mark_ready(lane, to);
+  }
+}
+
+void LaneEngine::lane_finish(std::size_t lane_index, ProcessorId p, bool aborted, Value value) {
+  LaneState& lane = lane_[lane_index];
+  const std::size_t i = slot(lane_index, p);
+  assert(!out_has_[i]);
+  out_has_[i] = 1;
+  out_aborted_[i] = aborted ? 1 : 0;
+  out_value_[i] = value;
+  terminated_[i] = 1;
+  lane.gap_frozen = true;
+  unmark_ready(lane, p);
+  inbox_[i].clear();
+  if (lane.transcript) {
+    lane.transcript->decision(static_cast<std::uint64_t>(p), aborted, value);
+  }
+}
+
+template <typename Kernel>
+void LaneEngine::deliver(std::size_t lane_index, ProcessorId p) {
+  LaneState& lane = lane_[lane_index];
+  FlatQueue<Value>& box = inbox_[slot(lane_index, p)];
+  assert(!box.empty());
+  const Value v = box.pop_front();
+  if (box.empty()) unmark_ready(lane, p);
+  ++lane.deliveries;
+  if (lane.transcript) {
+    lane.transcript->delivery(lane.deliveries, static_cast<std::uint64_t>(p), v);
+  }
+  Kernel::receive(*this, lane_index, p, v);
+}
+
+template <typename Kernel>
+void LaneEngine::start_trial(std::size_t lane_index, std::size_t trial, std::uint64_t seed,
+                             ExecutionTranscript* transcript) {
+  LaneState& lane = lane_[lane_index];
+  lane.live = true;
+  lane.trial = trial;
+  lane.seed = seed;
+  lane.step_limit_hit = false;
+  lane.gap_frozen = false;
+  lane.rr_cursor = 0;
+  lane.ready.clear();
+  std::fill(lane.ready_pos.begin(), lane.ready_pos.end(), -1);
+  lane.sent_freq.assign(1, static_cast<std::uint64_t>(n_));
+  lane.min_sent = 0;
+  lane.max_sent = 0;
+  lane.deliveries = 0;
+  lane.total_sent = 0;
+  lane.max_sync_gap = 0;
+  lane.transcript = transcript;
+
+  // Restart the built-in schedule exactly as RingEngine::reset does.
+  switch (scheduler_kind_) {
+    case SchedulerKind::kRoundRobin:
+      break;
+    case SchedulerKind::kRandom:
+      lane.sched_rng = Xoshiro256(seed);
+      break;
+    case SchedulerKind::kPriority:
+      fill_priority_permutation(lane.priority, n_, seed);
+      break;
+  }
+
+  const std::size_t base = slot(lane_index, 0);
+  for (std::size_t i = base; i < base + static_cast<std::size_t>(n_); ++i) {
+    inbox_[i].clear();
+    reg_a_[i] = 0;
+    reg_b_[i] = 0;
+    reg_c_[i] = 0;
+    cnt_[i] = 0;
+    flag_a_[i] = 0;
+    flag_b_[i] = 0;
+    terminated_[i] = 0;
+    out_has_[i] = 0;
+    out_aborted_[i] = 0;
+    out_value_[i] = 0;
+    sent_[i] = 0;
+  }
+
+  if constexpr (Kernel::kNeedsIds) {
+    // Per-trial logical ids, bit-identical to ChangRobertsProtocol::random.
+    std::iota(cr_ids_.begin(), cr_ids_.end(), Value{0});
+    Xoshiro256 rng(seed);
+    std::shuffle(cr_ids_.begin(), cr_ids_.end(), rng);
+  }
+
+  // Wake-up phase, in processor order like the scalar run().
+  for (ProcessorId p = 0; p < n_; ++p) {
+    if (!terminated_[slot(lane_index, p)]) Kernel::init(*this, lane_index, p, seed);
+  }
+}
+
+void LaneEngine::retire(std::size_t lane_index, std::span<LaneTrialResult> out) {
+  LaneState& lane = lane_[lane_index];
+  LaneTrialResult result;
+  result.messages = lane.total_sent;
+  result.max_sync_gap = lane.max_sync_gap;
+  result.step_limit_hit = lane.step_limit_hit;
+
+  // aggregate_outcome (core/types.h) over the lane's output columns.
+  const std::size_t base = slot(lane_index, 0);
+  std::optional<Value> agreed;
+  bool failed = false;
+  for (std::size_t i = base; i < base + static_cast<std::size_t>(n_); ++i) {
+    if (!out_has_[i] || out_aborted_[i] || out_value_[i] >= static_cast<Value>(n_) ||
+        (agreed && *agreed != out_value_[i])) {
+      failed = true;
+      break;
+    }
+    agreed = out_value_[i];
+  }
+  result.outcome = (failed || !agreed) ? Outcome::fail() : Outcome::elected(*agreed);
+  out[lane.trial] = result;
+}
+
+Value LaneEngine::token_sum_prediction(std::uint64_t seed) const {
+  // Every processor contributes exactly its wake-up draw (basic-lead's d_,
+  // alead-uni's d_), and the honest run elects the mod-n sum of all n.
+  const Value n = static_cast<Value>(n_);
+  Value sum = 0;
+  for (ProcessorId p = 0; p < n_; ++p) {
+    sum += tape_uniform(seed, p, n);
+    if (sum >= n) sum -= n;
+  }
+  return sum;
+}
+
+LaneTrialResult LaneEngine::fast_token_sum_result(std::uint64_t seed) const {
+  LaneTrialResult result;
+  result.outcome = Outcome::elected(token_sum_prediction(seed));
+  result.messages = fast_messages_;
+  result.max_sync_gap = fast_max_sync_gap_;
+  return result;
+}
+
+void LaneEngine::observe_token_sum_trial(const LaneState& lane, const LaneTrialResult& result) {
+  if (fast_state_ != FastState::kPriming) return;
+  bool match = !result.step_limit_hit && result.outcome.valid() &&
+               result.outcome.leader() == token_sum_prediction(lane.seed);
+  if (match) {
+    if (fast_verified_ == 0) {
+      fast_messages_ = result.messages;
+      fast_max_sync_gap_ = result.max_sync_gap;
+    } else {
+      // The round-robin skeleton is trial-independent, so the stats must be
+      // constants; any drift means the derivation does not hold here.
+      match = result.messages == fast_messages_ && result.max_sync_gap == fast_max_sync_gap_;
+    }
+  }
+  if (!match) {
+    fast_state_ = FastState::kDisabled;
+    return;
+  }
+  if (++fast_verified_ >= kFastPrimeTrials) fast_state_ = FastState::kArmed;
+}
+
+template <typename Kernel>
+void LaneEngine::run_window_impl(std::span<const std::uint64_t> seeds,
+                                 std::span<LaneTrialResult> out,
+                                 std::span<ExecutionTranscript* const> transcripts) {
+  if constexpr (Kernel::kTokenSum) {
+    // Armed token-sum fast path: serve the whole window from the closed
+    // form.  Transcript-recording windows need the real event stream, so
+    // they always run the general machinery below.
+    if (fast_state_ == FastState::kArmed && token_sum_schedulable() && transcripts.empty()) {
+      for (std::size_t t = 0; t < seeds.size(); ++t) {
+        out[t] = fast_token_sum_result(seeds[t]);
+      }
+      return;
+    }
+  }
+
+  const std::size_t width = static_cast<std::size_t>(lanes_);
+  const auto transcript_for = [&](std::size_t trial) -> ExecutionTranscript* {
+    return transcripts.empty() ? nullptr : transcripts[trial];
+  };
+
+  std::size_t next_trial = 0;
+  std::size_t live = 0;
+  for (std::size_t l = 0; l < width && next_trial < seeds.size(); ++l, ++next_trial) {
+    start_trial<Kernel>(l, next_trial, seeds[next_trial], transcript_for(next_trial));
+    ++live;
+  }
+
+  while (live > 0) {
+    for (std::size_t l = 0; l < width; ++l) {
+      LaneState& lane = lane_[l];
+      if (!lane.live) continue;
+      if (lane.ready.empty() || lane.deliveries >= step_limit_) {
+        // Quiescence, or the step bound with work still pending (the scalar
+        // loop's break condition) — retire and refill from the window.
+        if (!lane.ready.empty()) lane.step_limit_hit = true;
+        retire(l, out);
+        if constexpr (Kernel::kTokenSum) {
+          if (token_sum_schedulable()) {
+            observe_token_sum_trial(lane, out[lane.trial]);
+            // Arming mid-window: drain the not-yet-started tail of the
+            // window analytically; lanes already in flight finish normally.
+            if (fast_state_ == FastState::kArmed && transcripts.empty()) {
+              while (next_trial < seeds.size()) {
+                out[next_trial] = fast_token_sum_result(seeds[next_trial]);
+                ++next_trial;
+              }
+            }
+          }
+        }
+        if (next_trial < seeds.size()) {
+          start_trial<Kernel>(l, next_trial, seeds[next_trial], transcript_for(next_trial));
+          ++next_trial;
+        } else {
+          lane.live = false;
+          --live;
+        }
+        continue;
+      }
+      deliver<Kernel>(l, pick_next(lane));
+    }
+  }
+}
+
+void LaneEngine::run_window(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
+                            std::span<ExecutionTranscript* const> transcripts) {
+  if (out.size() < seeds.size()) {
+    throw std::invalid_argument("lane engine: result span smaller than seed span");
+  }
+  if (!transcripts.empty() && transcripts.size() < seeds.size()) {
+    throw std::invalid_argument("lane engine: transcript span smaller than seed span");
+  }
+  switch (kernel_) {
+    case LaneKernelId::kBasicLead:
+      run_window_impl<BasicLeadKernel>(seeds, out, transcripts);
+      break;
+    case LaneKernelId::kChangRoberts:
+      run_window_impl<ChangRobertsKernel>(seeds, out, transcripts);
+      break;
+    case LaneKernelId::kALeadUni:
+      run_window_impl<ALeadUniKernel>(seeds, out, transcripts);
+      break;
+  }
+}
+
+}  // namespace fle

@@ -1,0 +1,197 @@
+#pragma once
+// Batched structure-of-arrays trial lanes for the ring runtime
+// (DESIGN.md §10).
+//
+// A LaneEngine runs W independent trials ("lanes") of one devirtualized
+// built-in protocol kernel simultaneously: per-trial scheduler cursors,
+// inbox queues, token/phase registers and termination flags live in
+// parallel arrays indexed lane*n + p, and one sweep of the outer loop
+// advances every live lane by one delivery.  Lanes retire independently —
+// a finished lane immediately restarts on the next trial of the window —
+// so a window of T trials keeps all W lanes busy until the tail.
+//
+// Bit-identity contract: trials are independent, and each lane replicates
+// the scalar RingEngine's per-trial algorithm exactly — same ready-set
+// swap-remove bookkeeping, same wrapping round-robin cursor, same
+// per-trial scheduler reseed, same tape draw order, same sync-gap
+// histogram with termination freeze, same transcript event sequence.
+// Lane interleaving therefore cannot be observed: ScenarioResults and
+// transcript digests match the scalar engine bit for bit (the conformance
+// suite's lane differential gates this).  The speedup comes from
+// devirtualization (kernel receive handlers inline into the sweep loop),
+// SoA locality, and amortizing per-trial reset over the batch.
+//
+// Token-sum fast path: basic-lead and alead-uni have data-INDEPENDENT
+// message flow (every handler's send/terminate structure is the same
+// whatever the payloads), so under the trial-independent round-robin
+// schedule the delivery skeleton — total messages, the sync-gap histogram
+// trace, the termination order — is the same for every trial, and the
+// elected leader is the mod-n sum of the n tape draws.  The engine primes
+// this per shape: the first trials run through the full lane machinery
+// and are checked against the closed form (outcome, constant messages and
+// max sync gap, no step-limit hit); after kFastPrimeTrials consecutive
+// confirmations the remaining trials are served analytically in O(n).
+// One mismatch permanently disables the fast path for the instance, and
+// transcript-recording windows always take the general path, so the
+// bit-identity contract is preserved unconditionally.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+#include "sim/inbox.h"
+#include "sim/scheduler.h"
+#include "sim/transcript.h"
+
+namespace fle {
+
+/// The built-in protocols with devirtualized lane kernels.  The
+/// transcript-digest-guided specializer (src/api/specialize.h) routes
+/// dominant (protocol, n, scheduler) sweep shapes here; everything else
+/// falls back to the general scalar engine.
+enum class LaneKernelId { kBasicLead, kChangRoberts, kALeadUni };
+
+const char* to_string(LaneKernelId kernel);
+
+struct LaneEngineOptions {
+  /// Hard bound on deliveries per trial; 0 = 8n^2 + 1024 (same default as
+  /// the scalar RingEngine).
+  std::uint64_t step_limit = 0;
+  SchedulerKind scheduler_kind = SchedulerKind::kRoundRobin;
+  RngKind rng = RngKind::kXoshiro;
+  /// Lane width W: how many trials run simultaneously.
+  int lanes = 8;
+};
+
+/// What one trial leaves behind (mirrors the scalar engine's outcome +
+/// ExecutionStats fields the Scenario API consumes).
+struct LaneTrialResult {
+  Outcome outcome = Outcome::fail();
+  std::uint64_t messages = 0;      ///< total sent (ExecutionStats::total_sent)
+  std::uint64_t max_sync_gap = 0;  ///< ExecutionStats::max_sync_gap
+  bool step_limit_hit = false;
+};
+
+class LaneEngine {
+ public:
+  LaneEngine(int n, LaneKernelId kernel, LaneEngineOptions options = {});
+
+  LaneEngine(const LaneEngine&) = delete;
+  LaneEngine& operator=(const LaneEngine&) = delete;
+
+  /// Runs one window of trials: seeds[i] is trial i's seed and out[i]
+  /// receives its result (out.size() >= seeds.size()).  `transcripts`,
+  /// when non-empty, must parallel `seeds`; non-null entries record that
+  /// trial's event stream (the caller clears them first, as with
+  /// RingEngine::set_transcript).  Steady-state windows allocate nothing
+  /// once queues and histograms have grown to their high-water marks.
+  void run_window(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
+                  std::span<ExecutionTranscript* const> transcripts = {});
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] LaneKernelId kernel() const { return kernel_; }
+  [[nodiscard]] std::uint64_t step_limit() const { return step_limit_; }
+  [[nodiscard]] SchedulerKind scheduler_kind() const { return scheduler_kind_; }
+  [[nodiscard]] RngKind rng_kind() const { return rng_kind_; }
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+ private:
+  struct BasicLeadKernel;
+  struct ChangRobertsKernel;
+  struct ALeadUniKernel;
+
+  /// Per-lane control block (per-trial scheduler + accounting state; the
+  /// per-processor state lives in the flat SoA arrays below).
+  struct LaneState {
+    bool live = false;
+    bool step_limit_hit = false;
+    bool gap_frozen = false;
+    std::uint64_t rr_cursor = 0;
+    Xoshiro256 sched_rng{0};
+    std::vector<int> priority;
+    std::vector<ProcessorId> ready;
+    std::vector<int> ready_pos;
+    std::vector<std::uint64_t> sent_freq;
+    std::uint64_t min_sent = 0;
+    std::uint64_t max_sent = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t total_sent = 0;
+    std::uint64_t max_sync_gap = 0;
+    ExecutionTranscript* transcript = nullptr;
+    std::size_t trial = 0;  ///< index into the window's seeds/out spans
+    std::uint64_t seed = 0;  ///< the trial's seed (fast-path verification)
+  };
+
+  /// Token-sum fast-path lifecycle (see the header comment).
+  enum class FastState { kPriming, kArmed, kDisabled };
+  static constexpr int kFastPrimeTrials = 4;
+
+  [[nodiscard]] std::size_t slot(std::size_t lane, ProcessorId p) const {
+    return lane * static_cast<std::size_t>(n_) + static_cast<std::size_t>(p);
+  }
+
+  template <typename Kernel>
+  void run_window_impl(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
+                       std::span<ExecutionTranscript* const> transcripts);
+  template <typename Kernel>
+  void start_trial(std::size_t lane, std::size_t trial, std::uint64_t seed,
+                   ExecutionTranscript* transcript);
+  template <typename Kernel>
+  void deliver(std::size_t lane, ProcessorId p);
+
+  void lane_send(std::size_t lane, ProcessorId from, Value v);
+  void lane_finish(std::size_t lane, ProcessorId p, bool aborted, Value value);
+  void mark_ready(LaneState& lane, ProcessorId p);
+  void unmark_ready(LaneState& lane, ProcessorId p);
+  [[nodiscard]] ProcessorId pick_next(LaneState& lane);
+  void retire(std::size_t lane, std::span<LaneTrialResult> out);
+  [[nodiscard]] Value tape_uniform(std::uint64_t seed, ProcessorId p, Value bound) const;
+
+  /// The closed-form token-sum leader: mod-n sum of the trial's n draws.
+  [[nodiscard]] Value token_sum_prediction(std::uint64_t seed) const;
+  /// True when the token-sum fast path may serve or prime trials here.
+  [[nodiscard]] bool token_sum_schedulable() const {
+    return scheduler_kind_ == SchedulerKind::kRoundRobin;
+  }
+  /// Checks one generally-executed trial against the closed form and
+  /// advances the priming state machine (arm / disable).
+  void observe_token_sum_trial(const LaneState& lane, const LaneTrialResult& result);
+  [[nodiscard]] LaneTrialResult fast_token_sum_result(std::uint64_t seed) const;
+
+  int n_;
+  LaneKernelId kernel_;
+  std::uint64_t step_limit_;
+  SchedulerKind scheduler_kind_;
+  RngKind rng_kind_;
+  int lanes_;
+
+  // Per-(lane, processor) SoA state, indexed slot(lane, p).  The three
+  // value registers + counter + two flags cover every kernel's strategy
+  // state (basic-lead: d/sum; a-lead: d/sum/buffer; chang-roberts:
+  // lid/detector/done).
+  std::vector<FlatQueue<Value>> inbox_;
+  std::vector<Value> reg_a_;
+  std::vector<Value> reg_b_;
+  std::vector<Value> reg_c_;
+  std::vector<std::uint64_t> cnt_;
+  std::vector<std::uint8_t> flag_a_;
+  std::vector<std::uint8_t> flag_b_;
+  std::vector<std::uint8_t> terminated_;
+  std::vector<std::uint8_t> out_has_;
+  std::vector<std::uint8_t> out_aborted_;
+  std::vector<Value> out_value_;
+  std::vector<std::uint64_t> sent_;
+
+  std::vector<LaneState> lane_;
+  std::vector<Value> cr_ids_;  ///< chang-roberts logical-id scratch, reused
+
+  // Token-sum fast-path state (kBasicLead / kALeadUni, round-robin only).
+  FastState fast_state_ = FastState::kPriming;
+  int fast_verified_ = 0;
+  std::uint64_t fast_messages_ = 0;
+  std::uint64_t fast_max_sync_gap_ = 0;
+};
+
+}  // namespace fle

@@ -7,6 +7,7 @@
 
 #include "analysis/stats.h"
 #include "api/registry.h"
+#include "api/specialize.h"
 #include "attacks/deviation.h"
 #include "fullinfo/turn_game.h"
 #include "sim/engine.h"
@@ -111,6 +112,7 @@ CheckResult check_trace_determinism(const ScenarioSpec& spec, std::size_t traced
     EngineOptions fresh_options;
     fresh_options.step_limit = step_limit;
     fresh_options.scheduler_kind = spec.scheduler;
+    fresh_options.rng = spec.rng;
     fresh_options.observer = fresh_digest.observer();
     RingEngine fresh(spec.n, trial_seed, std::move(fresh_options));
     const Outcome fresh_outcome =
@@ -120,6 +122,7 @@ CheckResult check_trace_determinism(const ScenarioSpec& spec, std::size_t traced
       EngineOptions reused_options;
       reused_options.step_limit = step_limit;
       reused_options.scheduler_kind = spec.scheduler;
+      reused_options.rng = spec.rng;
       reused_options.observer = reused_digest.observer();
       reused = std::make_unique<RingEngine>(spec.n, trial_seed, std::move(reused_options));
     } else {
@@ -169,6 +172,7 @@ std::string redrive_ring_trial(const ScenarioSpec& spec, std::size_t trial,
   ExecutionTranscript replayed;
   EngineOptions options;
   options.step_limit = scenario_ring_step_limit(spec, *protocol);
+  options.rng = spec.rng;
   options.scheduler = replayer.ring_schedule();
   RingEngine engine(spec.n, trial_seed, std::move(options));
   engine.set_transcript(&replayed);
@@ -291,6 +295,68 @@ CheckResult check_transcript_replay(ScenarioSpec spec, std::size_t redriven_tria
       std::to_string(first.trials) + " trials agree event for event (" +
           std::to_string(redriven_executed) + " re-driven from the recording, " +
           std::to_string(redriven) + " codec round-tripped)");
+}
+
+CheckResult check_lane_differential(ScenarioSpec spec, int lanes, int threads) {
+  if (!lane_eligible(spec)) {
+    throw std::invalid_argument("check_lane_differential requires a lane-eligible ring spec");
+  }
+  spec.record_outcomes = true;
+  spec.record_transcripts = true;
+  spec.threads = threads;
+  ScenarioSpec scalar = spec;
+  scalar.engine = EngineKind::kScalar;
+  ScenarioSpec laned = spec;
+  laned.engine = EngineKind::kLanes;
+  laned.lanes = lanes;
+
+  const std::string subject = check_subject(spec);
+  const std::string labels =
+      "scalar vs lanes(w=" + std::to_string(lane_width(laned)) +
+      ", threads=" + std::to_string(threads) + ")";
+  const ScenarioResult rs = run_scenario(scalar);
+  const ScenarioResult rl = run_scenario(laned);
+
+  const CheckResult outcomes =
+      compare_per_trial("lane-differential", subject, rs.per_trial, rl.per_trial, labels);
+  if (!outcomes.passed) return outcomes;
+
+  // Aggregates must match exactly, not just the winning outcomes: the lane
+  // engine claims the same executions, so the same messages and sync gaps.
+  const auto aggregate = [&](const char* name, std::uint64_t a,
+                             std::uint64_t b) -> std::string {
+    if (a == b) return {};
+    return labels + ": " + name + " differs (" + std::to_string(a) + " vs " +
+           std::to_string(b) + ")";
+  };
+  for (const std::string& mismatch :
+       {aggregate("total_messages", rs.total_messages, rl.total_messages),
+        aggregate("max_messages", rs.max_messages, rl.max_messages),
+        aggregate("total_sync_gap", rs.total_sync_gap, rl.total_sync_gap),
+        aggregate("max_sync_gap", rs.max_sync_gap, rl.max_sync_gap)}) {
+    if (!mismatch.empty()) return CheckResult::fail("lane-differential", subject, mismatch);
+  }
+
+  if (rs.per_trial_transcript.size() != rl.per_trial_transcript.size()) {
+    return CheckResult::fail("lane-differential", subject,
+                             labels + ": transcript counts differ");
+  }
+  for (std::size_t t = 0; t < rs.per_trial_transcript.size(); ++t) {
+    if (const auto divergence =
+            Replayer(rs.per_trial_transcript[t]).diff(rl.per_trial_transcript[t])) {
+      return CheckResult::fail("lane-differential", subject,
+                               labels + ": trial " + std::to_string(t) + ": " +
+                                   divergence->what);
+    }
+    if (rs.per_trial_transcript[t].digest() != rl.per_trial_transcript[t].digest()) {
+      return CheckResult::fail("lane-differential", subject,
+                               labels + ": trial " + std::to_string(t) +
+                                   " transcript digests differ");
+    }
+  }
+  return CheckResult::pass("lane-differential", subject,
+                           labels + ": " + std::to_string(rs.trials) +
+                               " trials bit-identical (outcomes, aggregates, transcripts)");
 }
 
 CheckResult check_differential_distribution(const ScenarioSpec& a, const ScenarioSpec& b) {

@@ -8,6 +8,7 @@
 #include <typeinfo>
 
 #include "api/registry.h"
+#include "api/specialize.h"
 #include "protocols/basic_lead.h"
 #include "verify/checks.h"
 
@@ -264,6 +265,23 @@ ScenarioSpec generate_spec(Xoshiro256& rng, const FuzzOptions& options) {
     spec.scheduler = SchedulerKind::kRandom;
   }
 
+  // Engine routing and tape generators: a quarter of ring specs opt into
+  // the counter RNG, engine= is sampled over all three kinds (engine=lanes
+  // on an ineligible spec is the clean-rejection path, part of the
+  // surface), and lane widths cover the degenerate w=1 through w=16.
+  // Non-ring topologies sample rng=ctr occasionally too — that must be
+  // cleanly rejected naming the field.
+  if (rng.below(4) == 0) spec.rng = RngKind::kCtr;
+  if (rng.below(3) == 0) {
+    static const std::vector<EngineKind> kEngines = {
+        EngineKind::kAuto, EngineKind::kScalar, EngineKind::kLanes};
+    spec.engine = pick(rng, kEngines);
+  }
+  if (rng.below(3) == 0) {
+    static const std::vector<int> kLaneWidths = {1, 4, 8, 16};
+    spec.lanes = pick(rng, kLaneWidths);
+  }
+
   // Half the specs carry a deviation — sampled over *all* registered
   // deviations, so protocol/deviation mismatches (which must be cleanly
   // rejected) are part of the surface under test.
@@ -358,6 +376,42 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
     if (fails != r.outcomes.fails()) {
       return "per_trial records " + std::to_string(fails) + " FAILs, counter has " +
              std::to_string(r.outcomes.fails());
+    }
+  }
+
+  // Lane differential: every accepted lane-eligible ring spec must produce
+  // the same executions on the batched lane engine as on the scalar engine
+  // — per-trial outcomes, aggregates, and transcript digests (the fuzzed
+  // rng= and lanes= fields ride through both runs).
+  if (spec.topology == TopologyKind::kRing && lane_eligible(spec)) {
+    ScenarioSpec scalar = spec;
+    scalar.engine = EngineKind::kScalar;
+    scalar.record_outcomes = true;
+    scalar.record_transcripts = true;
+    ScenarioSpec laned = scalar;
+    laned.engine = EngineKind::kLanes;
+    try {
+      const ScenarioResult rs = run_scenario(scalar);
+      const ScenarioResult rl = run_scenario(laned);
+      if (rs.per_trial != rl.per_trial) {
+        return "lane engine per-trial outcomes diverge from the scalar engine";
+      }
+      if (rs.total_messages != rl.total_messages || rs.max_messages != rl.max_messages ||
+          rs.total_sync_gap != rl.total_sync_gap || rs.max_sync_gap != rl.max_sync_gap) {
+        return "lane engine aggregates diverge from the scalar engine";
+      }
+      if (rs.per_trial_transcript.size() != rl.per_trial_transcript.size()) {
+        return "lane engine transcript count diverges from the scalar engine";
+      }
+      for (std::size_t t = 0; t < rs.per_trial_transcript.size(); ++t) {
+        if (!(rs.per_trial_transcript[t] == rl.per_trial_transcript[t]) ||
+            rs.per_trial_transcript[t].digest() != rl.per_trial_transcript[t].digest()) {
+          return "lane engine transcript diverges from the scalar engine at trial " +
+                 std::to_string(t);
+        }
+      }
+    } catch (const std::exception& error) {
+      return std::string("lane differential threw: ") + error.what();
     }
   }
 
@@ -486,6 +540,19 @@ ScenarioSpec shrink_spec(ScenarioSpec spec, const FuzzOracle& oracle) {
         if (s.param_l == 0) return std::nullopt;
         ScenarioSpec c = s;
         c.param_l = 0;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.engine == EngineKind::kAuto && s.lanes == 0) return std::nullopt;
+        ScenarioSpec c = s;
+        c.engine = EngineKind::kAuto;
+        c.lanes = 0;
+        return c;
+      },
+      [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
+        if (s.rng == RngKind::kXoshiro) return std::nullopt;
+        ScenarioSpec c = s;
+        c.rng = RngKind::kXoshiro;
         return c;
       },
       [](const ScenarioSpec& s) -> std::optional<ScenarioSpec> {
@@ -664,6 +731,9 @@ std::string format_spec(const ScenarioSpec& spec) {
   if (spec.adjacency != defaults.adjacency) {
     out << " adjacency=" << to_string(spec.adjacency);
   }
+  if (spec.engine != defaults.engine) out << " engine=" << to_string(spec.engine);
+  if (spec.lanes != defaults.lanes) out << " lanes=" << spec.lanes;
+  if (spec.rng != defaults.rng) out << " rng=" << to_string(spec.rng);
   if (spec.protocol_key != defaults.protocol_key) {
     out << " protocol_key=" << spec.protocol_key;
   }
@@ -737,6 +807,16 @@ ScenarioSpec parse_spec(const std::string& line) {
       const auto adjacency = parse_adjacency(value);
       if (!adjacency) throw std::invalid_argument("unknown adjacency '" + value + "'");
       spec.adjacency = *adjacency;
+    } else if (key == "engine") {
+      const auto engine = parse_engine(value);
+      if (!engine) throw std::invalid_argument("unknown engine '" + value + "'");
+      spec.engine = *engine;
+    } else if (key == "lanes") {
+      spec.lanes = std::stoi(value);
+    } else if (key == "rng") {
+      const auto kind = parse_rng(value);
+      if (!kind) throw std::invalid_argument("unknown rng '" + value + "'");
+      spec.rng = *kind;
     } else if (key == "protocol_key") {
       spec.protocol_key = std::stoull(value);
     } else if (key == "param_l") {

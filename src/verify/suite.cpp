@@ -554,6 +554,46 @@ CheckReport run_differential_checks(const SuiteOptions& options, const ShardSlic
         [chang, peterson] { return check_differential_distribution(chang, peterson); });
   }
 
+  {
+    // The lane-engine gate (DESIGN.md §10): every lane kernel, at lane
+    // widths 1/4/8/16 and 1/4/8 workers, must be bit-identical to the
+    // scalar engine — outcomes, aggregates, and transcripts.  Width and
+    // worker count are paired off so each axis still covers its full range
+    // without a 4x3 product per protocol.
+    constexpr struct {
+      int lanes;
+      int threads;
+    } kLaneGrid[] = {{1, 4}, {4, 1}, {8, 8}, {16, 4}};
+    const char* kernels[] = {"basic-lead", "chang-roberts", "alead-uni"};
+    for (const char* protocol : kernels) {
+      for (const auto& cell : kLaneGrid) {
+        ScenarioSpec spec;
+        spec.protocol = protocol;
+        spec.n = 12;
+        spec.trials = options.exact_trials;
+        spec.seed = options.seed + 47;
+        spec.scheduler = SchedulerKind::kRandom;  // exercises scheduler reseed
+        cases.emplace_back([spec, cell] {
+          return check_lane_differential(spec, cell.lanes, cell.threads);
+        });
+      }
+    }
+    // The opt-in counter RNG draws different tapes, so there is no exact
+    // reference — its honest election distribution must instead be
+    // indistinguishable from the Xoshiro reference streams (both uniform
+    // by the paper's Theorem 3.3).
+    ScenarioSpec xo;
+    xo.protocol = "basic-lead";
+    xo.n = 8;
+    xo.trials = options.trials;
+    xo.seed = options.seed + 53;
+    xo.threads = options.threads;
+    ScenarioSpec ctr = xo;
+    ctr.rng = RngKind::kCtr;
+    ctr.seed = xo.seed + 611953;  // decorrelate the two samples
+    cases.emplace_back([xo, ctr] { return check_differential_distribution(xo, ctr); });
+  }
+
   // The transcript-replay differential (DESIGN.md §7) runs for EVERY
   // registered protocol on its home topology — including the turn-game
   // (fullinfo/tree) entries, which have no second runtime to diff against

@@ -18,6 +18,7 @@
 #include "sim/arena.h"
 #include "sim/engine.h"
 #include "sim/graph_engine.h"
+#include "sim/lane_engine.h"
 #include "sim/sync_engine.h"
 
 namespace fle {
@@ -230,6 +231,30 @@ TEST(ZeroAllocation, ReusedSyncTrialSubstrateIsAllocationFree) {
   const std::uint64_t after = allocations();
   EXPECT_TRUE(outcome.valid());
   EXPECT_EQ(after - before, 0u) << "steady-state sync trial allocated";
+}
+
+TEST(ZeroAllocation, LaneEngineWindowIsAllocationFree) {
+  // The batched lane path (DESIGN.md §10) shares the zero-allocation
+  // contract: once the SoA arrays and per-lane control blocks are warm, a
+  // whole trial window — refills, retirements and all — allocates nothing.
+  const int n = 32;
+  LaneEngineOptions options;
+  options.lanes = 8;
+  for (const LaneKernelId kernel :
+       {LaneKernelId::kBasicLead, LaneKernelId::kChangRoberts, LaneKernelId::kALeadUni}) {
+    LaneEngine engine(n, kernel, options);
+    std::vector<std::uint64_t> seeds(24);
+    std::vector<LaneTrialResult> results(24);
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = 1000 + i;
+    engine.run_window(seeds, results);  // warm-up sizes every vector
+
+    const std::uint64_t before = allocations();
+    engine.run_window(seeds, results);
+    const std::uint64_t after = allocations();
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state lane window allocated (" << to_string(kernel) << ")";
+    for (const LaneTrialResult& r : results) EXPECT_TRUE(r.outcome.valid());
+  }
 }
 
 TEST(ZeroAllocation, ALeadUniSteadyStateStaysBounded) {

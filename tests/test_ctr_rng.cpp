@@ -1,0 +1,137 @@
+// Counter-based splittable RNG (core/ctr_rng.h): golden output vectors,
+// the split / counter-advance laws the lane engine's stream contract
+// (DESIGN.md §10) rests on, and a uniformity smoke through the same
+// chi-square machinery the conformance suite uses.
+
+#include "core/ctr_rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace fle {
+namespace {
+
+TEST(CtrRng, GoldenVectors) {
+  // Pinned outputs of the 10-round Philox-style block function.  These
+  // freeze the generator's identity: any change to the round constants,
+  // round count, or key schedule is a stream-breaking change and must
+  // show up here before it shows up in recorded scenario results.
+  const std::uint64_t key0[6] = {0x33baf4e35bf47333ull, 0x5188c524dbb89c93ull,
+                                 0xb9e1cd7547d64eb4ull, 0x8373bde780a471cbull,
+                                 0xded00724ffa8faaeull, 0xa8c604285b8017ddull};
+  const std::uint64_t key1[6] = {0x49051c02f7936ca9ull, 0xc0f298cecb8bb255ull,
+                                 0x249f1decf8b34874ull, 0xdc56b380176c326eull,
+                                 0xd55ab205b0e9b62eull, 0x4751597648b7dd03ull};
+  const std::uint64_t keyx[6] = {0xfdb7612163c7bf8bull, 0xf1a4e5e10eb30ddfull,
+                                 0xb3acfbcf8161999aull, 0xedfdde3ced3adadbull,
+                                 0x80d8305ae50d95b1ull, 0x2280d665339bb2b6ull};
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(CtrRng::at(0, i), key0[i]);
+    EXPECT_EQ(CtrRng::at(1, i), key1[i]);
+    EXPECT_EQ(CtrRng::at(0xdeadbeefcafebabeull, i), keyx[i]);
+  }
+}
+
+TEST(CtrRng, NextIsTheCounterSequence) {
+  // The stream law: next() is exactly at(key, 0), at(key, 1), ... — the
+  // stateful view and the random-access view are the same function.
+  CtrRng rng(42);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.counter(), i);
+    EXPECT_EQ(rng.next(), CtrRng::at(42, i));
+  }
+}
+
+TEST(CtrRng, SetCounterIsRandomAccess) {
+  CtrRng a(7);
+  for (int i = 0; i < 10; ++i) a.next();
+  CtrRng b(7);
+  b.set_counter(10);
+  EXPECT_EQ(a.counter(), b.counter());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CtrRng, SplitLawDistinctKeysGiveDistinctStreams) {
+  // Splitting = handing out fresh keys.  Streams under different keys must
+  // be pairwise distinct (no collisions over a prefix) — the property that
+  // makes RandomTape::key(trial_seed, owner) a valid per-processor split.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    for (std::uint64_t i = 0; i < 16; ++i) seen.insert(CtrRng::at(key, i));
+  }
+  EXPECT_EQ(seen.size(), 64u * 16u);
+}
+
+TEST(CtrRng, BelowStaysInRangeAndAdvancesTheCounter) {
+  CtrRng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  // Every accepted draw consumed at least one counter tick (rejection
+  // sampling may consume more, never fewer).
+  EXPECT_GE(rng.counter(), 1000u);
+}
+
+TEST(CtrRng, Uniform01InUnitInterval) {
+  CtrRng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CtrRng, BelowIsRoughlyUniform) {
+  // Same chi-square gate the conformance suite uses for election
+  // histograms: draws below(n) recorded as elected outcomes must pass the
+  // 0.999 critical value over n-1 degrees of freedom.
+  const int n = 16;
+  OutcomeCounter counter(n);
+  CtrRng rng(2024);
+  for (int i = 0; i < 16000; ++i) {
+    counter.record(Outcome::elected(rng.below(static_cast<std::uint64_t>(n))));
+  }
+  EXPECT_LE(counter.chi_square_uniform(), chi_square_critical_999(n - 1));
+}
+
+TEST(CtrRng, TapeKeyDerivationMatchesRandomTape) {
+  // RandomTape's ctr mode draws from CtrRng under RandomTape::key — the
+  // contract that lets the lane engine rebuild any processor's stream from
+  // (trial_seed, owner) alone.
+  const std::uint64_t trial_seed = 0x5eedull;
+  for (ProcessorId owner : {0, 1, 7}) {
+    RandomTape tape(trial_seed, owner, RngKind::kCtr);
+    CtrRng reference(RandomTape::key(trial_seed, owner));
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(tape.uniform(1000), reference.below(1000));
+    }
+  }
+}
+
+TEST(CtrRng, TapeDefaultsToXoshiroReferenceStreams) {
+  // The 2-arg RandomTape constructor keeps the recorded xoshiro streams:
+  // rng=ctr is opt-in, never a silent default.
+  const std::uint64_t trial_seed = 12345;
+  RandomTape legacy(trial_seed, 3);
+  RandomTape explicit_xo(trial_seed, 3, RngKind::kXoshiro);
+  RandomTape ctr(trial_seed, 3, RngKind::kCtr);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    const Value a = legacy.uniform(1 << 30);
+    const Value b = explicit_xo.uniform(1 << 30);
+    const Value c = ctr.uniform(1 << 30);
+    EXPECT_EQ(a, b);
+    diverged = diverged || a != c;
+  }
+  EXPECT_TRUE(diverged) << "ctr streams must be distinct from the reference streams";
+}
+
+}  // namespace
+}  // namespace fle

@@ -1,0 +1,214 @@
+// Batched lane engine (sim/lane_engine.h) and the digest-guided
+// specializer (api/specialize.h): the bit-identity gate against the scalar
+// engine across kernels, schedulers, lane widths, and worker counts, the
+// routing rules, and the new spec fields' round trip.
+
+#include "sim/lane_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "api/scenario.h"
+#include "api/specialize.h"
+#include "api/sweep.h"
+#include "verify/differential.h"
+#include "verify/fuzzer.h"
+
+namespace fle {
+namespace {
+
+ScenarioSpec ring_spec(const char* protocol, int n, SchedulerKind scheduler) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.n = n;
+  spec.trials = 48;
+  spec.seed = 414243;
+  spec.scheduler = scheduler;
+  return spec;
+}
+
+TEST(LaneEngine, BitIdenticalToScalarAcrossKernelsWidthsAndWorkers) {
+  // The acceptance grid: every lane kernel at lane widths 1/4/8/16 and
+  // 1/4/8 workers.  check_lane_differential compares per-trial outcomes,
+  // aggregates, and per-trial transcripts (digests included).
+  const struct {
+    int lanes;
+    int threads;
+  } grid[] = {{1, 1}, {4, 4}, {8, 8}, {16, 1}, {4, 8}, {8, 4}, {16, 8}, {1, 4}};
+  for (const char* protocol : {"basic-lead", "chang-roberts", "alead-uni"}) {
+    for (const auto& cell : grid) {
+      const auto result = verify::check_lane_differential(
+          ring_spec(protocol, 11, SchedulerKind::kRoundRobin), cell.lanes, cell.threads);
+      EXPECT_TRUE(result.passed) << result.subject << ": " << result.detail;
+    }
+  }
+}
+
+TEST(LaneEngine, BitIdenticalUnderEveryScheduler) {
+  for (const SchedulerKind scheduler :
+       {SchedulerKind::kRoundRobin, SchedulerKind::kRandom, SchedulerKind::kPriority}) {
+    const auto result = verify::check_lane_differential(
+        ring_spec("chang-roberts", 9, scheduler), /*lanes=*/4, /*threads=*/2);
+    EXPECT_TRUE(result.passed) << result.detail;
+  }
+}
+
+TEST(LaneEngine, BitIdenticalUnderCounterRng) {
+  // rng=ctr swaps the tape generator in BOTH engines; lane-vs-scalar
+  // identity must survive the swap.
+  for (const char* protocol : {"basic-lead", "chang-roberts", "alead-uni"}) {
+    ScenarioSpec spec = ring_spec(protocol, 8, SchedulerKind::kRandom);
+    spec.rng = RngKind::kCtr;
+    const auto result = verify::check_lane_differential(spec, /*lanes=*/8, /*threads=*/3);
+    EXPECT_TRUE(result.passed) << result.detail;
+  }
+}
+
+TEST(LaneEngine, ShardedWindowsMergeLikeScalar) {
+  // Lane seeds derive from the GLOBAL trial index, so a sharded window on
+  // the lane engine equals the same window cut from the monolithic run.
+  ScenarioSpec whole = ring_spec("basic-lead", 9, SchedulerKind::kRoundRobin);
+  whole.engine = EngineKind::kLanes;
+  whole.lanes = 4;
+  whole.record_outcomes = true;
+  ScenarioSpec shard = whole;
+  shard.trial_offset = 13;
+  shard.trial_count = 17;
+  const ScenarioResult all = run_scenario(whole);
+  const ScenarioResult cut = run_scenario(shard);
+  ASSERT_EQ(cut.per_trial.size(), 17u);
+  for (std::size_t t = 0; t < cut.per_trial.size(); ++t) {
+    EXPECT_EQ(cut.per_trial[t], all.per_trial[13 + t]) << "trial " << t;
+  }
+}
+
+TEST(LaneEngine, StepLimitStarvationMatchesScalar) {
+  // A starving step limit must FAIL the same trials on both engines (the
+  // retirement policy mirrors the scalar run loop's break semantics).
+  ScenarioSpec spec = ring_spec("basic-lead", 10, SchedulerKind::kRoundRobin);
+  spec.step_limit = 35;  // below the n*n honest requirement
+  const auto result = verify::check_lane_differential(spec, /*lanes=*/4, /*threads=*/1);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(LaneEngine, RunWindowValidatesSpans) {
+  LaneEngine engine(8, LaneKernelId::kBasicLead, LaneEngineOptions{});
+  std::vector<std::uint64_t> seeds(4, 1);
+  std::vector<LaneTrialResult> results(3);
+  EXPECT_THROW(engine.run_window(seeds, results), std::invalid_argument);
+  EXPECT_THROW(LaneEngine(1, LaneKernelId::kBasicLead, LaneEngineOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Specializer, KernelMapCoversTheThreeLaneProtocols) {
+  EXPECT_EQ(lane_kernel_for("basic-lead"), LaneKernelId::kBasicLead);
+  EXPECT_EQ(lane_kernel_for("chang-roberts"), LaneKernelId::kChangRoberts);
+  EXPECT_EQ(lane_kernel_for("alead-uni"), LaneKernelId::kALeadUni);
+  EXPECT_FALSE(lane_kernel_for("peterson").has_value());
+  EXPECT_FALSE(lane_kernel_for("phase-async-lead").has_value());
+}
+
+TEST(Specializer, EligibilityIsStructural) {
+  ScenarioSpec spec = ring_spec("basic-lead", 8, SchedulerKind::kRoundRobin);
+  EXPECT_TRUE(lane_eligible(spec));
+  ScenarioSpec deviated = spec;
+  deviated.deviation = "basic-single";
+  EXPECT_FALSE(lane_eligible(deviated));
+  ScenarioSpec graph = spec;
+  graph.topology = TopologyKind::kGraph;
+  EXPECT_FALSE(lane_eligible(graph));
+  ScenarioSpec no_kernel = spec;
+  no_kernel.protocol = "peterson";
+  EXPECT_FALSE(lane_eligible(no_kernel));
+}
+
+TEST(Specializer, ForcedLanesRejectsIneligibleSpecs) {
+  ScenarioSpec spec = ring_spec("peterson", 8, SchedulerKind::kRoundRobin);
+  spec.engine = EngineKind::kLanes;
+  EXPECT_THROW(run_scenario(spec), std::invalid_argument);
+  ScenarioSpec deviated = ring_spec("basic-lead", 8, SchedulerKind::kRoundRobin);
+  deviated.engine = EngineKind::kLanes;
+  deviated.deviation = "basic-single";
+  deviated.target = 3;
+  EXPECT_THROW(run_scenario(deviated), std::invalid_argument);
+}
+
+TEST(Specializer, CensusRoutesDominantShapesOnly) {
+  // 1000 trials of one shape vs 10 of another: the big shape dominates
+  // (>= 1/16 of the weight), the small one routes to lanes only when the
+  // submission is small enough for it to matter.
+  ScenarioSpec big = ring_spec("basic-lead", 16, SchedulerKind::kRoundRobin);
+  big.trials = 1000;
+  ScenarioSpec small = ring_spec("chang-roberts", 5, SchedulerKind::kRoundRobin);
+  small.trials = 10;
+  ShapeCensus census;
+  census.add(big);
+  census.add(small);
+  EXPECT_TRUE(route_to_lanes(big, census));
+  EXPECT_FALSE(route_to_lanes(small, census));
+  // Explicit engine= overrides the census in both directions.
+  ScenarioSpec forced_scalar = big;
+  forced_scalar.engine = EngineKind::kScalar;
+  EXPECT_FALSE(route_to_lanes(forced_scalar, census));
+  ScenarioSpec forced_lanes = small;
+  forced_lanes.engine = EngineKind::kLanes;
+  EXPECT_TRUE(route_to_lanes(forced_lanes, census));
+}
+
+TEST(Specializer, SweepRoutingIsInvisibleInResults) {
+  // A mixed sweep (dominant lane-eligible shape + scalar-only shapes) must
+  // produce results identical to the same sweep with lanes forced off.
+  SweepSpec sweep;
+  ScenarioSpec hot = ring_spec("basic-lead", 12, SchedulerKind::kRoundRobin);
+  hot.trials = 400;
+  hot.record_outcomes = true;
+  ScenarioSpec cold = ring_spec("peterson", 6, SchedulerKind::kRoundRobin);
+  cold.trials = 20;
+  cold.record_outcomes = true;
+  sweep.scenarios = {hot, cold};
+  sweep.threads = 2;
+  const std::vector<ScenarioResult> routed = run_sweep(sweep);
+
+  SweepSpec scalar_sweep = sweep;
+  for (ScenarioSpec& spec : scalar_sweep.scenarios) spec.engine = EngineKind::kScalar;
+  const std::vector<ScenarioResult> scalar = run_sweep(scalar_sweep);
+
+  ASSERT_EQ(routed.size(), scalar.size());
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    EXPECT_EQ(routed[i].per_trial, scalar[i].per_trial) << "scenario " << i;
+    EXPECT_EQ(routed[i].total_messages, scalar[i].total_messages);
+    EXPECT_EQ(routed[i].max_sync_gap, scalar[i].max_sync_gap);
+  }
+}
+
+TEST(Specializer, SpecFieldsRoundTripThroughFormatAndParse) {
+  ScenarioSpec spec = ring_spec("alead-uni", 9, SchedulerKind::kPriority);
+  spec.engine = EngineKind::kLanes;
+  spec.lanes = 16;
+  spec.rng = RngKind::kCtr;
+  const ScenarioSpec parsed = verify::parse_spec(verify::format_spec(spec));
+  EXPECT_EQ(parsed.engine, EngineKind::kLanes);
+  EXPECT_EQ(parsed.lanes, 16);
+  EXPECT_EQ(parsed.rng, RngKind::kCtr);
+  EXPECT_EQ(verify::format_spec(parsed), verify::format_spec(spec));
+  // Defaults stay omitted; unknown values are rejected.
+  const ScenarioSpec defaults = ring_spec("basic-lead", 8, SchedulerKind::kRoundRobin);
+  EXPECT_EQ(verify::format_spec(defaults).find("engine="), std::string::npos);
+  EXPECT_THROW(verify::parse_spec("protocol=basic-lead n=4 engine=warp"),
+               std::invalid_argument);
+  EXPECT_THROW(verify::parse_spec("protocol=basic-lead n=4 rng=mt19937"),
+               std::invalid_argument);
+}
+
+TEST(Specializer, CtrRngIsRingOnly) {
+  ScenarioSpec spec = ring_spec("basic-lead", 8, SchedulerKind::kRoundRobin);
+  spec.topology = TopologyKind::kThreaded;
+  spec.rng = RngKind::kCtr;
+  EXPECT_THROW(run_scenario(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fle

@@ -90,6 +90,24 @@ inline double parse_double(const char* prog, const char* flag, std::string_view 
   return value;
 }
 
+/// Named-choice flags ("--engine scalar|lanes|auto" and friends): the
+/// value must match one of `choices` exactly; a failure names the flag,
+/// lists the valid spellings and exits 2 like the numeric parsers.
+template <std::size_t N>
+std::string_view parse_choice(const char* prog, const char* flag, std::string_view text,
+                              const std::string_view (&choices)[N]) {
+  for (const std::string_view choice : choices) {
+    if (text == choice) return choice;
+  }
+  std::fprintf(stderr, "%s: %s: '%.*s' is not one of:", prog, flag,
+               static_cast<int>(text.size()), text.data());
+  for (const std::string_view choice : choices) {
+    std::fprintf(stderr, " %.*s", static_cast<int>(choice.size()), choice.data());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
 /// An "I/M" shard selector: index I in [0, M), count M >= 1.
 struct ShardArg {
   int index = 0;

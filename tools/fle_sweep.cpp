@@ -22,7 +22,9 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "api/sweep.h"
 #include "cli_parse.h"
@@ -36,7 +38,8 @@ namespace {
                "usage: %s --spec-file FILE [--local [--shard I/M]] [--out FILE]\n"
                "          [--port N] [--port-file FILE] [--workers N] [--window N]\n"
                "          [--deadline-ms N] [--retries N] [--heartbeat-ms N]\n"
-               "          [--grace-ms N] [--threads T]\n",
+               "          [--grace-ms N] [--threads T]\n"
+               "          [--engine auto|scalar|lanes] [--lanes N]\n",
                argv0);
   std::exit(2);
 }
@@ -76,6 +79,8 @@ int main(int argc, char** argv) {
   bool sharded = false;
   fle::cli::ShardArg shard;
   int threads = 0;
+  std::optional<fle::EngineKind> engine;
+  std::optional<int> lanes;
   fle::fabric::FabricOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -116,6 +121,12 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(fle::cli::parse_ms(argv[0], "--grace-ms", next()));
     } else if (arg == "--threads") {
       threads = fle::cli::parse_int<int>(argv[0], "--threads", next(), 0, 4096);
+    } else if (arg == "--engine") {
+      static constexpr std::string_view kEngines[] = {"auto", "scalar", "lanes"};
+      engine = *fle::parse_engine(
+          std::string(fle::cli::parse_choice(argv[0], "--engine", next(), kEngines)));
+    } else if (arg == "--lanes") {
+      lanes = fle::cli::parse_int<int>(argv[0], "--lanes", next(), 1, 1 << 16);
     } else {
       usage(argv[0]);
     }
@@ -150,6 +161,15 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // Engine overrides apply to the whole sweep AFTER the report snapshot:
+    // the canonical report echoes the workload as the spec file wrote it
+    // (plus any shard window), never the engine that happened to run it,
+    // so the lanes-on/off CI runs cmp byte-identical.
+    const fle::SweepSpec report_sweep = sweep;
+    for (fle::ScenarioSpec& spec : sweep.scenarios) {
+      if (engine) spec.engine = *engine;
+      if (lanes) spec.lanes = *lanes;
+    }
     std::vector<fle::ScenarioResult> results;
     if (local) {
       results = fle::run_sweep(sweep);
@@ -165,7 +185,7 @@ int main(int argc, char** argv) {
       }
       results = executor.run_sweep(sweep);
     }
-    const std::string report = fle::fabric::canonical_report(sweep, results);
+    const std::string report = fle::fabric::canonical_report(report_sweep, results);
     if (out_path.empty()) {
       std::fputs(report.c_str(), stdout);
     } else {
