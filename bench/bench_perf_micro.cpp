@@ -21,6 +21,7 @@
 
 #include "api/scenario.h"
 #include "api/sweep.h"
+#include "attacks/coalition.h"
 #include "core/ctr_rng.h"
 #include "core/random_function.h"
 #include "core/rng.h"
@@ -278,6 +279,75 @@ void BM_LaneEngineRing(benchmark::State& state) {
 }
 BENCHMARK(BM_LaneEngineRing)->Arg(32)->Arg(128);
 
+// The general lane path, measured honestly: fast_paths=false forces every
+// trial through the burst loop over the ring-buffer inbox column (no
+// token-sum shortcut), so this row is the vectorized-general-path claim
+// the release-perf gate holds against the scalar run_scenario row.
+void BM_LaneEngineRingGeneral(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LaneEngineOptions options;
+  options.lanes = 8;
+  options.fast_paths = false;
+  LaneEngine engine(n, LaneKernelId::kBasicLead, options);
+  std::vector<std::uint64_t> seeds(256);
+  std::vector<LaneTrialResult> results(seeds.size());
+  std::uint64_t base = 0;
+  AllocationScope allocations(state, "allocations_per_window");
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = ++base;
+    engine.run_window(seeds, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_LaneEngineRingGeneral)->Arg(32)->Arg(128);
+
+// Deviated lane kernels: the Lemma 4.1 rushing coalition (k = n/4, equally
+// spaced) on the A-LEADuni kernel, general path (no constant fast path).
+void BM_LaneEngineRingDeviated(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Coalition coalition = Coalition::equally_spaced(n, n / 4, 1);
+  LaneEngineOptions options;
+  options.lanes = 8;
+  options.fast_paths = false;
+  options.deviation.id = LaneDeviationId::kRushing;
+  options.deviation.members = coalition.members();
+  options.deviation.segment_lengths = coalition.segment_lengths();
+  options.deviation.target = 1;
+  LaneEngine engine(n, LaneKernelId::kALeadUni, options);
+  std::vector<std::uint64_t> seeds(256);
+  std::vector<LaneTrialResult> results(seeds.size());
+  std::uint64_t base = 0;
+  AllocationScope allocations(state, "allocations_per_window");
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = ++base;
+    engine.run_window(seeds, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_LaneEngineRingDeviated)->Arg(32)->Arg(128);
+
+// Sync-runtime lanes: window throughput of the devirtualized broadcast
+// kernel (compare BM_SyncTrialReused for the scalar per-trial cost).
+void BM_SyncLaneEngine(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SyncLaneEngineOptions options;
+  options.lanes = 8;
+  SyncLaneEngine engine(n, SyncLaneKernelId::kSyncBroadcast, options);
+  std::vector<std::uint64_t> seeds(256);
+  std::vector<LaneTrialResult> results(seeds.size());
+  std::uint64_t base = 0;
+  AllocationScope allocations(state, "allocations_per_window");
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = ++base;
+    engine.run_window(seeds, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_SyncLaneEngine)->Arg(16)->Arg(64);
+
 // ---- end-to-end run_scenario throughput (items/sec = trials/sec) ---------
 
 void run_scenario_throughput(benchmark::State& state, ScenarioSpec spec) {
@@ -360,6 +430,58 @@ void BM_RunScenarioSync(benchmark::State& state) {
   run_scenario_throughput(state, spec);
 }
 BENCHMARK(BM_RunScenarioSync);
+
+// Scalar-vs-lane comparison rows for the PR-6 lane extensions: the
+// deviated ring profiles and the sync runtime, engines pinned as above.
+void BM_RunScenarioDeviatedScalar(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.protocol = "basic-lead";
+  spec.deviation = "basic-single";
+  spec.target = 3;
+  spec.n = 128;
+  spec.trials = 100;
+  spec.threads = 1;
+  spec.engine = EngineKind::kScalar;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioDeviatedScalar);
+
+void BM_RunScenarioDeviatedLanes(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.protocol = "basic-lead";
+  spec.deviation = "basic-single";
+  spec.target = 3;
+  spec.n = 128;
+  spec.trials = 100;
+  spec.threads = 1;
+  spec.engine = EngineKind::kLanes;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioDeviatedLanes);
+
+void BM_RunScenarioSyncScalar(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kSync;
+  spec.protocol = "sync-broadcast-lead";
+  spec.n = 16;
+  spec.trials = 200;
+  spec.threads = 1;
+  spec.engine = EngineKind::kScalar;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioSyncScalar);
+
+void BM_RunScenarioSyncLanes(benchmark::State& state) {
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kSync;
+  spec.protocol = "sync-broadcast-lead";
+  spec.n = 16;
+  spec.trials = 200;
+  spec.threads = 1;
+  spec.engine = EngineKind::kLanes;
+  run_scenario_throughput(state, spec);
+}
+BENCHMARK(BM_RunScenarioSyncLanes);
 
 // ---- sweep vs serial: cross-scenario work stealing (items/sec = trials) --
 //

@@ -319,7 +319,8 @@ struct ScenarioJob {
 constexpr int kRingFamily = 1;
 constexpr int kGraphFamily = 2;
 constexpr int kSyncFamily = 3;
-constexpr int kLaneFamily = 4;  ///< batched lane engine (sim/lane_engine.h)
+constexpr int kLaneFamily = 4;      ///< batched ring lane engine (sim/lane_engine.h)
+constexpr int kSyncLaneFamily = 5;  ///< batched sync lane engine (sim/sync_engine.h)
 constexpr int kGraphFamilyBase = 16;  ///< + GraphAdjacency index for restricted graphs
 
 int graph_family(GraphAdjacency adjacency) {
@@ -499,8 +500,10 @@ struct LaneWorkspace {
 /// The specializer's fast path: the executor hands whole trial windows to
 /// a batched LaneEngine via the chunk-body seam.  Only reachable for
 /// lane_eligible() specs (route_to_lanes gates it), so the protocol always
-/// has a devirtualized kernel and the honest profile applies.
-void fill_lane_job(ScenarioJob& job, const ProtocolEntry* protocol_entry) {
+/// has a devirtualized kernel and the profile is honest or one of the
+/// lane-served deviations (basic-single, rushing).
+void fill_lane_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
+                   const DeviationEntry* deviation_entry) {
   const ScenarioSpec& spec = job.spec;
   require_n(spec, 2);
   job.result = ScenarioResult(spec.n);
@@ -510,28 +513,43 @@ void fill_lane_job(ScenarioJob& job, const ProtocolEntry* protocol_entry) {
   // limit; the kernels' honest message bounds depend only on n, so the
   // limit is uniform across the window's trials.
   std::uint64_t step_limit = 0;
+  LaneDeviationSpec deviation;
   {
     const std::shared_ptr<const RingProtocol> named =
         protocol_entry->make_ring(spec, spec.seed);
     job.result.protocol_name = named->name();
     step_limit = scenario_ring_step_limit(spec, *named);
+    if (deviation_entry) {
+      // Build the scalar deviation once: its factory runs exactly the
+      // validation the scalar path would (coalition preconditions, honest
+      // origin, target range) and resolves the display name plus the
+      // member layout the lane register file bakes in.
+      const std::shared_ptr<const Deviation> scalar =
+          deviation_entry->make_ring(*named, spec);
+      job.result.deviation_name = scalar->name();
+      deviation.id = *lane_deviation_id(spec.deviation);
+      deviation.members = scalar->coalition().members();
+      deviation.segment_lengths = scalar->coalition().segment_lengths();
+      deviation.target = spec.target;
+    }
   }
 
   const int width = lane_width(spec);
   ScenarioJob* j = &job;
-  job.chunk_body = [j, kernel, step_limit, width](std::size_t begin, std::size_t end,
-                                                  void* raw) {
+  job.chunk_body = [j, kernel, step_limit, width, deviation](std::size_t begin, std::size_t end,
+                                                             void* raw) {
     const ScenarioSpec& spec = j->spec;
     auto& ws = *static_cast<LaneWorkspace*>(raw);
     if (!ws.engine || ws.engine->kernel() != kernel || ws.engine->n() != spec.n ||
         ws.engine->step_limit() != step_limit ||
         ws.engine->scheduler_kind() != spec.scheduler || ws.engine->rng_kind() != spec.rng ||
-        ws.engine->lanes() != width) {
+        ws.engine->lanes() != width || !(ws.engine->deviation() == deviation)) {
       LaneEngineOptions options;
       options.step_limit = step_limit;
       options.scheduler_kind = spec.scheduler;
       options.rng = spec.rng;
       options.lanes = width;
+      options.deviation = deviation;
       ws.engine = std::make_unique<LaneEngine>(spec.n, kernel, options);
     }
     const std::size_t count = end - begin;
@@ -560,6 +578,79 @@ void fill_lane_job(ScenarioJob& job, const ProtocolEntry* protocol_entry) {
   };
   job.workspace_key = WorkspaceKey{kLaneFamily, spec.n};
   job.make_workspace = workspace_factory<LaneWorkspace>();
+}
+
+/// Per-worker sync lane workspace, cached under (kSyncLaneFamily, n).
+struct SyncLaneWorkspace {
+  std::unique_ptr<SyncLaneEngine> engine;
+  std::vector<std::uint64_t> seeds;
+  std::vector<LaneTrialResult> results;
+  std::vector<ExecutionTranscript*> transcripts;
+};
+
+/// Sync-runtime counterpart of fill_lane_job: whole trial windows on a
+/// batched SyncLaneEngine.  Only reachable for lane_eligible() sync specs
+/// (honest profile, sync lane-kernel protocol).
+void fill_sync_lane_job(ScenarioJob& job, const ProtocolEntry* protocol_entry) {
+  const ScenarioSpec& spec = job.spec;
+  require_n(spec, 2);
+  if (spec.step_limit > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument("sync scenarios interpret step_limit as a round limit; " +
+                                std::to_string(spec.step_limit) + " does not fit in int");
+  }
+  job.result = ScenarioResult(spec.n);
+  const SyncLaneKernelId kernel = *sync_lane_kernel_for(spec.protocol);
+
+  // Same round-limit resolution as fill_sync_job: the spec's explicit
+  // limit, or the protocol's round_bound(n).
+  int round_limit = 0;
+  {
+    const std::shared_ptr<const SyncProtocol> named =
+        protocol_entry->make_sync(spec, spec.seed);
+    job.result.protocol_name = named->name();
+    round_limit = spec.step_limit != 0 ? static_cast<int>(spec.step_limit)
+                                       : named->round_bound(spec.n);
+  }
+
+  const int width = lane_width(spec);
+  ScenarioJob* j = &job;
+  job.chunk_body = [j, kernel, round_limit, width](std::size_t begin, std::size_t end,
+                                                   void* raw) {
+    const ScenarioSpec& spec = j->spec;
+    auto& ws = *static_cast<SyncLaneWorkspace*>(raw);
+    if (!ws.engine || ws.engine->kernel() != kernel || ws.engine->n() != spec.n ||
+        ws.engine->round_limit() != round_limit || ws.engine->lanes() != width) {
+      SyncLaneEngineOptions options;
+      options.round_limit = round_limit;
+      options.lanes = width;
+      ws.engine = std::make_unique<SyncLaneEngine>(spec.n, kernel, options);
+    }
+    const std::size_t count = end - begin;
+    ws.seeds.resize(count);
+    ws.results.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ws.seeds[i] = scenario_trial_seed(spec.seed, j->window.first + begin + i);
+    }
+    std::span<ExecutionTranscript* const> transcripts;
+    if (spec.record_transcripts) {
+      ws.transcripts.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ws.transcripts[i] = j->transcript_slot(j->window.first + begin + i);
+      }
+      transcripts = std::span<ExecutionTranscript* const>(ws.transcripts);
+    }
+    ws.engine->run_window(std::span<const std::uint64_t>(ws.seeds),
+                          std::span<LaneTrialResult>(ws.results), transcripts);
+    for (std::size_t i = 0; i < count; ++i) {
+      TrialStats stats;
+      stats.outcome = ws.results[i].outcome;
+      stats.messages = ws.results[i].messages;
+      stats.rounds = static_cast<int>(ws.results[i].rounds);
+      j->stats[begin + i] = stats;
+    }
+  };
+  job.workspace_key = WorkspaceKey{kSyncLaneFamily, spec.n};
+  job.make_workspace = workspace_factory<SyncLaneWorkspace>();
 }
 
 void fill_registry_ring_job(ScenarioJob& job, const ProtocolEntry* protocol_entry,
@@ -853,7 +944,7 @@ std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec,
     case TopologyKind::kRing:
     case TopologyKind::kThreaded:
       if (lanes) {
-        fill_lane_job(*job, protocol_entry);
+        fill_lane_job(*job, protocol_entry, deviation_entry);
       } else {
         fill_registry_ring_job(*job, protocol_entry, deviation_entry);
       }
@@ -862,7 +953,11 @@ std::unique_ptr<ScenarioJob> prepare_scenario_job(const ScenarioSpec& spec,
       fill_graph_job(*job, protocol_entry, deviation_entry);
       break;
     case TopologyKind::kSync:
-      fill_sync_job(*job, protocol_entry, deviation_entry);
+      if (lanes) {
+        fill_sync_lane_job(*job, protocol_entry);
+      } else {
+        fill_sync_job(*job, protocol_entry, deviation_entry);
+      }
       break;
     case TopologyKind::kTree:
     case TopologyKind::kFullInfo:

@@ -57,17 +57,21 @@ enum class TopologyKind { kRing, kGraph, kTree, kSync, kThreaded, kFullInfo };
 const char* to_string(TopologyKind kind);
 std::optional<TopologyKind> parse_topology(const std::string& name);
 
-/// Which ring execution engine serves a scenario's trials.
+/// Which execution engine serves a scenario's trials (ring and sync
+/// topologies; other runtimes have no lane engines and ignore this).
 ///
 ///  * kAuto   — the transcript-digest-guided specializer (api/specialize.h)
 ///              routes shapes that dominate the submission to the batched
-///              lane engine when a devirtualized kernel exists, and falls
-///              back to the scalar engine elsewhere.  Results are
-///              bit-identical either way (the lane differential gates it),
-///              so this is purely a performance decision.
-///  * kScalar — always the scalar reference RingEngine.
+///              lane engines when a devirtualized kernel exists — honest or
+///              deviated (basic-single, rushing) ring specs, honest sync
+///              specs — and falls back to the scalar engines elsewhere.
+///              Results are bit-identical either way (the lane
+///              differentials gate it), so this is purely a performance
+///              decision.
+///  * kScalar — always the scalar reference engine.
 ///  * kLanes  — force the batched lane engine; rejected (invalid_argument
-///              naming the field) when the spec has no lane kernel.
+///              with the lane_ineligible_reason) when the spec has no lane
+///              kernel.
 enum class EngineKind { kAuto, kScalar, kLanes };
 
 const char* to_string(EngineKind kind);
@@ -147,7 +151,7 @@ struct ScenarioSpec {
   bool record_transcripts = false;
   /// kGraph only: the link structure trials run on (ignored elsewhere).
   GraphAdjacency adjacency = GraphAdjacency::kComplete;
-  /// Ring engine selection (see EngineKind); ignored off the ring.
+  /// Engine selection (see EngineKind); lanes serve ring and sync specs.
   EngineKind engine = EngineKind::kAuto;
   /// Lane width W for the lane engine; 0 = the default width (8).
   int lanes = 0;

@@ -1,5 +1,7 @@
 #include "api/specialize.h"
 
+#include <bit>
+#include <span>
 #include <stdexcept>
 
 #include "sim/transcript.h"
@@ -13,28 +15,103 @@ std::optional<LaneKernelId> lane_kernel_for(const std::string& protocol) {
   return std::nullopt;
 }
 
+std::optional<SyncLaneKernelId> sync_lane_kernel_for(const std::string& protocol) {
+  if (protocol == "sync-broadcast-lead") return SyncLaneKernelId::kSyncBroadcast;
+  if (protocol == "sync-ring-lead") return SyncLaneKernelId::kSyncRing;
+  return std::nullopt;
+}
+
+std::optional<LaneDeviationId> lane_deviation_id(const std::string& deviation) {
+  if (deviation.empty()) return LaneDeviationId::kNone;
+  if (deviation == "basic-single") return LaneDeviationId::kBasicSingle;
+  if (deviation == "rushing") return LaneDeviationId::kRushing;
+  return std::nullopt;
+}
+
 bool lane_eligible(const ScenarioSpec& spec) {
-  return spec.topology == TopologyKind::kRing && spec.deviation.empty() &&
-         lane_kernel_for(spec.protocol).has_value();
+  switch (spec.topology) {
+    case TopologyKind::kRing:
+      return lane_kernel_for(spec.protocol).has_value() &&
+             lane_deviation_id(spec.deviation).has_value();
+    case TopologyKind::kSync:
+      return spec.deviation.empty() && sync_lane_kernel_for(spec.protocol).has_value();
+    default:
+      return false;
+  }
+}
+
+std::string lane_ineligible_reason(const ScenarioSpec& spec) {
+  switch (spec.topology) {
+    case TopologyKind::kRing:
+      if (!lane_kernel_for(spec.protocol).has_value()) {
+        return "protocol '" + spec.protocol +
+               "' has no ring lane kernel (lane kernels: basic-lead, chang-roberts, alead-uni)";
+      }
+      if (!lane_deviation_id(spec.deviation).has_value()) {
+        return "deviation '" + spec.deviation +
+               "' has no lane register mapping (lane-served ring profiles: honest, basic-single, "
+               "rushing)";
+      }
+      return "";
+    case TopologyKind::kSync:
+      if (!sync_lane_kernel_for(spec.protocol).has_value()) {
+        return "protocol '" + spec.protocol +
+               "' has no sync lane kernel (sync lane kernels: sync-broadcast-lead, sync-ring-lead)";
+      }
+      if (!spec.deviation.empty()) {
+        return "deviation '" + spec.deviation +
+               "' is not lane-served on the sync runtime (honest sync profiles only)";
+      }
+      return "";
+    default:
+      return std::string("topology '") + to_string(spec.topology) +
+             "' has no lane runtime (lanes serve ring and sync specs)";
+  }
 }
 
 int lane_width(const ScenarioSpec& spec) { return spec.lanes > 0 ? spec.lanes : 8; }
 
-std::uint64_t engine_shape_key(const ScenarioSpec& spec) {
-  // The protocol string folds byte-by-byte (length first, so "ab"+"c" and
-  // "a"+"bc" differ), then the numeric shape words — the same order the
-  // transcript digest folds event words.
-  std::uint64_t words[4] = {static_cast<std::uint64_t>(spec.protocol.size()), 0, 0, 0};
-  std::uint64_t key = transcript_fold(std::span<const std::uint64_t>(words, 1));
-  for (const char c : spec.protocol) {
-    const std::uint64_t w = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    key ^= transcript_fold(std::span<const std::uint64_t>(&w, 1)) * 0x9E3779B97F4A7C15ull;
+namespace {
+
+/// Byte-by-byte string fold (length first, so "ab"+"c" and "a"+"bc"
+/// differ), in the same event-word style the transcript digest uses.
+std::uint64_t fold_string(const std::string& text) {
+  std::uint64_t word = static_cast<std::uint64_t>(text.size());
+  std::uint64_t key = transcript_fold(std::span<const std::uint64_t>(&word, 1));
+  for (const char c : text) {
+    word = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    key ^= transcript_fold(std::span<const std::uint64_t>(&word, 1)) * 0x9E3779B97F4A7C15ull;
   }
-  words[0] = static_cast<std::uint64_t>(spec.n);
-  words[1] = static_cast<std::uint64_t>(spec.scheduler);
-  words[2] = static_cast<std::uint64_t>(spec.rng);
-  words[3] = key;
-  return transcript_fold(std::span<const std::uint64_t>(words, 4));
+  return key;
+}
+
+}  // namespace
+
+std::uint64_t engine_shape_key(const ScenarioSpec& spec) {
+  // Deviated lane engines are additionally specialized on the coalition
+  // placement and target (they bake the member overlay into the register
+  // file), so the placement words fold in too.  Custom member lists fold
+  // like a string.
+  std::uint64_t members = static_cast<std::uint64_t>(spec.coalition.members.size());
+  for (const ProcessorId m : spec.coalition.members) {
+    std::uint64_t word = static_cast<std::uint64_t>(m);
+    members ^= transcript_fold(std::span<const std::uint64_t>(&word, 1)) * 0x9E3779B97F4A7C15ull;
+  }
+  const std::uint64_t words[12] = {
+      static_cast<std::uint64_t>(spec.topology),
+      fold_string(spec.protocol),
+      fold_string(spec.deviation),
+      static_cast<std::uint64_t>(spec.n),
+      static_cast<std::uint64_t>(spec.scheduler),
+      static_cast<std::uint64_t>(spec.rng),
+      spec.target,
+      static_cast<std::uint64_t>(spec.coalition.placement),
+      static_cast<std::uint64_t>(spec.coalition.k),
+      static_cast<std::uint64_t>(spec.coalition.first),
+      spec.coalition.placement_seed ^ std::bit_cast<std::uint64_t>(spec.coalition.density),
+      members,
+  };
+  return transcript_fold(std::span<const std::uint64_t>(words, 12));
 }
 
 void ShapeCensus::add(const ScenarioSpec& spec) {
@@ -67,13 +144,7 @@ bool route_to_lanes(const ScenarioSpec& spec, const ShapeCensus& census) {
       return false;
     case EngineKind::kLanes:
       if (!lane_eligible(spec)) {
-        throw std::invalid_argument(
-            "ScenarioSpec.engine = lanes requires a ring spec with an honest profile and a "
-            "lane-kernel protocol (basic-lead, chang-roberts, alead-uni); '" +
-            spec.protocol + "' on topology '" + to_string(spec.topology) +
-            (spec.deviation.empty() ? std::string("'")
-                                    : "' with deviation '" + spec.deviation + "'") +
-            " has no lane kernel");
+        throw std::invalid_argument("ScenarioSpec.engine = lanes: " + lane_ineligible_reason(spec));
       }
       return true;
     case EngineKind::kAuto:

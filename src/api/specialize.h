@@ -2,19 +2,29 @@
 // Transcript-digest-guided engine specialization (DESIGN.md §10).
 //
 // The sweep planner decides, per scenario, whether trials run on the
-// batched lane engine (sim/lane_engine.h) or the general scalar engine.
-// Eligibility is structural: a ring spec with an honest profile whose
-// protocol has a devirtualized lane kernel (basic-lead, chang-roberts,
-// alead-uni).  Routing is guided by shape weight: every scenario folds its
-// (protocol, n, scheduler) shape into a content key — the same FNV-1a fold
-// the transcript digests use, so equal shapes collide deterministically —
-// and a ShapeCensus over the submission counts trial weight per key.
-// Shapes that dominate the submission run on lanes; rare shapes stay on
-// the scalar engine, whose per-trial workspace cache already serves them
-// well.  engine=scalar / engine=lanes override the census per spec.
+// batched lane engines (sim/lane_engine.h, sim/sync_engine.h) or the
+// general scalar runtimes.  Eligibility is structural:
 //
-// The decision is invisible in results: the lane engine is gated
-// bit-identical to the scalar engine (ScenarioResults and transcript
+//  * a ring spec whose protocol has a devirtualized lane kernel
+//    (basic-lead, chang-roberts, alead-uni) running either the honest
+//    profile or one of the lane-served deviated profiles (basic-single,
+//    rushing — the two dominant resilience-sweep attacks, which map onto
+//    the lane register file as a member overlay), or
+//  * a sync spec whose protocol has a sync lane kernel
+//    (sync-broadcast-lead, sync-ring-lead) with an honest profile.
+//
+// Routing is guided by shape weight: every scenario folds its engine
+// shape — (topology, protocol, deviation + coalition, n, scheduler, rng),
+// the tuple a lane engine instance is specialized on — into a content key
+// with the same FNV-1a fold the transcript digests use, so equal shapes
+// collide deterministically, and a ShapeCensus over the submission counts
+// trial weight per key.  Shapes that dominate the submission run on
+// lanes; rare shapes stay on the scalar engines, whose per-trial
+// workspace cache already serves them well.  engine=scalar /
+// engine=lanes override the census per spec.
+//
+// The decision is invisible in results: the lane engines are gated
+// bit-identical to the scalar runtimes (ScenarioResults and transcript
 // digests), so specialization is purely a throughput choice.
 
 #include <cstdint>
@@ -23,22 +33,35 @@
 
 #include "api/scenario.h"
 #include "sim/lane_engine.h"
+#include "sim/sync_engine.h"
 
 namespace fle {
 
-/// The lane kernel for a registry protocol key, if one exists.
+/// The ring lane kernel for a registry protocol key, if one exists.
 std::optional<LaneKernelId> lane_kernel_for(const std::string& protocol);
 
-/// True when `spec` can execute on the lane engine bit-identically: ring
-/// topology, honest profile (no deviation), and a kernel protocol.
+/// The sync lane kernel for a registry protocol key, if one exists.
+std::optional<SyncLaneKernelId> sync_lane_kernel_for(const std::string& protocol);
+
+/// The lane register-file mapping for a registry deviation key, if one
+/// exists (empty key = honest = LaneDeviationId::kNone).
+std::optional<LaneDeviationId> lane_deviation_id(const std::string& deviation);
+
+/// True when `spec` can execute on a lane engine bit-identically (see the
+/// header comment for the structural rules).
 bool lane_eligible(const ScenarioSpec& spec);
+
+/// Why `spec` is not lane-eligible, as one human-readable sentence (used
+/// verbatim by route_to_lanes' engine=lanes rejection and by fle_sweep's
+/// per-line pre-validation).  Empty string when the spec IS eligible.
+std::string lane_ineligible_reason(const ScenarioSpec& spec);
 
 /// Effective lane width for `spec` (spec.lanes, or the default of 8).
 int lane_width(const ScenarioSpec& spec);
 
 /// The content key of a spec's engine shape — transcript_fold over
-/// (protocol, n, scheduler, rng), the tuple a lane engine instance is
-/// specialized on.
+/// (topology, protocol, deviation, coalition placement, target, n,
+/// scheduler, rng), the tuple a lane engine instance is specialized on.
 std::uint64_t engine_shape_key(const ScenarioSpec& spec);
 
 /// Trial-weight census over one submission's scenarios (a sweep, or the
@@ -61,8 +84,9 @@ class ShapeCensus {
 };
 
 /// The final routing decision for `spec` within a submission counted by
-/// `census`.  Throws std::invalid_argument naming ScenarioSpec.engine when
-/// engine=lanes is forced on a spec with no lane kernel.
+/// `census`.  Throws std::invalid_argument naming ScenarioSpec.engine
+/// (with the lane_ineligible_reason) when engine=lanes is forced on an
+/// ineligible spec.
 bool route_to_lanes(const ScenarioSpec& spec, const ShapeCensus& census);
 
 }  // namespace fle

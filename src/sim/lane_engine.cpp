@@ -20,6 +20,18 @@ const char* to_string(LaneKernelId kernel) {
   return "?";
 }
 
+const char* to_string(LaneDeviationId deviation) {
+  switch (deviation) {
+    case LaneDeviationId::kNone:
+      return "honest";
+    case LaneDeviationId::kBasicSingle:
+      return "basic-single";
+    case LaneDeviationId::kRushing:
+      return "rushing";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // Kernels: each replicates its scalar strategy's event handlers exactly
 // (src/protocols/*.cpp), with strategy fields mapped onto the SoA register
@@ -28,31 +40,33 @@ const char* to_string(LaneKernelId kernel) {
 /// basic-lead (paper §3): reg_a = d_, reg_b = sum_, cnt_ = count_.
 struct LaneEngine::BasicLeadKernel {
   static constexpr bool kNeedsIds = false;
-  static constexpr bool kTokenSum = true;
 
-  static void init(LaneEngine& e, std::size_t lane, ProcessorId p, std::uint64_t seed) {
+  static void init(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                   std::uint64_t seed) {
     const std::size_t i = e.slot(lane, p);
     const Value n = static_cast<Value>(e.n_);
     const Value d = e.tape_uniform(seed, p, n);
     e.reg_a_[i] = d;
-    e.lane_send(lane, p, d);
+    e.lane_send(hot, lane, p, d);
   }
 
-  static void receive(LaneEngine& e, std::size_t lane, ProcessorId p, Value v) {
-    const std::size_t i = e.slot(lane, p);
-    const Value n = static_cast<Value>(e.n_);
+  static void receive(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                      Value v) {
+    const std::size_t i = hot.base + static_cast<std::size_t>(p);
+    const Value n = hot.n;
     if (v >= n) v %= n;
-    ++e.cnt_[i];
-    e.reg_b_[i] += v;
-    if (e.reg_b_[i] >= n) e.reg_b_[i] -= n;
-    if (e.cnt_[i] < static_cast<std::uint64_t>(e.n_)) {
-      e.lane_send(lane, p, v);
+    const std::uint64_t count = ++hot.cnt[i];
+    Value sum = hot.reg_b[i] + v;
+    if (sum >= n) sum -= n;
+    hot.reg_b[i] = sum;
+    if (count < n) {
+      e.lane_send(hot, lane, p, v);
       return;
     }
-    if (v == e.reg_a_[i]) {
-      e.lane_finish(lane, p, false, e.reg_b_[i]);
+    if (v == hot.reg_a[i]) {
+      e.lane_finish(hot, lane, p, false, sum);
     } else {
-      e.lane_finish(lane, p, true, 0);
+      e.lane_finish(hot, lane, p, true, 0);
     }
   }
 };
@@ -62,36 +76,35 @@ struct LaneEngine::BasicLeadKernel {
 /// ChangRobertsProtocol::random(n, seed) construction.
 struct LaneEngine::ChangRobertsKernel {
   static constexpr bool kNeedsIds = true;
-  // Forwarding is conditional on the competing ids, so the message flow is
-  // data-DEPENDENT: no closed form, every trial takes the general path.
-  static constexpr bool kTokenSum = false;
 
-  static void init(LaneEngine& e, std::size_t lane, ProcessorId p, std::uint64_t /*seed*/) {
+  static void init(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                   std::uint64_t /*seed*/) {
     const std::size_t i = e.slot(lane, p);
-    e.reg_a_[i] = e.cr_ids_[static_cast<std::size_t>(p)];
-    e.lane_send(lane, p, e.reg_a_[i]);
+    e.reg_a_[i] = e.cr_ids_[i];
+    e.lane_send(hot, lane, p, e.reg_a_[i]);
   }
 
-  static void receive(LaneEngine& e, std::size_t lane, ProcessorId p, Value v) {
-    const std::size_t i = e.slot(lane, p);
-    if (e.flag_b_[i]) return;
-    const Value announce_base = static_cast<Value>(e.n_);
+  static void receive(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                      Value v) {
+    const std::size_t i = hot.base + static_cast<std::size_t>(p);
+    if (hot.flag_b[i]) return;
+    const Value announce_base = hot.n;
     if (v >= announce_base) {
       const Value leader = v - announce_base;
-      if (e.flag_a_[i]) {
-        e.lane_finish(lane, p, false, leader);
+      if (hot.flag_a[i]) {
+        e.lane_finish(hot, lane, p, false, leader);
       } else {
-        e.lane_send(lane, p, v);
-        e.lane_finish(lane, p, false, leader);
+        e.lane_send(hot, lane, p, v);
+        e.lane_finish(hot, lane, p, false, leader);
       }
-      e.flag_b_[i] = 1;
+      hot.flag_b[i] = 1;
       return;
     }
-    if (v > e.reg_a_[i]) {
-      e.lane_send(lane, p, v);
-    } else if (v == e.reg_a_[i]) {
-      e.flag_a_[i] = 1;
-      e.lane_send(lane, p, announce_base + static_cast<Value>(p));
+    if (v > hot.reg_a[i]) {
+      e.lane_send(hot, lane, p, v);
+    } else if (v == hot.reg_a[i]) {
+      hot.flag_a[i] = 1;
+      e.lane_send(hot, lane, p, announce_base + static_cast<Value>(p));
     }
     // Smaller candidates are swallowed.
   }
@@ -101,49 +114,140 @@ struct LaneEngine::ChangRobertsKernel {
 /// normal adds reg_c = buffer_ (one-round delay).
 struct LaneEngine::ALeadUniKernel {
   static constexpr bool kNeedsIds = false;
-  static constexpr bool kTokenSum = true;
 
-  static void init(LaneEngine& e, std::size_t lane, ProcessorId p, std::uint64_t seed) {
+  static void init(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                   std::uint64_t seed) {
     const std::size_t i = e.slot(lane, p);
     const Value n = static_cast<Value>(e.n_);
     const Value d = e.tape_uniform(seed, p, n);
     e.reg_a_[i] = d;
     if (p == 0) {
-      e.lane_send(lane, p, d);
+      e.lane_send(hot, lane, p, d);
     } else {
       e.reg_c_[i] = d;  // commit: the secret leaves the buffer first
     }
   }
 
-  static void receive(LaneEngine& e, std::size_t lane, ProcessorId p, Value v) {
-    const std::size_t i = e.slot(lane, p);
-    const Value n = static_cast<Value>(e.n_);
+  static void receive(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                      Value v) {
+    const std::size_t i = hot.base + static_cast<std::size_t>(p);
+    const Value n = hot.n;
     v %= n;
     if (p == 0) {
-      ++e.cnt_[i];
-      e.reg_b_[i] = (e.reg_b_[i] + v) % n;
-      if (e.cnt_[i] < static_cast<std::uint64_t>(e.n_)) {
-        e.lane_send(lane, p, v);
+      const std::uint64_t count = ++hot.cnt[i];
+      hot.reg_b[i] = (hot.reg_b[i] + v) % n;
+      if (count < n) {
+        e.lane_send(hot, lane, p, v);
         return;
       }
-      if (v == e.reg_a_[i]) {
-        e.lane_finish(lane, p, false, e.reg_b_[i]);
+      if (v == hot.reg_a[i]) {
+        e.lane_finish(hot, lane, p, false, hot.reg_b[i]);
       } else {
-        e.lane_finish(lane, p, true, 0);
+        e.lane_finish(hot, lane, p, true, 0);
       }
       return;
     }
-    e.lane_send(lane, p, e.reg_c_[i]);  // delayed value first
-    e.reg_c_[i] = v;
-    ++e.cnt_[i];
-    e.reg_b_[i] = (e.reg_b_[i] + v) % n;
-    if (e.cnt_[i] == static_cast<std::uint64_t>(e.n_)) {
-      if (v == e.reg_a_[i]) {
-        e.lane_finish(lane, p, false, e.reg_b_[i]);
+    e.lane_send(hot, lane, p, hot.reg_c[i]);  // delayed value first
+    hot.reg_c[i] = v;
+    const std::uint64_t count = ++hot.cnt[i];
+    hot.reg_b[i] = (hot.reg_b[i] + v) % n;
+    if (count == n) {
+      if (v == hot.reg_a[i]) {
+        e.lane_finish(hot, lane, p, false, hot.reg_b[i]);
       } else {
-        e.lane_finish(lane, p, true, 0);
+        e.lane_finish(hot, lane, p, true, 0);
       }
     }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Deviation kernels: coalition members' receive handlers, replicating
+// src/attacks/{basic_single,rushing}.cpp exactly.  Member wake-up is silent
+// in both attacks (no tape draw, no send), so start_trial simply skips
+// member cells; member state overlays the honest register file (cnt_ =
+// received count, reg_b_ = running mod-n sum, flag_b_ = done) plus the
+// aux_ replay column.
+
+/// The honest profile: no member cells, the dispatch branch compiles away.
+struct LaneEngine::HonestDev {
+  static constexpr bool kActive = false;
+  static void receive(LaneEngine&, LaneEngine::TrialHot&, std::size_t, ProcessorId, Value) {}
+};
+
+/// basic-single (Appendix B): buffer the n-1 honest values, then cancel
+/// them with m = target - sum and replay so every honest processor's own
+/// value arrives last.
+struct LaneEngine::BasicSingleDev {
+  static constexpr bool kActive = true;
+
+  static void receive(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                      Value v) {
+    const std::size_t i = hot.base + static_cast<std::size_t>(p);
+    if (hot.flag_b[i]) return;
+    const Value n = hot.n;
+    v %= n;
+    Value* aux = e.aux_.data() + hot.base + e.dev_aux_[static_cast<std::size_t>(p)];
+    aux[hot.cnt[i]] = v;
+    hot.reg_b[i] += v;
+    if (hot.reg_b[i] >= n) hot.reg_b[i] -= n;
+    const std::uint64_t count = ++hot.cnt[i];
+    if (count < n - 1) return;
+
+    // All n-1 honest values collected: cancel them out.
+    const Value m = (e.dev_target_ + n - hot.reg_b[i]) % n;
+    e.lane_send(hot, lane, p, m);
+    for (std::uint64_t j = 0; j < count; ++j) e.lane_send(hot, lane, p, aux[j]);
+    hot.flag_b[i] = 1;
+    e.lane_finish(hot, lane, p, false, e.dev_target_);
+  }
+};
+
+/// rushing (Lemma 4.1): pipe the first n-k values through, then burst the
+/// correcting value, k-l_j-1 zeros, and the segment's last l_j values.
+/// The sliding window of the last l_j received values lives in the aux_
+/// column at dev_aux_[p], written at index (received % l_j) — at the
+/// trigger point each residue holds exactly the stream entry the scalar
+/// strategy replays.
+struct LaneEngine::RushingDev {
+  static constexpr bool kActive = true;
+
+  static void receive(LaneEngine& e, LaneEngine::TrialHot& hot, std::size_t lane, ProcessorId p,
+                      Value v) {
+    const std::size_t i = hot.base + static_cast<std::size_t>(p);
+    if (hot.flag_b[i]) return;
+    const Value n = hot.n;
+    v %= n;
+    const int lj = e.dev_lj_[static_cast<std::size_t>(p)];
+    Value* win = e.aux_.data() + hot.base + e.dev_aux_[static_cast<std::size_t>(p)];
+    if (lj > 0) win[hot.cnt[i] % static_cast<std::uint64_t>(lj)] = v;
+    hot.reg_b[i] += v;
+    if (hot.reg_b[i] >= n) hot.reg_b[i] -= n;
+    const std::uint64_t received = ++hot.cnt[i];
+    if (received < e.dev_honest_total_) {
+      e.lane_send(hot, lane, p, v);  // rush: pipe instead of buffering
+      return;
+    }
+    if (received > e.dev_honest_total_) return;  // late traffic is ignored
+
+    // received == n-k: pipe this one too, then burst the remaining k sends.
+    e.lane_send(hot, lane, p, v);
+    const std::uint64_t honest_total = e.dev_honest_total_;
+    Value s_segment = 0;
+    for (int j = 0; j < lj; ++j) {
+      const std::uint64_t idx = honest_total - static_cast<std::uint64_t>(lj - j);
+      s_segment += win[idx % static_cast<std::uint64_t>(lj)];
+      if (s_segment >= n) s_segment -= n;
+    }
+    const Value m = (e.dev_target_ + 2 * n - hot.reg_b[i] - s_segment) % n;
+    e.lane_send(hot, lane, p, m);
+    for (int j = 0; j < e.dev_k_ - lj - 1; ++j) e.lane_send(hot, lane, p, 0);
+    for (int j = 0; j < lj; ++j) {
+      const std::uint64_t idx = honest_total - static_cast<std::uint64_t>(lj - j);
+      e.lane_send(hot, lane, p, win[idx % static_cast<std::uint64_t>(lj)]);
+    }
+    hot.flag_b[i] = 1;
+    e.lane_finish(hot, lane, p, false, e.dev_target_);
   }
 };
 
@@ -158,11 +262,61 @@ LaneEngine::LaneEngine(int n, LaneKernelId kernel, LaneEngineOptions options)
                             1024),
       scheduler_kind_(options.scheduler_kind),
       rng_kind_(options.rng),
-      lanes_(options.lanes) {
+      lanes_(options.lanes),
+      deviation_(std::move(options.deviation)) {
   if (n_ < 2) throw std::invalid_argument("ring needs at least 2 processors");
   if (lanes_ < 1) throw std::invalid_argument("lane width must be at least 1");
+
+  // An empty coalition is the honest profile whatever the deviation id
+  // says (Bernoulli placements may legitimately sample k = 0).
+  if (deviation_.members.empty()) deviation_.id = LaneDeviationId::kNone;
+  dev_member_.assign(static_cast<std::size_t>(n_), 0);
+  dev_lj_.assign(static_cast<std::size_t>(n_), 0);
+  dev_aux_.assign(static_cast<std::size_t>(n_), 0);
+  if (deviation_.id != LaneDeviationId::kNone) {
+    if (deviation_.target >= static_cast<Value>(n_)) {
+      throw std::invalid_argument("lane deviation target out of range");
+    }
+    dev_target_ = deviation_.target;
+    dev_k_ = static_cast<int>(deviation_.members.size());
+    dev_honest_total_ = static_cast<std::uint64_t>(n_ - dev_k_);
+    const bool rushing = deviation_.id == LaneDeviationId::kRushing;
+    if (rushing && deviation_.segment_lengths.size() != deviation_.members.size()) {
+      throw std::invalid_argument("lane rushing spec needs one segment length per member");
+    }
+    if (deviation_.id == LaneDeviationId::kBasicSingle && dev_k_ != 1) {
+      throw std::invalid_argument("basic-single is a single-adversary attack");
+    }
+    std::uint32_t aux_offset = 0;
+    ProcessorId previous = -1;
+    for (std::size_t j = 0; j < deviation_.members.size(); ++j) {
+      const ProcessorId m = deviation_.members[j];
+      if (m <= previous || m >= n_) {
+        throw std::invalid_argument("lane deviation members must be ascending in [0, n)");
+      }
+      previous = m;
+      dev_member_[static_cast<std::size_t>(m)] = 1;
+      dev_aux_[static_cast<std::size_t>(m)] = aux_offset;
+      if (rushing) {
+        const int lj = deviation_.segment_lengths[j];
+        if (lj < 0 || static_cast<std::uint64_t>(lj) > dev_honest_total_) {
+          throw std::invalid_argument("lane rushing segment length out of range");
+        }
+        dev_lj_[static_cast<std::size_t>(m)] = lj;
+        aux_offset += static_cast<std::uint32_t>(lj);
+      } else {
+        aux_offset += static_cast<std::uint32_t>(n_ - 1);
+      }
+    }
+    if (aux_offset > static_cast<std::uint32_t>(n_)) {
+      // basic-single stores n-1 values; rushing windows sum to n-k.  One
+      // n-wide column per lane therefore always suffices.
+      throw std::invalid_argument("lane deviation replay storage exceeds one column");
+    }
+  }
+
   const std::size_t cells = static_cast<std::size_t>(lanes_) * static_cast<std::size_t>(n_);
-  inbox_.resize(cells);
+  inbox_.configure(cells);
   reg_a_.resize(cells);
   reg_b_.resize(cells);
   reg_c_.resize(cells);
@@ -174,13 +328,58 @@ LaneEngine::LaneEngine(int n, LaneKernelId kernel, LaneEngineOptions options)
   out_aborted_.resize(cells);
   out_value_.resize(cells);
   sent_.resize(cells);
+  if (deviation_.id != LaneDeviationId::kNone) aux_.resize(cells);
   lane_.resize(static_cast<std::size_t>(lanes_));
   for (LaneState& lane : lane_) {
-    lane.ready.reserve(static_cast<std::size_t>(n_));
+    // One scratch slot past n: the predicated insert writes ready[count]
+    // even when the processor is already listed (count then stays put).
+    lane.ready.assign(static_cast<std::size_t>(n_) + 1, 0);
     lane.ready_pos.assign(static_cast<std::size_t>(n_), -1);
-    lane.sent_freq.assign(1, static_cast<std::uint64_t>(n_));
+    // Every kernel/deviation pair sends at most n+1 messages per processor
+    // (chang-roberts' max-id owner: wake-up + n-1 forwards + announce), so
+    // presizing the sync-gap histogram keeps the steady state allocation
+    // free; lane_send retains the growth fallback for safety.
+    lane.sent_freq.assign(static_cast<std::size_t>(n_) + 4, 0);
+    lane.sent_freq[0] = static_cast<std::uint64_t>(n_);
   }
-  cr_ids_.resize(static_cast<std::size_t>(n_));
+  cr_ids_.resize(cells);
+  cr_scratch_.resize(static_cast<std::size_t>(n_));
+
+  fast_kind_ = resolve_fast_kind(options.fast_paths);
+  if (fast_kind_ == FastKind::kNone) fast_state_ = FastState::kDisabled;
+}
+
+LaneEngine::FastKind LaneEngine::resolve_fast_kind(bool fast_paths) const {
+  // Every analytic path rides the trial-independent round-robin schedule.
+  if (!fast_paths || scheduler_kind_ != SchedulerKind::kRoundRobin) return FastKind::kNone;
+  switch (deviation_.id) {
+    case LaneDeviationId::kNone:
+      switch (kernel_) {
+        case LaneKernelId::kBasicLead:
+        case LaneKernelId::kALeadUni:
+          return FastKind::kTokenSum;
+        case LaneKernelId::kChangRoberts: {
+          // Unlike the constant-skeleton paths (where the primed trials
+          // prove no trial hits the step limit), chang-roberts deliveries
+          // vary per trial — only serve analytically when the limit
+          // provably cannot bind (total messages <= n^2 + n).
+          const std::uint64_t worst = static_cast<std::uint64_t>(n_) *
+                                          static_cast<std::uint64_t>(n_) +
+                                      static_cast<std::uint64_t>(n_);
+          return step_limit_ >= worst ? FastKind::kChangRoberts : FastKind::kNone;
+        }
+      }
+      return FastKind::kNone;
+    case LaneDeviationId::kBasicSingle:
+      // The designed pairing (Claim B.1 forces elected(target) w.p. 1 and
+      // the count-driven flow makes messages/gap constants).  On any other
+      // kernel the honest validation branch is data-dependent.
+      return kernel_ == LaneKernelId::kBasicLead ? FastKind::kDeviatedConstant : FastKind::kNone;
+    case LaneDeviationId::kRushing:
+      // Lemma 4.1's pairing, same reasoning.
+      return kernel_ == LaneKernelId::kALeadUni ? FastKind::kDeviatedConstant : FastKind::kNone;
+  }
+  return FastKind::kNone;
 }
 
 Value LaneEngine::tape_uniform(std::uint64_t seed, ProcessorId p, Value bound) const {
@@ -190,120 +389,145 @@ Value LaneEngine::tape_uniform(std::uint64_t seed, ProcessorId p, Value bound) c
   return tape.uniform(bound);
 }
 
-void LaneEngine::mark_ready(LaneState& lane, ProcessorId p) {
-  auto& pos = lane.ready_pos[static_cast<std::size_t>(p)];
+void LaneEngine::mark_ready(TrialHot& hot, ProcessorId p) {
+  int& pos = hot.ready_pos[static_cast<std::size_t>(p)];
   if (pos >= 0) return;
-  pos = static_cast<int>(lane.ready.size());
-  lane.ready.push_back(p);
+  pos = static_cast<int>(hot.ready_count);
+  hot.ready[hot.ready_count++] = p;
 }
 
-void LaneEngine::unmark_ready(LaneState& lane, ProcessorId p) {
-  auto& pos = lane.ready_pos[static_cast<std::size_t>(p)];
+void LaneEngine::unmark_ready(TrialHot& hot, ProcessorId p) {
+  const int pos = hot.ready_pos[static_cast<std::size_t>(p)];
   if (pos < 0) return;
-  const ProcessorId last = lane.ready.back();
-  lane.ready[static_cast<std::size_t>(pos)] = last;
-  lane.ready_pos[static_cast<std::size_t>(last)] = pos;
-  lane.ready.pop_back();
-  pos = -1;
+  unmark_at(hot, static_cast<std::size_t>(pos), p);
 }
 
-ProcessorId LaneEngine::pick_next(LaneState& lane) {
+void LaneEngine::unmark_at(TrialHot& hot, std::size_t idx, ProcessorId p) {
+  // Same swap-remove as unmark_ready with the ready_pos lookup elided
+  // (idx == ready_pos[p] by the list invariant).
+  const ProcessorId last = hot.ready[hot.ready_count - 1];
+  hot.ready[idx] = last;
+  hot.ready_pos[static_cast<std::size_t>(last)] = static_cast<int>(idx);
+  --hot.ready_count;
+  hot.ready_pos[static_cast<std::size_t>(p)] = -1;
+}
+
+std::size_t LaneEngine::pick_index(LaneState& lane, TrialHot& hot) {
   switch (scheduler_kind_) {
     case SchedulerKind::kRoundRobin:
       break;
     case SchedulerKind::kRandom:
-      return lane.ready[lane.sched_rng.below(lane.ready.size())];
+      return lane.sched_rng.below(hot.ready_count);
     case SchedulerKind::kPriority: {
-      ProcessorId best = lane.ready[0];
-      for (const ProcessorId p : lane.ready) {
-        if (lane.priority[static_cast<std::size_t>(p)] <
-            lane.priority[static_cast<std::size_t>(best)]) {
-          best = p;
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < hot.ready_count; ++i) {
+        if (lane.priority[static_cast<std::size_t>(hot.ready[i])] <
+            lane.priority[static_cast<std::size_t>(hot.ready[best])]) {
+          best = i;
         }
       }
       return best;
     }
   }
   // Same wrapping cursor as the scalar engine's fast path.
-  if (lane.rr_cursor >= lane.ready.size()) lane.rr_cursor = 0;
-  return lane.ready[lane.rr_cursor++];
+  if (hot.rr_cursor >= hot.ready_count) hot.rr_cursor = 0;
+  return hot.rr_cursor++;
 }
 
-void LaneEngine::lane_send(std::size_t lane_index, ProcessorId from, Value v) {
-  LaneState& lane = lane_[lane_index];
+void LaneEngine::lane_send(TrialHot& hot, std::size_t lane_index, ProcessorId from, Value v) {
   ProcessorId to = from + 1;
-  if (to == n_) to = 0;
-  ++lane.total_sent;
-  std::uint64_t& sent = sent_[slot(lane_index, from)];
+  if (static_cast<Value>(to) == hot.n) to = 0;
 
-  if (!lane.gap_frozen) {
-    assert(sent < lane.sent_freq.size() && lane.sent_freq[sent] > 0);
-    --lane.sent_freq[sent];
-    if (sent + 1 >= lane.sent_freq.size()) lane.sent_freq.resize(sent + 2, 0);
-    ++lane.sent_freq[sent + 1];
-    if (sent + 1 > lane.max_sent) lane.max_sent = sent + 1;
-    while (lane.sent_freq[lane.min_sent] == 0) ++lane.min_sent;
-    const std::uint64_t gap = lane.max_sent - lane.min_sent;
-    if (gap > lane.max_sync_gap) lane.max_sync_gap = gap;
+  const std::uint64_t s = hot.sent[hot.base + static_cast<std::size_t>(from)]++;
+  if (!hot.gap_frozen) {
+    // Same trace as the scalar histogram with the two scans collapsed:
+    // counts move up one level at a time, so when level s drains and s was
+    // the minimum the new minimum is exactly s+1 (the level just
+    // incremented); and max - min grows only when max does, so the gap
+    // folds under that test alone.
+    if (s + 2 >= hot.sent_freq_size) [[unlikely]] {
+      LaneState& lane = lane_[lane_index];
+      lane.sent_freq.resize(s + 3, 0);
+      hot.sent_freq = lane.sent_freq.data();
+      hot.sent_freq_size = lane.sent_freq.size();
+    }
+    std::uint64_t* freq = hot.sent_freq;
+    assert(freq[s] > 0);
+    if (--freq[s] == 0 && s == hot.min_sent) hot.min_sent = s + 1;
+    ++freq[s + 1];
+    if (s + 1 > hot.max_sent) {
+      hot.max_sent = s + 1;
+      const std::uint64_t gap = hot.max_sent - hot.min_sent;
+      if (gap > hot.max_sync_gap) hot.max_sync_gap = gap;
+    }
   }
-  ++sent;
 
-  const std::size_t dst = slot(lane_index, to);
-  if (!terminated_[dst]) {
-    inbox_[dst].push_back(v);
-    mark_ready(lane, to);
+  const std::size_t dst = hot.base + static_cast<std::size_t>(to);
+  if (!hot.terminated[dst]) {
+    // The inbox push, through the trial's cached cursors (inbox.h View).
+    std::uint64_t* ht = hot.ibx.ht + dst * 2;
+    if (ht[1] - ht[0] == hot.ibx.cap) [[unlikely]] {
+      hot.ibx = inbox_.grow_view();
+      ht = hot.ibx.ht + dst * 2;
+    }
+    hot.ibx.data[(dst << hot.ibx.shift) + (ht[1]++ & hot.ibx.mask)] = v;
+    mark_ready(hot, to);
   }
 }
 
-void LaneEngine::lane_finish(std::size_t lane_index, ProcessorId p, bool aborted, Value value) {
-  LaneState& lane = lane_[lane_index];
+void LaneEngine::lane_finish(TrialHot& hot, std::size_t lane_index, ProcessorId p, bool aborted,
+                             Value value) {
   const std::size_t i = slot(lane_index, p);
   assert(!out_has_[i]);
   out_has_[i] = 1;
   out_aborted_[i] = aborted ? 1 : 0;
   out_value_[i] = value;
   terminated_[i] = 1;
-  lane.gap_frozen = true;
-  unmark_ready(lane, p);
-  inbox_[i].clear();
-  if (lane.transcript) {
-    lane.transcript->decision(static_cast<std::uint64_t>(p), aborted, value);
+  hot.gap_frozen = true;
+  unmark_ready(hot, p);
+  inbox_.clear_cell(i);
+  if (ExecutionTranscript* tr = lane_[lane_index].transcript) {
+    tr->decision(static_cast<std::uint64_t>(p), aborted, value);
   }
 }
 
-template <typename Kernel>
-void LaneEngine::deliver(std::size_t lane_index, ProcessorId p) {
-  LaneState& lane = lane_[lane_index];
-  FlatQueue<Value>& box = inbox_[slot(lane_index, p)];
-  assert(!box.empty());
-  const Value v = box.pop_front();
-  if (box.empty()) unmark_ready(lane, p);
-  ++lane.deliveries;
-  if (lane.transcript) {
-    lane.transcript->delivery(lane.deliveries, static_cast<std::uint64_t>(p), v);
-  }
-  Kernel::receive(*this, lane_index, p, v);
-}
-
-template <typename Kernel>
+template <typename Kernel, typename Dev>
 void LaneEngine::start_trial(std::size_t lane_index, std::size_t trial, std::uint64_t seed,
-                             ExecutionTranscript* transcript) {
+                             ExecutionTranscript* transcript, TrialHot& hot) {
   LaneState& lane = lane_[lane_index];
-  lane.live = true;
   lane.trial = trial;
   lane.seed = seed;
   lane.step_limit_hit = false;
-  lane.gap_frozen = false;
-  lane.rr_cursor = 0;
-  lane.ready.clear();
-  std::fill(lane.ready_pos.begin(), lane.ready_pos.end(), -1);
-  lane.sent_freq.assign(1, static_cast<std::uint64_t>(n_));
-  lane.min_sent = 0;
-  lane.max_sent = 0;
-  lane.deliveries = 0;
-  lane.total_sent = 0;
   lane.max_sync_gap = 0;
   lane.transcript = transcript;
+  std::fill(lane.ready_pos.begin(), lane.ready_pos.end(), -1);
+  lane.sent_freq.assign(static_cast<std::size_t>(n_) + 4, 0);
+  lane.sent_freq[0] = static_cast<std::uint64_t>(n_);
+
+  // The per-trial scalars live in the caller's stack frame (TrialHot) so the
+  // optimizer can keep them in registers across the SoA column stores.
+  hot.deliveries = 0;
+  hot.rr_cursor = 0;
+  hot.ready_count = 0;
+  hot.min_sent = 0;
+  hot.max_sent = 0;
+  hot.max_sync_gap = 0;
+  hot.gap_frozen = false;
+  hot.ready = lane.ready.data();
+  hot.ready_pos = lane.ready_pos.data();
+  hot.sent_freq = lane.sent_freq.data();
+  hot.sent_freq_size = lane.sent_freq.size();
+  hot.n = static_cast<Value>(n_);
+  hot.base = slot(lane_index, 0);
+  hot.sent = sent_.data();
+  hot.cnt = cnt_.data();
+  hot.reg_a = reg_a_.data();
+  hot.reg_b = reg_b_.data();
+  hot.reg_c = reg_c_.data();
+  hot.flag_a = flag_a_.data();
+  hot.flag_b = flag_b_.data();
+  hot.terminated = terminated_.data();
+  hot.ibx = inbox_.view();
 
   // Restart the built-in schedule exactly as RingEngine::reset does.
   switch (scheduler_kind_) {
@@ -319,7 +543,7 @@ void LaneEngine::start_trial(std::size_t lane_index, std::size_t trial, std::uin
 
   const std::size_t base = slot(lane_index, 0);
   for (std::size_t i = base; i < base + static_cast<std::size_t>(n_); ++i) {
-    inbox_[i].clear();
+    inbox_.clear_cell(i);
     reg_a_[i] = 0;
     reg_b_[i] = 0;
     reg_c_[i] = 0;
@@ -334,22 +558,106 @@ void LaneEngine::start_trial(std::size_t lane_index, std::size_t trial, std::uin
   }
 
   if constexpr (Kernel::kNeedsIds) {
-    // Per-trial logical ids, bit-identical to ChangRobertsProtocol::random.
-    std::iota(cr_ids_.begin(), cr_ids_.end(), Value{0});
+    // Per-trial logical ids in this lane's column, bit-identical to
+    // ChangRobertsProtocol::random.
+    const auto first = cr_ids_.begin() + static_cast<std::ptrdiff_t>(base);
+    const auto last = first + n_;
+    std::iota(first, last, Value{0});
     Xoshiro256 rng(seed);
-    std::shuffle(cr_ids_.begin(), cr_ids_.end(), rng);
+    std::shuffle(first, last, rng);
   }
 
-  // Wake-up phase, in processor order like the scalar run().
+  // Wake-up phase, in processor order like the scalar run().  Coalition
+  // members stay silent (their on_init is a no-op in both attacks — no
+  // tape draw, no send), so member cells are simply skipped.
   for (ProcessorId p = 0; p < n_; ++p) {
-    if (!terminated_[slot(lane_index, p)]) Kernel::init(*this, lane_index, p, seed);
+    if constexpr (Dev::kActive) {
+      if (dev_member_[static_cast<std::size_t>(p)]) continue;
+    }
+    if (!terminated_[slot(lane_index, p)]) Kernel::init(*this, hot, lane_index, p, seed);
+  }
+}
+
+template <typename Kernel, typename Dev, bool kTranscribe>
+void LaneEngine::run_batch(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
+                           std::span<ExecutionTranscript* const> transcripts) {
+  const std::size_t width = static_cast<std::size_t>(lanes_);
+  const std::uint64_t limit = step_limit_;
+  for (std::size_t t = 0; t < seeds.size(); ++t) {
+    // Transcript-recording windows never serve analytically (they need the
+    // real event stream; they still feed priming observations).
+    if (!kTranscribe && fast_state_ == FastState::kArmed) {
+      out[t] = fast_result(seeds[t]);
+      continue;
+    }
+    const std::size_t l = t % width;
+    TrialHot hot;
+    start_trial<Kernel, Dev>(l, t, seeds[t], kTranscribe ? transcripts[t] : nullptr, hot);
+    LaneState& lane = lane_[l];
+    const SchedulerKind sched = scheduler_kind_;
+    // Step budget as a countdown: `budget == 0` here iff the scalar loop's
+    // `deliveries >= limit` (budget starts at limit and drops once per
+    // delivery), but the countdown needs no second counter register.  The
+    // absolute delivery index only feeds the transcript hook, so it is
+    // maintained under kTranscribe alone.
+    std::uint64_t budget = limit;
+    while (hot.ready_count != 0) {
+      if (budget == 0) [[unlikely]] {
+        // The step bound with work still pending: the scalar loop's break.
+        lane.step_limit_hit = true;
+        break;
+      }
+      --budget;
+      std::size_t pick;
+      switch (sched) {
+        case SchedulerKind::kRoundRobin:
+          // Same wrapping cursor as the scalar engine's fast path.
+          if (hot.rr_cursor >= hot.ready_count) hot.rr_cursor = 0;
+          pick = hot.rr_cursor++;
+          break;
+        default:
+          pick = pick_index(lane, hot);
+          break;
+      }
+      const ProcessorId p = hot.ready[pick];
+      // Fused inbox pop + drain test through the trial's cached cursors.
+      const std::size_t cell = hot.base + static_cast<std::size_t>(p);
+      std::uint64_t* const ht = hot.ibx.ht + cell * 2;
+      const std::uint64_t h = ht[0]++;
+      const Value v = hot.ibx.data[(cell << hot.ibx.shift) + (h & hot.ibx.mask)];
+      if (h + 1 == ht[1]) unmark_at(hot, pick, p);
+      if constexpr (kTranscribe) {
+        ++hot.deliveries;
+        if (lane.transcript) {
+          lane.transcript->delivery(hot.deliveries, static_cast<std::uint64_t>(p), v);
+        }
+      }
+      if constexpr (Dev::kActive) {
+        if (dev_member_[static_cast<std::size_t>(p)]) {
+          Dev::receive(*this, hot, l, p, v);
+          continue;
+        }
+      }
+      Kernel::receive(*this, hot, l, p, v);
+    }
+    lane.max_sync_gap = hot.max_sync_gap;
+    retire(l, out);
+    if (fast_kind_ != FastKind::kNone) observe_fast_trial(lane, out[t]);
   }
 }
 
 void LaneEngine::retire(std::size_t lane_index, std::span<LaneTrialResult> out) {
   LaneState& lane = lane_[lane_index];
   LaneTrialResult result;
-  result.messages = lane.total_sent;
+  // Total messages = sum of the per-processor send counters (the hot loop
+  // keeps no running total; every lane_send bumps sent_ exactly once,
+  // including sends dropped at a terminated destination).
+  std::uint64_t messages = 0;
+  for (std::size_t i = slot(lane_index, 0); i < slot(lane_index, 0) + static_cast<std::size_t>(n_);
+       ++i) {
+    messages += sent_[i];
+  }
+  result.messages = messages;
   result.max_sync_gap = lane.max_sync_gap;
   result.step_limit_hit = lane.step_limit_hit;
 
@@ -381,27 +689,101 @@ Value LaneEngine::token_sum_prediction(std::uint64_t seed) const {
   return sum;
 }
 
-LaneTrialResult LaneEngine::fast_token_sum_result(std::uint64_t seed) const {
+LaneTrialResult LaneEngine::chang_roberts_prediction(std::uint64_t seed) {
+  // The honest chang-roberts trial under round-robin is a pure function of
+  // the per-trial id permutation: the owner of the maximum id wins; every
+  // other candidate is forwarded by the run of cyclic successors holding
+  // smaller ids (stopping unsent at the first larger one); the announce
+  // circulates once.  Per-processor send counts are 2 (wake-up + announce
+  // contribution) plus the tokens it forwards, and the sync-gap histogram
+  // trace collapses to max(sends) - min(sends).  Validated against the
+  // general machinery by the priming trials below and the differential
+  // grids.
+  std::iota(cr_scratch_.begin(), cr_scratch_.end(), Value{0});
+  Xoshiro256 rng(seed);
+  std::shuffle(cr_scratch_.begin(), cr_scratch_.end(), rng);
+
+  ProcessorId p_max = 0;
+  for (ProcessorId p = 1; p < n_; ++p) {
+    if (cr_scratch_[static_cast<std::size_t>(p)] > cr_scratch_[static_cast<std::size_t>(p_max)]) {
+      p_max = p;
+    }
+  }
+  cr_sends_.assign(static_cast<std::size_t>(n_), 2);
+  std::uint64_t forwards = 0;
+  for (ProcessorId q = 0; q < n_; ++q) {
+    const Value candidate = cr_scratch_[static_cast<std::size_t>(q)];
+    for (int d = 1; d < n_; ++d) {
+      const ProcessorId r = (q + d) % n_;
+      if (cr_scratch_[static_cast<std::size_t>(r)] > candidate) break;
+      ++cr_sends_[static_cast<std::size_t>(r)];
+      ++forwards;
+    }
+  }
+  const auto [min_it, max_it] = std::minmax_element(cr_sends_.begin(), cr_sends_.end());
+
   LaneTrialResult result;
-  result.outcome = Outcome::elected(token_sum_prediction(seed));
-  result.messages = fast_messages_;
-  result.max_sync_gap = fast_max_sync_gap_;
+  result.outcome = Outcome::elected(static_cast<Value>(p_max));
+  result.messages = 2 * static_cast<std::uint64_t>(n_) + forwards;
+  result.max_sync_gap = *max_it - *min_it;
   return result;
 }
 
-void LaneEngine::observe_token_sum_trial(const LaneState& lane, const LaneTrialResult& result) {
+LaneTrialResult LaneEngine::fast_result(std::uint64_t seed) {
+  LaneTrialResult result;
+  switch (fast_kind_) {
+    case FastKind::kTokenSum:
+      result.outcome = Outcome::elected(token_sum_prediction(seed));
+      result.messages = fast_messages_;
+      result.max_sync_gap = fast_max_sync_gap_;
+      return result;
+    case FastKind::kDeviatedConstant:
+      result.outcome = Outcome::elected(dev_target_);
+      result.messages = fast_messages_;
+      result.max_sync_gap = fast_max_sync_gap_;
+      return result;
+    case FastKind::kChangRoberts:
+      return chang_roberts_prediction(seed);
+    case FastKind::kNone:
+      break;
+  }
+  return result;
+}
+
+void LaneEngine::observe_fast_trial(const LaneState& lane, const LaneTrialResult& result) {
   if (fast_state_ != FastState::kPriming) return;
-  bool match = !result.step_limit_hit && result.outcome.valid() &&
-               result.outcome.leader() == token_sum_prediction(lane.seed);
-  if (match) {
-    if (fast_verified_ == 0) {
-      fast_messages_ = result.messages;
-      fast_max_sync_gap_ = result.max_sync_gap;
-    } else {
-      // The round-robin skeleton is trial-independent, so the stats must be
-      // constants; any drift means the derivation does not hold here.
-      match = result.messages == fast_messages_ && result.max_sync_gap == fast_max_sync_gap_;
+  bool match = false;
+  switch (fast_kind_) {
+    case FastKind::kTokenSum:
+    case FastKind::kDeviatedConstant: {
+      const Value predicted = fast_kind_ == FastKind::kTokenSum
+                                  ? token_sum_prediction(lane.seed)
+                                  : dev_target_;
+      match = !result.step_limit_hit && result.outcome.valid() &&
+              result.outcome.leader() == predicted;
+      if (match) {
+        if (fast_verified_ == 0) {
+          fast_messages_ = result.messages;
+          fast_max_sync_gap_ = result.max_sync_gap;
+        } else {
+          // The round-robin skeleton is trial-independent, so the stats
+          // must be constants; any drift means the derivation does not
+          // hold here.
+          match = result.messages == fast_messages_ &&
+                  result.max_sync_gap == fast_max_sync_gap_;
+        }
+      }
+      break;
     }
+    case FastKind::kChangRoberts: {
+      const LaneTrialResult predicted = chang_roberts_prediction(lane.seed);
+      match = !result.step_limit_hit && result.outcome == predicted.outcome &&
+              result.messages == predicted.messages &&
+              result.max_sync_gap == predicted.max_sync_gap;
+      break;
+    }
+    case FastKind::kNone:
+      return;
   }
   if (!match) {
     fast_state_ = FastState::kDisabled;
@@ -410,67 +792,31 @@ void LaneEngine::observe_token_sum_trial(const LaneState& lane, const LaneTrialR
   if (++fast_verified_ >= kFastPrimeTrials) fast_state_ = FastState::kArmed;
 }
 
-template <typename Kernel>
+template <typename Kernel, typename Dev>
 void LaneEngine::run_window_impl(std::span<const std::uint64_t> seeds,
                                  std::span<LaneTrialResult> out,
                                  std::span<ExecutionTranscript* const> transcripts) {
-  if constexpr (Kernel::kTokenSum) {
-    // Armed token-sum fast path: serve the whole window from the closed
-    // form.  Transcript-recording windows need the real event stream, so
-    // they always run the general machinery below.
-    if (fast_state_ == FastState::kArmed && token_sum_schedulable() && transcripts.empty()) {
-      for (std::size_t t = 0; t < seeds.size(); ++t) {
-        out[t] = fast_token_sum_result(seeds[t]);
-      }
-      return;
-    }
+  if (transcripts.empty()) {
+    run_batch<Kernel, Dev, false>(seeds, out, transcripts);
+  } else {
+    run_batch<Kernel, Dev, true>(seeds, out, transcripts);
   }
+}
 
-  const std::size_t width = static_cast<std::size_t>(lanes_);
-  const auto transcript_for = [&](std::size_t trial) -> ExecutionTranscript* {
-    return transcripts.empty() ? nullptr : transcripts[trial];
-  };
-
-  std::size_t next_trial = 0;
-  std::size_t live = 0;
-  for (std::size_t l = 0; l < width && next_trial < seeds.size(); ++l, ++next_trial) {
-    start_trial<Kernel>(l, next_trial, seeds[next_trial], transcript_for(next_trial));
-    ++live;
-  }
-
-  while (live > 0) {
-    for (std::size_t l = 0; l < width; ++l) {
-      LaneState& lane = lane_[l];
-      if (!lane.live) continue;
-      if (lane.ready.empty() || lane.deliveries >= step_limit_) {
-        // Quiescence, or the step bound with work still pending (the scalar
-        // loop's break condition) — retire and refill from the window.
-        if (!lane.ready.empty()) lane.step_limit_hit = true;
-        retire(l, out);
-        if constexpr (Kernel::kTokenSum) {
-          if (token_sum_schedulable()) {
-            observe_token_sum_trial(lane, out[lane.trial]);
-            // Arming mid-window: drain the not-yet-started tail of the
-            // window analytically; lanes already in flight finish normally.
-            if (fast_state_ == FastState::kArmed && transcripts.empty()) {
-              while (next_trial < seeds.size()) {
-                out[next_trial] = fast_token_sum_result(seeds[next_trial]);
-                ++next_trial;
-              }
-            }
-          }
-        }
-        if (next_trial < seeds.size()) {
-          start_trial<Kernel>(l, next_trial, seeds[next_trial], transcript_for(next_trial));
-          ++next_trial;
-        } else {
-          lane.live = false;
-          --live;
-        }
-        continue;
-      }
-      deliver<Kernel>(l, pick_next(lane));
-    }
+template <typename Kernel>
+void LaneEngine::dispatch_kernel(std::span<const std::uint64_t> seeds,
+                                 std::span<LaneTrialResult> out,
+                                 std::span<ExecutionTranscript* const> transcripts) {
+  switch (deviation_.id) {
+    case LaneDeviationId::kNone:
+      run_window_impl<Kernel, HonestDev>(seeds, out, transcripts);
+      break;
+    case LaneDeviationId::kBasicSingle:
+      run_window_impl<Kernel, BasicSingleDev>(seeds, out, transcripts);
+      break;
+    case LaneDeviationId::kRushing:
+      run_window_impl<Kernel, RushingDev>(seeds, out, transcripts);
+      break;
   }
 }
 
@@ -484,13 +830,13 @@ void LaneEngine::run_window(std::span<const std::uint64_t> seeds, std::span<Lane
   }
   switch (kernel_) {
     case LaneKernelId::kBasicLead:
-      run_window_impl<BasicLeadKernel>(seeds, out, transcripts);
+      dispatch_kernel<BasicLeadKernel>(seeds, out, transcripts);
       break;
     case LaneKernelId::kChangRoberts:
-      run_window_impl<ChangRobertsKernel>(seeds, out, transcripts);
+      dispatch_kernel<ChangRobertsKernel>(seeds, out, transcripts);
       break;
     case LaneKernelId::kALeadUni:
-      run_window_impl<ALeadUniKernel>(seeds, out, transcripts);
+      dispatch_kernel<ALeadUniKernel>(seeds, out, transcripts);
       break;
   }
 }

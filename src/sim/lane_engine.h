@@ -2,38 +2,64 @@
 // Batched structure-of-arrays trial lanes for the ring runtime
 // (DESIGN.md §10).
 //
-// A LaneEngine runs W independent trials ("lanes") of one devirtualized
-// built-in protocol kernel simultaneously: per-trial scheduler cursors,
-// inbox queues, token/phase registers and termination flags live in
-// parallel arrays indexed lane*n + p, and one sweep of the outer loop
-// advances every live lane by one delivery.  Lanes retire independently —
-// a finished lane immediately restarts on the next trial of the window —
-// so a window of T trials keeps all W lanes busy until the tail.
+// A LaneEngine runs the trials of a window through W preallocated SoA
+// *lane columns*: per-trial scheduler cursors, inbox ring buffers,
+// token/phase registers and termination flags live in parallel arrays
+// indexed lane*n + p.  Trial t is pinned to lane t % W and runs as a
+// *burst* — its delivery loop runs to completion before the lane takes
+// the window's next trial.  (A lock-step variant that advanced all W
+// resident trials one delivery per sweep was measured slower: the extra
+// indirection per delivery cost more than the memory-level parallelism
+// bought.)  One burst's speedup over the scalar RingEngine comes from
+// devirtualization (kernel and deviation handlers inline into the
+// delivery step), the contiguous RingBufferColumn inbox (sim/inbox.h —
+// no per-queue heap objects, and paired head/tail counters so a
+// delivery's pop and push each touch one control cache line), the
+// per-trial TrialHot register file (run_batch keeps the trial's scalars
+// and raw column cursors in a local struct whose helpers are
+// force-inlined, so the loop reads stack slots instead of chasing
+// this->vector->data indirections that rare in-loop grow()/resize()
+// calls stop GCC from hoisting), the O(1) min/max sync-gap histogram,
+// and transcript recording compiled out of the non-recording window
+// instantiation.  Measured on the reference setup this lands the general
+// path (fast paths disabled) at ~2.2x the scalar engine per delivery.
 //
-// Bit-identity contract: trials are independent, and each lane replicates
-// the scalar RingEngine's per-trial algorithm exactly — same ready-set
-// swap-remove bookkeeping, same wrapping round-robin cursor, same
-// per-trial scheduler reseed, same tape draw order, same sync-gap
-// histogram with termination freeze, same transcript event sequence.
-// Lane interleaving therefore cannot be observed: ScenarioResults and
-// transcript digests match the scalar engine bit for bit (the conformance
-// suite's lane differential gates this).  The speedup comes from
-// devirtualization (kernel receive handlers inline into the sweep loop),
-// SoA locality, and amortizing per-trial reset over the batch.
+// Bit-identity contract: each lane replicates the scalar RingEngine's
+// per-trial algorithm exactly — same ready-set swap-remove bookkeeping,
+// same wrapping round-robin cursor, same per-trial scheduler reseed, same
+// tape draw order, same sync-gap histogram with termination freeze, same
+// transcript event sequence.  ScenarioResults and transcript digests
+// match the scalar engine bit for bit (the conformance suite's lane
+// differential gates this).
 //
-// Token-sum fast path: basic-lead and alead-uni have data-INDEPENDENT
-// message flow (every handler's send/terminate structure is the same
-// whatever the payloads), so under the trial-independent round-robin
-// schedule the delivery skeleton — total messages, the sync-gap histogram
-// trace, the termination order — is the same for every trial, and the
-// elected leader is the mod-n sum of the n tape draws.  The engine primes
-// this per shape: the first trials run through the full lane machinery
-// and are checked against the closed form (outcome, constant messages and
-// max sync gap, no step-limit hit); after kFastPrimeTrials consecutive
-// confirmations the remaining trials are served analytically in O(n).
-// One mismatch permanently disables the fast path for the instance, and
+// Deviated profiles: the two attacks that dominate the paper's resilience
+// tables — basic-single (Appendix B) and rushing (Lemma 4.1) — have lane
+// kernels too.  Coalition members reuse the honest register file (cnt_ =
+// received count, reg_b_ = running mod-n sum, flag_b_ = done) plus a flat
+// aux_ column for the replay buffers (basic-single's n-1 captured values;
+// rushing's per-member sliding window of the last l_j values, packed by
+// prefix sums of l_j — sum l_j = n-k <= n, so one n-wide column per lane
+// covers every placement).
+//
+// Analytic fast paths (self-verifying, round-robin only): some shapes
+// have closed-form trial results, and the engine primes each per
+// instance — the first trials run the full lane machinery and are checked
+// against the prediction; after kFastPrimeTrials consecutive
+// confirmations the remaining trials are served analytically.  One
+// mismatch permanently disables the fast path for the instance, and
 // transcript-recording windows always take the general path, so the
-// bit-identity contract is preserved unconditionally.
+// bit-identity contract is preserved unconditionally.  The inventory
+// (DESIGN.md §10):
+//  * token-sum (honest basic-lead / alead-uni): data-independent message
+//    flow, constant messages/gap, leader = mod-n sum of the n tape draws.
+//  * deviated-constant (basic-single on basic-lead, rushing on
+//    alead-uni — the designed pairings whose theorems force the outcome):
+//    count-driven message flow, constant messages/gap, leader = target
+//    w.p. 1 (Claim B.1, Lemma 4.1).  Mismatched kernel/deviation pairings
+//    have data-dependent validation outcomes and always run generally.
+//  * chang-roberts (honest): per-trial closed form over the id
+//    permutation — leader = owner of the max id, messages = n + forwards
+//    + n, max sync gap from the per-processor forward counts.
 
 #include <cstdint>
 #include <span>
@@ -49,11 +75,31 @@ namespace fle {
 
 /// The built-in protocols with devirtualized lane kernels.  The
 /// transcript-digest-guided specializer (src/api/specialize.h) routes
-/// dominant (protocol, n, scheduler) sweep shapes here; everything else
-/// falls back to the general scalar engine.
+/// dominant (protocol, deviation, n, scheduler) sweep shapes here;
+/// everything else falls back to the general scalar engine.
 enum class LaneKernelId { kBasicLead, kChangRoberts, kALeadUni };
 
 const char* to_string(LaneKernelId kernel);
+
+/// The built-in deviations with lane kernels (kNone = honest profile).
+enum class LaneDeviationId { kNone, kBasicSingle, kRushing };
+
+const char* to_string(LaneDeviationId deviation);
+
+/// A resolved deviated profile: which ring positions deviate and with what
+/// parameters.  Built by the Scenario API from the spec's Coalition (the
+/// lane engine never re-derives placements — it consumes the same members
+/// and segment lengths the scalar profile composition uses).
+struct LaneDeviationSpec {
+  LaneDeviationId id = LaneDeviationId::kNone;
+  /// Coalition members, ascending (Coalition::members()).
+  std::vector<ProcessorId> members;
+  /// l_j per member (Coalition::segment_lengths()); rushing only.
+  std::vector<int> segment_lengths;
+  Value target = 0;
+
+  friend bool operator==(const LaneDeviationSpec&, const LaneDeviationSpec&) = default;
+};
 
 struct LaneEngineOptions {
   /// Hard bound on deliveries per trial; 0 = 8n^2 + 1024 (same default as
@@ -61,8 +107,14 @@ struct LaneEngineOptions {
   std::uint64_t step_limit = 0;
   SchedulerKind scheduler_kind = SchedulerKind::kRoundRobin;
   RngKind rng = RngKind::kXoshiro;
-  /// Lane width W: how many trials run simultaneously.
+  /// Lane width W: how many SoA trial columns are kept resident.
   int lanes = 8;
+  /// Deviated profile to run (kNone = honest).
+  LaneDeviationSpec deviation;
+  /// Allows the self-verifying analytic fast paths.  Disabled, every trial
+  /// runs the general lane machinery — the knob BM_LaneEngineRingGeneral
+  /// uses to measure the general path honestly.
+  bool fast_paths = true;
 };
 
 /// What one trial leaves behind (mirrors the scalar engine's outcome +
@@ -71,6 +123,7 @@ struct LaneTrialResult {
   Outcome outcome = Outcome::fail();
   std::uint64_t messages = 0;      ///< total sent (ExecutionStats::total_sent)
   std::uint64_t max_sync_gap = 0;  ///< ExecutionStats::max_sync_gap
+  std::uint64_t rounds = 0;        ///< sync runtime only; ring lanes report 0
   bool step_limit_hit = false;
 };
 
@@ -96,35 +149,78 @@ class LaneEngine {
   [[nodiscard]] SchedulerKind scheduler_kind() const { return scheduler_kind_; }
   [[nodiscard]] RngKind rng_kind() const { return rng_kind_; }
   [[nodiscard]] int lanes() const { return lanes_; }
+  [[nodiscard]] const LaneDeviationSpec& deviation() const { return deviation_; }
 
  private:
   struct BasicLeadKernel;
   struct ChangRobertsKernel;
   struct ALeadUniKernel;
+  struct HonestDev;
+  struct BasicSingleDev;
+  struct RushingDev;
 
   /// Per-lane control block (per-trial scheduler + accounting state; the
-  /// per-processor state lives in the flat SoA arrays below).
+  /// per-processor state lives in the flat SoA arrays below).  The ready
+  /// list is a fixed-capacity buffer (n+1 slots, count in TrialHot): it
+  /// never reallocates mid-trial, so the delivery loop can hold its data
+  /// pointer in a register.
   struct LaneState {
-    bool live = false;
     bool step_limit_hit = false;
-    bool gap_frozen = false;
-    std::uint64_t rr_cursor = 0;
     Xoshiro256 sched_rng{0};
     std::vector<int> priority;
     std::vector<ProcessorId> ready;
     std::vector<int> ready_pos;
     std::vector<std::uint64_t> sent_freq;
-    std::uint64_t min_sent = 0;
-    std::uint64_t max_sent = 0;
-    std::uint64_t deliveries = 0;
-    std::uint64_t total_sent = 0;
-    std::uint64_t max_sync_gap = 0;
+    std::uint64_t max_sync_gap = 0;  ///< written back from TrialHot at trial end
     ExecutionTranscript* transcript = nullptr;
     std::size_t trial = 0;  ///< index into the window's seeds/out spans
     std::uint64_t seed = 0;  ///< the trial's seed (fast-path verification)
   };
 
-  /// Token-sum fast-path lifecycle (see the header comment).
+  /// The delivery loop's per-trial scalars and array cursors, instantiated
+  /// as a *stack local* while a trial runs.  This is the load-bearing perf
+  /// trick of the general path: the SoA columns are uint64 arrays, so a
+  /// store through any of them may alias a uint64 member field and forces
+  /// the compiler to reload every cached member after every store — as a
+  /// local whose address never leaves the inlined loop, points-to analysis
+  /// keeps all of this in registers across the whole delivery.
+  struct TrialHot {
+    std::uint64_t deliveries = 0;
+    std::uint64_t rr_cursor = 0;
+    std::size_t ready_count = 0;
+    std::uint64_t min_sent = 0;
+    std::uint64_t max_sent = 0;
+    std::uint64_t max_sync_gap = 0;
+    bool gap_frozen = false;
+    ProcessorId* ready = nullptr;           ///< LaneState::ready.data()
+    int* ready_pos = nullptr;               ///< LaneState::ready_pos.data()
+    std::uint64_t* sent_freq = nullptr;     ///< LaneState::sent_freq.data()
+    std::size_t sent_freq_size = 0;         ///< refreshed on (rare) regrowth
+
+    // Cached column cursors: every array access through a vector member is
+    // two dependent loads (control block, then element) that GCC refuses to
+    // hoist out of the delivery loop — the rare grow()/resize() calls on
+    // the full/frozen paths clobber its alias analysis.  Caching the data
+    // pointers (and n / the lane's column base) here cuts each access to
+    // one load.  All pointers are stable for the whole trial except the
+    // inbox view, which lane_send refreshes after a grow.
+    Value n = 0;                            ///< n_ as a Value (kernel compares)
+    std::size_t base = 0;                   ///< slot(lane, 0)
+    std::uint64_t* sent = nullptr;
+    std::uint64_t* cnt = nullptr;
+    Value* reg_a = nullptr;
+    Value* reg_b = nullptr;
+    Value* reg_c = nullptr;
+    std::uint8_t* flag_a = nullptr;
+    std::uint8_t* flag_b = nullptr;
+    std::uint8_t* terminated = nullptr;
+    RingBufferColumn<Value>::View ibx;      ///< inbox cursors (see inbox.h)
+  };
+
+  /// Which analytic fast path this instance may use (resolved once at
+  /// construction from kernel, deviation, scheduler and the fast_paths
+  /// knob) and its priming lifecycle (see the header comment).
+  enum class FastKind { kNone, kTokenSum, kDeviatedConstant, kChangRoberts };
   enum class FastState { kPriming, kArmed, kDisabled };
   static constexpr int kFastPrimeTrials = 4;
 
@@ -132,33 +228,57 @@ class LaneEngine {
     return lane * static_cast<std::size_t>(n_) + static_cast<std::size_t>(p);
   }
 
-  template <typename Kernel>
+  template <typename Kernel, typename Dev>
   void run_window_impl(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
                        std::span<ExecutionTranscript* const> transcripts);
-  template <typename Kernel>
+  /// The burst loop: each trial runs to completion on its lane (t % W)
+  /// through a TrialHot register file built by start_trial.  kTranscribe
+  /// compiles the per-delivery transcript hook (and the absolute delivery
+  /// counter feeding it) in or out; the non-recording instantiation is the
+  /// benchmarked hot path and uses a plain step-budget countdown.
+  template <typename Kernel, typename Dev, bool kTranscribe>
+  void run_batch(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
+                 std::span<ExecutionTranscript* const> transcripts);
+  template <typename Kernel, typename Dev>
   void start_trial(std::size_t lane, std::size_t trial, std::uint64_t seed,
-                   ExecutionTranscript* transcript);
+                   ExecutionTranscript* transcript, TrialHot& hot);
   template <typename Kernel>
-  void deliver(std::size_t lane, ProcessorId p);
+  void dispatch_kernel(std::span<const std::uint64_t> seeds, std::span<LaneTrialResult> out,
+                       std::span<ExecutionTranscript* const> transcripts);
 
-  void lane_send(std::size_t lane, ProcessorId from, Value v);
-  void lane_finish(std::size_t lane, ProcessorId p, bool aborted, Value value);
-  void mark_ready(LaneState& lane, ProcessorId p);
-  void unmark_ready(LaneState& lane, ProcessorId p);
-  [[nodiscard]] ProcessorId pick_next(LaneState& lane);
+  // always_inline: one call per delivery from every kernel's receive(); left
+  // to its own heuristics GCC outlines it (60+ call sites), which pins the
+  // caller's TrialHot to the stack and defeats the register file.
+  [[gnu::always_inline]] inline void lane_send(TrialHot& hot, std::size_t lane, ProcessorId from,
+                                               Value v);
+  // lane_finish and pick_index stay outlined deliberately: force-inlining
+  // them (measured) bloats the delivery loop past what the I-cache and
+  // register file absorb and costs ~25%.  Only the tiny per-delivery
+  // ready-list helpers join lane_send in the loop body.
+  void lane_finish(TrialHot& hot, std::size_t lane, ProcessorId p, bool aborted, Value value);
+  [[gnu::always_inline]] static inline void mark_ready(TrialHot& hot, ProcessorId p);
+  static void unmark_ready(TrialHot& hot, ProcessorId p);
+  /// unmark_ready for a processor whose ready-list index is already known
+  /// (the delivery loop just picked it there), skipping the ready_pos load.
+  [[gnu::always_inline]] static inline void unmark_at(TrialHot& hot, std::size_t idx,
+                                                      ProcessorId p);
+  /// Picks the next delivery target for kRandom/kPriority and returns its
+  /// *index* into the ready list (the round-robin path is inlined in
+  /// run_batch).
+  [[nodiscard]] std::size_t pick_index(LaneState& lane, TrialHot& hot);
   void retire(std::size_t lane, std::span<LaneTrialResult> out);
   [[nodiscard]] Value tape_uniform(std::uint64_t seed, ProcessorId p, Value bound) const;
 
+  [[nodiscard]] FastKind resolve_fast_kind(bool fast_paths) const;
   /// The closed-form token-sum leader: mod-n sum of the trial's n draws.
   [[nodiscard]] Value token_sum_prediction(std::uint64_t seed) const;
-  /// True when the token-sum fast path may serve or prime trials here.
-  [[nodiscard]] bool token_sum_schedulable() const {
-    return scheduler_kind_ == SchedulerKind::kRoundRobin;
-  }
-  /// Checks one generally-executed trial against the closed form and
+  /// Chang-roberts honest closed form over the trial's id permutation.
+  [[nodiscard]] LaneTrialResult chang_roberts_prediction(std::uint64_t seed);
+  /// The analytic result an armed fast path serves for this seed.
+  [[nodiscard]] LaneTrialResult fast_result(std::uint64_t seed);
+  /// Checks one generally-executed trial against the prediction and
   /// advances the priming state machine (arm / disable).
-  void observe_token_sum_trial(const LaneState& lane, const LaneTrialResult& result);
-  [[nodiscard]] LaneTrialResult fast_token_sum_result(std::uint64_t seed) const;
+  void observe_fast_trial(const LaneState& lane, const LaneTrialResult& result);
 
   int n_;
   LaneKernelId kernel_;
@@ -166,12 +286,14 @@ class LaneEngine {
   SchedulerKind scheduler_kind_;
   RngKind rng_kind_;
   int lanes_;
+  LaneDeviationSpec deviation_;
 
   // Per-(lane, processor) SoA state, indexed slot(lane, p).  The three
   // value registers + counter + two flags cover every kernel's strategy
   // state (basic-lead: d/sum; a-lead: d/sum/buffer; chang-roberts:
-  // lid/detector/done).
-  std::vector<FlatQueue<Value>> inbox_;
+  // lid/detector/done; deviation members overlay cnt_ = received,
+  // reg_b_ = running sum, flag_b_ = done).
+  RingBufferColumn<Value> inbox_;
   std::vector<Value> reg_a_;
   std::vector<Value> reg_b_;
   std::vector<Value> reg_c_;
@@ -183,11 +305,27 @@ class LaneEngine {
   std::vector<std::uint8_t> out_aborted_;
   std::vector<Value> out_value_;
   std::vector<std::uint64_t> sent_;
+  /// Deviation replay storage, n values per lane (lane l's slice is
+  /// [l*n, (l+1)*n)); member p's window starts at dev_aux_[p].
+  std::vector<Value> aux_;
+
+  // Per-processor deviation configuration (constant across trials: the
+  // registry's ring deviations are seed-independent).
+  std::vector<std::uint8_t> dev_member_;
+  std::vector<int> dev_lj_;
+  std::vector<std::uint32_t> dev_aux_;
+  Value dev_target_ = 0;
+  int dev_k_ = 0;
+  std::uint64_t dev_honest_total_ = 0;
 
   std::vector<LaneState> lane_;
-  std::vector<Value> cr_ids_;  ///< chang-roberts logical-id scratch, reused
+  /// Chang-roberts per-trial logical ids, one column per lane (indexed
+  /// slot(lane, p)) so interleaved trials keep their own permutations.
+  std::vector<Value> cr_ids_;
+  std::vector<Value> cr_scratch_;  ///< closed-form prediction id scratch
+  std::vector<std::uint64_t> cr_sends_;  ///< closed-form per-processor send counts
 
-  // Token-sum fast-path state (kBasicLead / kALeadUni, round-robin only).
+  FastKind fast_kind_ = FastKind::kNone;
   FastState fast_state_ = FastState::kPriming;
   int fast_verified_ = 0;
   std::uint64_t fast_messages_ = 0;

@@ -299,7 +299,8 @@ CheckResult check_transcript_replay(ScenarioSpec spec, std::size_t redriven_tria
 
 CheckResult check_lane_differential(ScenarioSpec spec, int lanes, int threads) {
   if (!lane_eligible(spec)) {
-    throw std::invalid_argument("check_lane_differential requires a lane-eligible ring spec");
+    throw std::invalid_argument("check_lane_differential requires a lane-eligible spec: " +
+                                lane_ineligible_reason(spec));
   }
   spec.record_outcomes = true;
   spec.record_transcripts = true;
@@ -333,7 +334,9 @@ CheckResult check_lane_differential(ScenarioSpec spec, int lanes, int threads) {
        {aggregate("total_messages", rs.total_messages, rl.total_messages),
         aggregate("max_messages", rs.max_messages, rl.max_messages),
         aggregate("total_sync_gap", rs.total_sync_gap, rl.total_sync_gap),
-        aggregate("max_sync_gap", rs.max_sync_gap, rl.max_sync_gap)}) {
+        aggregate("max_sync_gap", rs.max_sync_gap, rl.max_sync_gap),
+        aggregate("max_rounds", static_cast<std::uint64_t>(rs.max_rounds),
+                  static_cast<std::uint64_t>(rl.max_rounds))}) {
     if (!mismatch.empty()) return CheckResult::fail("lane-differential", subject, mismatch);
   }
 

@@ -379,11 +379,12 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
     }
   }
 
-  // Lane differential: every accepted lane-eligible ring spec must produce
-  // the same executions on the batched lane engine as on the scalar engine
+  // Lane differential: every accepted lane-eligible spec — honest or
+  // deviated (basic-single, rushing) ring, honest sync — must produce the
+  // same executions on the batched lane engines as on the scalar runtimes
   // — per-trial outcomes, aggregates, and transcript digests (the fuzzed
   // rng= and lanes= fields ride through both runs).
-  if (spec.topology == TopologyKind::kRing && lane_eligible(spec)) {
+  if (lane_eligible(spec)) {
     ScenarioSpec scalar = spec;
     scalar.engine = EngineKind::kScalar;
     scalar.record_outcomes = true;
@@ -397,7 +398,8 @@ std::optional<std::string> run_spec_invariants(const ScenarioSpec& spec,
         return "lane engine per-trial outcomes diverge from the scalar engine";
       }
       if (rs.total_messages != rl.total_messages || rs.max_messages != rl.max_messages ||
-          rs.total_sync_gap != rl.total_sync_gap || rs.max_sync_gap != rl.max_sync_gap) {
+          rs.total_sync_gap != rl.total_sync_gap || rs.max_sync_gap != rl.max_sync_gap ||
+          rs.max_rounds != rl.max_rounds) {
         return "lane engine aggregates diverge from the scalar engine";
       }
       if (rs.per_trial_transcript.size() != rl.per_trial_transcript.size()) {

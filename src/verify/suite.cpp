@@ -578,6 +578,51 @@ CheckReport run_differential_checks(const SuiteOptions& options, const ShardSlic
         });
       }
     }
+    // The deviated lane kernels gate the same way: the Claim B.1 lone
+    // adversary on BASIC-LEAD and the Lemma 4.1 rushing coalition on
+    // A-LEADuni (equally spaced so every l_j <= k-1 holds).
+    for (const auto& cell : kLaneGrid) {
+      ScenarioSpec single;
+      single.protocol = "basic-lead";
+      single.deviation = "basic-single";
+      single.target = 5;
+      single.n = 12;
+      single.trials = options.exact_trials;
+      single.seed = options.seed + 47;
+      single.scheduler = SchedulerKind::kRandom;
+      cases.emplace_back([single, cell] {
+        return check_lane_differential(single, cell.lanes, cell.threads);
+      });
+
+      ScenarioSpec rushing;
+      rushing.protocol = "alead-uni";
+      rushing.deviation = "rushing";
+      rushing.coalition = CoalitionSpec::equally_spaced(4, 1);
+      rushing.target = 7;
+      rushing.n = 12;
+      rushing.trials = options.exact_trials;
+      rushing.seed = options.seed + 47;
+      rushing.scheduler = SchedulerKind::kRandom;
+      cases.emplace_back([rushing, cell] {
+        return check_lane_differential(rushing, cell.lanes, cell.threads);
+      });
+    }
+    // And the sync-runtime lanes: both sync kernels against the scalar
+    // SyncEngine's round loop (rounds, messages, phase/delivery/decision
+    // transcripts).
+    for (const char* protocol : {"sync-broadcast-lead", "sync-ring-lead"}) {
+      for (const auto& cell : kLaneGrid) {
+        ScenarioSpec spec;
+        spec.topology = TopologyKind::kSync;
+        spec.protocol = protocol;
+        spec.n = 12;
+        spec.trials = options.exact_trials;
+        spec.seed = options.seed + 47;
+        cases.emplace_back([spec, cell] {
+          return check_lane_differential(spec, cell.lanes, cell.threads);
+        });
+      }
+    }
     // The opt-in counter RNG draws different tapes, so there is no exact
     // reference — its honest election distribution must instead be
     // indistinguishable from the Xoshiro reference streams (both uniform

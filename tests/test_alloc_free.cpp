@@ -257,6 +257,80 @@ TEST(ZeroAllocation, LaneEngineWindowIsAllocationFree) {
   }
 }
 
+TEST(ZeroAllocation, LaneEngineGeneralPathWindowIsAllocationFree) {
+  // With the analytic fast paths off, every trial runs the general burst
+  // loop over the ring-buffer inbox column; after the first window
+  // establishes the column's high-water capacity, pushes and pops never
+  // touch the allocator.
+  const int n = 32;
+  LaneEngineOptions options;
+  options.lanes = 8;
+  options.fast_paths = false;
+  for (const LaneKernelId kernel :
+       {LaneKernelId::kBasicLead, LaneKernelId::kChangRoberts, LaneKernelId::kALeadUni}) {
+    LaneEngine engine(n, kernel, options);
+    std::vector<std::uint64_t> seeds(24);
+    std::vector<LaneTrialResult> results(24);
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = 2000 + i;
+    engine.run_window(seeds, results);  // warm-up sizes column + vectors
+
+    const std::uint64_t before = allocations();
+    engine.run_window(seeds, results);
+    const std::uint64_t after = allocations();
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state general-path lane window allocated (" << to_string(kernel) << ")";
+    for (const LaneTrialResult& r : results) EXPECT_TRUE(r.outcome.valid());
+  }
+}
+
+TEST(ZeroAllocation, DeviatedLaneWindowIsAllocationFree) {
+  // The deviated kernels' member bursts (replay buffers in the aux column,
+  // padding sends) reuse the same flat storage.
+  const int n = 12;
+  LaneEngineOptions options;
+  options.lanes = 4;
+  options.fast_paths = false;
+  options.deviation.id = LaneDeviationId::kRushing;
+  options.deviation.members = {1, 4, 7, 10};
+  options.deviation.segment_lengths = {2, 2, 2, 2};
+  options.deviation.target = 5;
+  LaneEngine engine(n, LaneKernelId::kALeadUni, options);
+  std::vector<std::uint64_t> seeds(16);
+  std::vector<LaneTrialResult> results(16);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = 3000 + i;
+  engine.run_window(seeds, results);  // warm-up
+
+  const std::uint64_t before = allocations();
+  engine.run_window(seeds, results);
+  EXPECT_EQ(allocations() - before, 0u) << "steady-state deviated lane window allocated";
+  for (const LaneTrialResult& r : results) {
+    EXPECT_TRUE(r.outcome.valid());
+    EXPECT_EQ(r.outcome.leader(), 5u);  // rushing forces the target
+  }
+}
+
+TEST(ZeroAllocation, SyncLaneWindowIsAllocationFree) {
+  // The sync lanes keep every per-(lane, processor) register and both
+  // round boxes in flat columns sized at construction.
+  const int n = 16;
+  SyncLaneEngineOptions options;
+  options.lanes = 8;
+  for (const SyncLaneKernelId kernel :
+       {SyncLaneKernelId::kSyncBroadcast, SyncLaneKernelId::kSyncRing}) {
+    SyncLaneEngine engine(n, kernel, options);
+    std::vector<std::uint64_t> seeds(24);
+    std::vector<LaneTrialResult> results(24);
+    for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = 4000 + i;
+    engine.run_window(seeds, results);  // warm-up
+
+    const std::uint64_t before = allocations();
+    engine.run_window(seeds, results);
+    EXPECT_EQ(allocations() - before, 0u)
+        << "steady-state sync lane window allocated (" << to_string(kernel) << ")";
+    for (const LaneTrialResult& r : results) EXPECT_TRUE(r.outcome.valid());
+  }
+}
+
 TEST(ZeroAllocation, ALeadUniSteadyStateStaysBounded) {
   // A-LEADuni strategies are scalar-state too, so the whole trial is also
   // allocation-free once warm — documenting that the property is not

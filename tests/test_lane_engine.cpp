@@ -14,6 +14,7 @@
 #include "api/scenario.h"
 #include "api/specialize.h"
 #include "api/sweep.h"
+#include "sim/sync_engine.h"
 #include "verify/differential.h"
 #include "verify/fuzzer.h"
 
@@ -45,6 +46,92 @@ TEST(LaneEngine, BitIdenticalToScalarAcrossKernelsWidthsAndWorkers) {
       EXPECT_TRUE(result.passed) << result.subject << ": " << result.detail;
     }
   }
+}
+
+TEST(LaneEngine, DeviatedKernelsBitIdenticalAcrossWidthsAndWorkers) {
+  // The deviated lane kernels (PR 6): the Claim B.1 lone adversary on
+  // BASIC-LEAD and the Lemma 4.1 rushing coalition on A-LEADuni, across
+  // the same width/worker grid as the honest kernels.
+  const struct {
+    int lanes;
+    int threads;
+  } grid[] = {{1, 1}, {4, 4}, {8, 8}, {16, 1}, {4, 8}, {8, 4}, {16, 8}, {1, 4}};
+  for (const auto& cell : grid) {
+    ScenarioSpec single = ring_spec("basic-lead", 11, SchedulerKind::kRoundRobin);
+    single.deviation = "basic-single";
+    single.target = 5;
+    auto result = verify::check_lane_differential(single, cell.lanes, cell.threads);
+    EXPECT_TRUE(result.passed) << result.subject << ": " << result.detail;
+
+    ScenarioSpec rushing = ring_spec("alead-uni", 12, SchedulerKind::kRoundRobin);
+    rushing.deviation = "rushing";
+    rushing.coalition = CoalitionSpec::equally_spaced(4, 1);
+    rushing.target = 7;
+    result = verify::check_lane_differential(rushing, cell.lanes, cell.threads);
+    EXPECT_TRUE(result.passed) << result.subject << ": " << result.detail;
+  }
+}
+
+TEST(LaneEngine, DeviatedKernelsBitIdenticalUnderDataDependentSchedulers) {
+  // Off the round-robin fast paths the deviated kernels run the general
+  // burst loop; the random and priority schedulers exercise it.
+  for (const SchedulerKind scheduler : {SchedulerKind::kRandom, SchedulerKind::kPriority}) {
+    ScenarioSpec single = ring_spec("basic-lead", 10, scheduler);
+    single.deviation = "basic-single";
+    single.target = 3;
+    auto result = verify::check_lane_differential(single, /*lanes=*/8, /*threads=*/2);
+    EXPECT_TRUE(result.passed) << result.detail;
+
+    ScenarioSpec rushing = ring_spec("alead-uni", 12, scheduler);
+    rushing.deviation = "rushing";
+    rushing.coalition = CoalitionSpec::equally_spaced(4, 1);
+    rushing.target = 2;
+    result = verify::check_lane_differential(rushing, /*lanes=*/4, /*threads=*/3);
+    EXPECT_TRUE(result.passed) << result.detail;
+  }
+}
+
+TEST(SyncLaneEngine, BitIdenticalAcrossKernelsWidthsAndWorkers) {
+  // The sync-runtime lanes (PR 6): both sync kernels against the scalar
+  // SyncEngine round loop — rounds, messages, and the per-round
+  // phase/delivery/decision transcripts.
+  const struct {
+    int lanes;
+    int threads;
+  } grid[] = {{1, 1}, {4, 4}, {8, 8}, {16, 1}, {4, 8}, {8, 4}, {16, 8}, {1, 4}};
+  for (const char* protocol : {"sync-broadcast-lead", "sync-ring-lead"}) {
+    for (const auto& cell : grid) {
+      ScenarioSpec spec;
+      spec.topology = TopologyKind::kSync;
+      spec.protocol = protocol;
+      spec.n = 11;
+      spec.trials = 48;
+      spec.seed = 414243;
+      const auto result = verify::check_lane_differential(spec, cell.lanes, cell.threads);
+      EXPECT_TRUE(result.passed) << result.subject << ": " << result.detail;
+    }
+  }
+}
+
+TEST(SyncLaneEngine, RoundLimitStarvationMatchesScalar) {
+  // A starving round limit must abort the same way on both engines (the
+  // sync lanes replicate the limit check before the round counter moves).
+  ScenarioSpec spec;
+  spec.topology = TopologyKind::kSync;
+  spec.protocol = "sync-ring-lead";
+  spec.n = 10;
+  spec.trials = 24;
+  spec.seed = 99;
+  spec.step_limit = 4;  // sync-ring-lead needs n + 3 rounds
+  const auto result = verify::check_lane_differential(spec, /*lanes=*/4, /*threads=*/1);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(SyncLaneEngine, RunWindowValidatesSpans) {
+  SyncLaneEngine engine(8, SyncLaneKernelId::kSyncBroadcast, SyncLaneEngineOptions{});
+  std::vector<std::uint64_t> seeds(4, 1);
+  std::vector<LaneTrialResult> results(3);
+  EXPECT_THROW(engine.run_window(seeds, results), std::invalid_argument);
 }
 
 TEST(LaneEngine, BitIdenticalUnderEveryScheduler) {
@@ -114,26 +201,62 @@ TEST(Specializer, KernelMapCoversTheThreeLaneProtocols) {
 TEST(Specializer, EligibilityIsStructural) {
   ScenarioSpec spec = ring_spec("basic-lead", 8, SchedulerKind::kRoundRobin);
   EXPECT_TRUE(lane_eligible(spec));
+  // The lane-served deviated profiles are eligible too (PR 6).
   ScenarioSpec deviated = spec;
   deviated.deviation = "basic-single";
-  EXPECT_FALSE(lane_eligible(deviated));
+  EXPECT_TRUE(lane_eligible(deviated));
+  ScenarioSpec rushing = spec;
+  rushing.protocol = "alead-uni";
+  rushing.deviation = "rushing";
+  EXPECT_TRUE(lane_eligible(rushing));
+  ScenarioSpec other_dev = spec;
+  other_dev.deviation = "cubic";
+  EXPECT_FALSE(lane_eligible(other_dev));
+  EXPECT_NE(lane_ineligible_reason(other_dev).find("cubic"), std::string::npos);
   ScenarioSpec graph = spec;
   graph.topology = TopologyKind::kGraph;
   EXPECT_FALSE(lane_eligible(graph));
   ScenarioSpec no_kernel = spec;
   no_kernel.protocol = "peterson";
   EXPECT_FALSE(lane_eligible(no_kernel));
+  EXPECT_NE(lane_ineligible_reason(no_kernel).find("peterson"), std::string::npos);
+  // Sync specs: honest lane-kernel protocols are eligible, deviated or
+  // kernel-less ones are not.
+  ScenarioSpec sync;
+  sync.topology = TopologyKind::kSync;
+  sync.protocol = "sync-broadcast-lead";
+  sync.n = 8;
+  EXPECT_TRUE(lane_eligible(sync));
+  sync.protocol = "sync-ring-lead";
+  EXPECT_TRUE(lane_eligible(sync));
+  ScenarioSpec sync_dev = sync;
+  sync_dev.deviation = "sync-blind-collusion";
+  EXPECT_FALSE(lane_eligible(sync_dev));
+  ScenarioSpec sync_other = sync;
+  sync_other.protocol = "basic-lead";
+  EXPECT_FALSE(lane_eligible(sync_other));
+  // Eligible specs report no reason.
+  EXPECT_TRUE(lane_ineligible_reason(spec).empty());
+  EXPECT_TRUE(lane_ineligible_reason(sync).empty());
 }
 
 TEST(Specializer, ForcedLanesRejectsIneligibleSpecs) {
   ScenarioSpec spec = ring_spec("peterson", 8, SchedulerKind::kRoundRobin);
   spec.engine = EngineKind::kLanes;
   EXPECT_THROW(run_scenario(spec), std::invalid_argument);
-  ScenarioSpec deviated = ring_spec("basic-lead", 8, SchedulerKind::kRoundRobin);
+  ScenarioSpec deviated = ring_spec("alead-uni", 8, SchedulerKind::kRoundRobin);
   deviated.engine = EngineKind::kLanes;
-  deviated.deviation = "basic-single";
+  deviated.deviation = "cubic";  // no lane register mapping
   deviated.target = 3;
   EXPECT_THROW(run_scenario(deviated), std::invalid_argument);
+  ScenarioSpec sync_dev;
+  sync_dev.topology = TopologyKind::kSync;
+  sync_dev.protocol = "sync-broadcast-lead";
+  sync_dev.deviation = "sync-blind-collusion";
+  sync_dev.coalition = CoalitionSpec::consecutive(2, 1);
+  sync_dev.n = 8;
+  sync_dev.engine = EngineKind::kLanes;
+  EXPECT_THROW(run_scenario(sync_dev), std::invalid_argument);
 }
 
 TEST(Specializer, CensusRoutesDominantShapesOnly) {

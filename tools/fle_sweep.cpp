@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/specialize.h"
 #include "api/sweep.h"
 #include "cli_parse.h"
 #include "fabric/driver.h"
@@ -44,29 +45,51 @@ namespace {
   std::exit(2);
 }
 
-fle::SweepSpec load_sweep(const std::string& path, int threads) {
+/// A parsed spec file: the sweep plus, per scenario, the 1-based line it
+/// came from (for errors that point back into the file).
+struct LoadedSweep {
+  fle::SweepSpec sweep;
+  std::vector<std::size_t> lines;
+};
+
+LoadedSweep load_sweep(const std::string& path, int threads) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot read spec file '" + path + "'");
   }
-  fle::SweepSpec sweep;
-  sweep.threads = threads;
+  LoadedSweep loaded;
+  loaded.sweep.threads = threads;
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
     try {
-      sweep.add(fle::verify::parse_spec(line));
+      loaded.sweep.add(fle::verify::parse_spec(line));
+      loaded.lines.push_back(line_number);
     } catch (const std::exception& error) {
       throw std::runtime_error(path + ":" + std::to_string(line_number) + ": " +
                                error.what());
     }
   }
-  if (sweep.scenarios.empty()) {
+  if (loaded.sweep.scenarios.empty()) {
     throw std::runtime_error("spec file '" + path + "' holds no scenarios");
   }
-  return sweep;
+  return loaded;
+}
+
+/// --engine lanes pre-validation: rather than letting route_to_lanes throw
+/// deep inside run_sweep with only a scenario index, name the first
+/// ineligible spec, the spec-file line it came from, and why it has no
+/// lane kernel.
+void require_lane_eligible(const std::string& path, const LoadedSweep& loaded) {
+  for (std::size_t i = 0; i < loaded.sweep.scenarios.size(); ++i) {
+    const fle::ScenarioSpec& spec = loaded.sweep.scenarios[i];
+    if (fle::lane_eligible(spec)) continue;
+    throw std::runtime_error(path + ":" + std::to_string(loaded.lines[i]) +
+                             ": --engine lanes: spec '" + fle::verify::format_spec(spec) +
+                             "' is not lane-eligible: " + fle::lane_ineligible_reason(spec));
+  }
 }
 
 }  // namespace
@@ -139,7 +162,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    fle::SweepSpec sweep = load_sweep(spec_path, threads);
+    LoadedSweep loaded = load_sweep(spec_path, threads);
+    if (engine == fle::EngineKind::kLanes) require_lane_eligible(spec_path, loaded);
+    fle::SweepSpec& sweep = loaded.sweep;
     if (sharded) {
       // Slice every scenario's trial window [i*c/m, (i+1)*c/m): the m
       // shard reports together tile each scenario exactly, so `fle_store
